@@ -1,0 +1,104 @@
+// Command tampbench regenerates the tables and figures of the paper's
+// evaluation (§IV and Appendix C) on the synthetic workloads.
+//
+// Usage:
+//
+//	tampbench -list
+//	tampbench -exp table4 -scale quick
+//	tampbench -exp fig6,fig7 -scale full
+//	tampbench -exp all -scale quick
+//
+// Scale "quick" finishes in seconds per experiment; "full" takes minutes
+// per experiment and produces the paper-shaped trends recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		expFlag = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
+		seed    = flag.Int64("seed", 0, "override the workload seed (0 keeps the scale default)")
+		csvDir  = flag.String("csv", "", "also write <dir>/<exp>.csv with machine-readable rows")
+		seeds   = flag.Int("seeds", 1, "run each experiment over this many seeds and report mean ± std")
+	)
+	flag.Parse()
+
+	if *list {
+		experiments.Describe(os.Stdout)
+		return
+	}
+	if *expFlag == "" {
+		fmt.Fprintln(os.Stderr, "tampbench: -exp required (use -list to see experiments)")
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "tampbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tampbench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s (%s scale) ==\n", e.Title, sc.Name)
+		start := time.Now()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			if err := e.RunCSV(sc, f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", filepath.Join(*csvDir, id+".csv"))
+		} else if *seeds > 1 {
+			list := make([]int64, *seeds)
+			for i := range list {
+				list[i] = sc.Seed + int64(i)
+			}
+			e.RunSeeds(sc, list, os.Stdout)
+		} else {
+			e.Run(sc, os.Stdout)
+		}
+		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

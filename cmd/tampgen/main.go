@@ -1,0 +1,161 @@
+// Command tampgen generates a synthetic workload and dumps it for
+// inspection: worker routines as CSV, tasks as CSV, and the workload
+// summary as JSON.
+//
+// Usage:
+//
+//	tampgen -workload 1 -out /tmp/wl1            # writes workers.csv, tasks.csv, summary.json
+//	tampgen -workload 2 -tasks 500 -out /tmp/wl2
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/spatialcrowd/tamp"
+	"github.com/spatialcrowd/tamp/internal/viz"
+)
+
+func main() {
+	var (
+		workload = flag.Int("workload", 1, "workload family: 1 or 2")
+		workers  = flag.Int("workers", 30, "number of established workers")
+		tasks    = flag.Int("tasks", 1000, "number of test tasks")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		out      = flag.String("out", ".", "output directory")
+		showMap  = flag.Bool("viz", false, "print an ASCII map of the workload (trajectory density, x = tasks, O = hotspots)")
+	)
+	flag.Parse()
+
+	kind := tamp.Workload1
+	if *workload == 2 {
+		kind = tamp.Workload2
+	}
+	p := tamp.DefaultWorkloadParams(kind)
+	p.Seed = *seed
+	p.NumWorkers = *workers
+	p.NewWorkers = *workers / 10
+	p.NumTestTasks = *tasks
+	w := tamp.GenerateWorkload(p)
+
+	if *showMap {
+		viz.WorkloadMap(w, 100, 30).Render(os.Stdout)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := writeWorkers(filepath.Join(*out, "workers.csv"), w); err != nil {
+		fatal(err)
+	}
+	if err := writeTasks(filepath.Join(*out, "tasks.csv"), w); err != nil {
+		fatal(err)
+	}
+	if err := writeSummary(filepath.Join(*out, "summary.json"), w); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote workers.csv, tasks.csv, summary.json to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tampgen:", err)
+	os.Exit(1)
+}
+
+// writeWorkers dumps one row per (worker, day, tick) with the location.
+func writeWorkers(path string, w *tamp.Workload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	defer cw.Flush()
+	if err := cw.Write([]string{"worker", "archetype", "new", "split", "day", "tick", "x", "y"}); err != nil {
+		return err
+	}
+	for _, wk := range w.Workers {
+		write := func(split string, day int, r tamp.Routine) error {
+			for t, pt := range r.Points {
+				rec := []string{
+					strconv.Itoa(wk.ID),
+					strconv.Itoa(wk.Archetype),
+					strconv.FormatBool(wk.New),
+					split,
+					strconv.Itoa(day),
+					strconv.Itoa(t),
+					strconv.FormatFloat(pt.X, 'f', 3, 64),
+					strconv.FormatFloat(pt.Y, 'f', 3, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for d, r := range wk.TrainDays {
+			if err := write("train", d, r); err != nil {
+				return err
+			}
+		}
+		for d, r := range wk.TestDays {
+			if err := write("test", d, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeTasks(path string, w *tamp.Workload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	defer cw.Flush()
+	if err := cw.Write([]string{"task", "x", "y", "arrival", "deadline"}); err != nil {
+		return err
+	}
+	for _, t := range w.TestTasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			strconv.FormatFloat(t.Loc.X, 'f', 3, 64),
+			strconv.FormatFloat(t.Loc.Y, 'f', 3, 64),
+			strconv.Itoa(t.Arrival),
+			strconv.Itoa(t.Deadline),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSummary(path string, w *tamp.Workload) error {
+	summary := map[string]any{
+		"kind":       w.Params.Kind.String(),
+		"seed":       w.Params.Seed,
+		"workers":    len(w.Workers),
+		"newWorkers": w.Params.NewWorkers,
+		"tasks":      len(w.TestTasks),
+		"histTasks":  len(w.HistTasks),
+		"pois":       len(w.POIs),
+		"hotspots":   len(w.Hotspots),
+		"trainDays":  w.Params.TrainDays,
+		"testDays":   w.Params.TestDays,
+		"gridCols":   w.Params.Grid.Cols,
+		"gridRows":   w.Params.Grid.Rows,
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,83 @@
+// Command tampserver runs the spatial crowdsourcing platform as an HTTP
+// service: requesters POST tasks, workers report locations and accept or
+// reject offers, and the platform runs prediction-aware batch assignment
+// every tick.
+//
+// Usage:
+//
+//	tampserver -addr :8080 -models bundle.json -tick 2s
+//	tampserver -addr :8080 -assigner KM -manual   # advance ticks via POST /api/tick
+//
+// Produce a model bundle with Predictors.SaveModels (see examples/adaptive)
+// or run without one: workers without models are forecast as stationary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/predict"
+	"github.com/spatialcrowd/tamp/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		models   = flag.String("models", "", "predictor bundle written by SaveModels (optional)")
+		assigner = flag.String("assigner", "PPI", "assignment algorithm: PPI, KM, LB, GGPSO")
+		tick     = flag.Duration("tick", 2*time.Second, "wall-clock duration of one platform tick")
+		manual   = flag.Bool("manual", false, "disable the background ticker; advance via POST /api/tick and /api/batch")
+	)
+	flag.Parse()
+
+	cfg := server.Config{Grid: geo.DefaultGrid}
+	switch *assigner {
+	case "PPI":
+		cfg.Assigner = assign.PPI{A: predict.DefaultMatchRadius}
+	case "KM":
+		cfg.Assigner = assign.KM{}
+	case "LB":
+		cfg.Assigner = assign.LB{}
+	case "GGPSO":
+		cfg.Assigner = assign.GGPSO{}
+	default:
+		fmt.Fprintf(os.Stderr, "tampserver: unknown assigner %q\n", *assigner)
+		os.Exit(2)
+	}
+	if *models != "" {
+		f, err := os.Open(*models)
+		if err != nil {
+			log.Fatalf("tampserver: %v", err)
+		}
+		loaded, err := predict.LoadModels(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("tampserver: %v", err)
+		}
+		cfg.Models = loaded
+		log.Printf("loaded %d worker models from %s", len(loaded), *models)
+	}
+
+	s := server.New(cfg)
+	if !*manual {
+		go func() {
+			ticker := time.NewTicker(*tick)
+			defer ticker.Stop()
+			for range ticker.C {
+				s.AdvanceTick()
+				s.RunBatch()
+			}
+		}()
+		log.Printf("background ticker: 1 tick per %v", *tick)
+	}
+	log.Printf("platform listening on %s (assigner %s)", *addr, *assigner)
+	if err := http.ListenAndServe(*addr, s); err != nil {
+		log.Fatalf("tampserver: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+// Command tampsim runs one end-to-end platform simulation: generate a
+// synthetic workload, train mobility predictors, and simulate the online
+// batch assignment stage with a chosen algorithm.
+//
+// Usage:
+//
+//	tampsim -workload 1 -assigner PPI -tasks 3000 -detour 6
+//	tampsim -workload 2 -assigner KM -loss mse -valid 3
+//	tampsim -workers-csv w.csv -tasks-csv t.csv    # externally supplied data
+//
+// The CSV formats are the ones cmd/tampgen writes; see internal/ingest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spatialcrowd/tamp"
+	"github.com/spatialcrowd/tamp/internal/ingest"
+)
+
+func main() {
+	var (
+		workload = flag.Int("workload", 1, "workload family: 1 (porto+didi) or 2 (gowalla+foursquare)")
+		assigner = flag.String("assigner", "PPI", "assignment algorithm: PPI, KM, UB, LB, GGPSO")
+		loss     = flag.String("loss", "weighted", "training loss: weighted (task-assignment-oriented) or mse")
+		alg      = flag.String("alg", tamp.AlgGTTAML, "prediction algorithm: MAML, CTML, GTTAML-GT, GTTAML")
+		workers  = flag.Int("workers", 30, "number of established workers")
+		tasks    = flag.Int("tasks", 1000, "number of test-horizon tasks")
+		detour   = flag.Float64("detour", 6, "worker detour budget d in km")
+		valid    = flag.Int("valid", 3, "task valid time lower bound, in 10-minute units")
+		iters    = flag.Int("iters", 20, "meta-training iterations")
+		seed     = flag.Int64("seed", 1, "workload and training seed")
+		wcsv     = flag.String("workers-csv", "", "load worker trajectories from a tampgen-format CSV instead of generating")
+		tcsv     = flag.String("tasks-csv", "", "load tasks from a tampgen-format CSV (requires -workers-csv)")
+	)
+	flag.Parse()
+
+	kind := tamp.Workload1
+	if *workload == 2 {
+		kind = tamp.Workload2
+	}
+	p := tamp.DefaultWorkloadParams(kind)
+	p.Seed = *seed
+	p.NumWorkers = *workers
+	p.NewWorkers = *workers / 10
+	p.NumTestTasks = *tasks
+	p.DetourKM = *detour
+	p.ValidMin = *valid
+	p.ValidMax = *valid + 1
+
+	var w *tamp.Workload
+	if *wcsv != "" {
+		if *tcsv == "" {
+			fmt.Fprintln(os.Stderr, "tampsim: -tasks-csv required with -workers-csv")
+			os.Exit(2)
+		}
+		var err error
+		w, err = loadWorkload(p, *wcsv, *tcsv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tampsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d workers and %d tasks from CSV\n", len(w.Workers), len(w.TestTasks))
+	} else {
+		fmt.Printf("generating %v: %d workers, %d tasks, d=%.1fkm, valid [%d,%d] units\n",
+			kind, p.NumWorkers+p.NewWorkers, p.NumTestTasks, p.DetourKM, p.ValidMin, p.ValidMax)
+		w = tamp.GenerateWorkload(p)
+	}
+
+	fmt.Printf("training %s predictors (%s loss, %d iters)...\n", *alg, *loss, *iters)
+	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+		Algorithm:    *alg,
+		WeightedLoss: *loss == "weighted",
+		MetaIters:    *iters,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tampsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("prediction quality: RMSE %.4f  MAE %.4f  MR %.4f  (train %v)\n",
+		pred.Eval.RMSE, pred.Eval.MAE, pred.Eval.MR, pred.TrainTime.Round(1e6))
+
+	var a tamp.Assigner
+	switch *assigner {
+	case "PPI":
+		a = tamp.NewPPI()
+	case "KM":
+		a = tamp.NewKM()
+	case "UB":
+		a = tamp.NewUB()
+	case "LB":
+		a = tamp.NewLB()
+	case "GGPSO":
+		a = tamp.NewGGPSO(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tampsim: unknown assigner %q\n", *assigner)
+		os.Exit(2)
+	}
+
+	fmt.Printf("simulating online assignment with %s...\n", a.Name())
+	m := tamp.Simulate(w, pred, a)
+	fmt.Println()
+	fmt.Printf("tasks arrived:     %d\n", m.TotalTasks)
+	fmt.Printf("assignments |M|:   %d\n", m.Assigned)
+	fmt.Printf("accepted |M'|:     %d\n", m.Accepted)
+	fmt.Printf("completion rate:   %.4f\n", m.CompletionRate())
+	fmt.Printf("rejection rate:    %.4f\n", m.RejectionRate())
+	fmt.Printf("avg worker cost:   %.4f km\n", m.AvgCostKM())
+	fmt.Printf("assignment time:   %v\n", m.AssignTime.Round(1e6))
+}
+
+// loadWorkload assembles a workload from tampgen-format CSV files.
+func loadWorkload(p tamp.WorkloadParams, workersPath, tasksPath string) (*tamp.Workload, error) {
+	wf, err := os.Open(workersPath)
+	if err != nil {
+		return nil, err
+	}
+	defer wf.Close()
+	workers, err := ingest.LoadWorkersCSV(wf)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := os.Open(tasksPath)
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	tasks, err := ingest.LoadTasksCSV(tf)
+	if err != nil {
+		return nil, err
+	}
+	return ingest.BuildWorkload(p, workers, tasks, nil, nil), nil
+}

@@ -1,0 +1,42 @@
+package tamp_test
+
+import (
+	"fmt"
+
+	"github.com/spatialcrowd/tamp"
+)
+
+// Example runs the whole pipeline at toy scale: generate a workload, train
+// predictors, and simulate batch assignment with PPI. Metric values depend
+// on training, so the example prints only structural facts.
+func Example() {
+	p := tamp.DefaultWorkloadParams(tamp.Workload1)
+	p.NumWorkers = 6
+	p.NewWorkers = 0
+	p.TrainDays = 2
+	p.TestDays = 1
+	p.TicksPerDay = 40
+	p.NumTestTasks = 60
+	w := tamp.GenerateWorkload(p)
+
+	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{MetaIters: 2, Hidden: 4, Seed: 1})
+	if err != nil {
+		fmt.Println("train failed:", err)
+		return
+	}
+	m := tamp.Simulate(w, pred, tamp.NewPPI())
+	fmt.Println("models:", len(pred.Models))
+	fmt.Println("tasks:", m.TotalTasks)
+	fmt.Println("accounting ok:", m.Accepted <= m.Assigned && m.Accepted <= m.TotalTasks)
+	// Output:
+	// models: 6
+	// tasks: 60
+	// accounting ok: true
+}
+
+// ExampleKMToCells documents the distance convention: one grid cell spans
+// 0.2 km, so the paper's default 6 km detour budget is 30 cells.
+func ExampleKMToCells() {
+	fmt.Println(tamp.KMToCells(6))
+	// Output: 30
+}

@@ -1,0 +1,63 @@
+// Coldstart: the paper's Challenge I in action. A newly arrived worker has
+// a single short history on the platform. Training a personal model from
+// scratch on that sliver of data is hopeless; GTTAML instead places the
+// newcomer's learning task on the trained learning-task tree (post-order
+// most-similar node) and adapts from that node's initialization, reaching
+// useful accuracy after the same handful of gradient steps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/spatialcrowd/tamp"
+)
+
+func main() {
+	p := tamp.DefaultWorkloadParams(tamp.Workload1)
+	p.NumWorkers = 20
+	p.NewWorkers = 4 // cold-start arrivals with one on-boarding day
+	p.TrainDays = 4
+	p.TestDays = 1
+	p.NumTestTasks = 200
+	p.Seed = 5
+	w := tamp.GenerateWorkload(p)
+
+	fmt.Println("meta-training on 20 established workers (GTTAML)...")
+	withTree, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+		MetaIters: 15,
+		Seed:      5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline for comparison: plain MAML initialization — no clustering,
+	// so newcomers adapt from a generic shared start.
+	opts := tamp.TrainOptions{MetaIters: 15, Seed: 5}
+	opts.Algorithm = tamp.AlgMAML
+	mamlPred, err := tamp.TrainPredictors(w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncold-start workers (one on-boarding day each):")
+	fmt.Println("worker  GTTAML-RMSE  MAML-RMSE   (test-day, grid cells)")
+	var better int
+	for i := range w.Workers {
+		wk := &w.Workers[i]
+		if !wk.New {
+			continue
+		}
+		g := withTree.Models[wk.ID].EvaluateOnRoutine(wk.TestDays[0], 1.5)
+		m := mamlPred.Models[wk.ID].EvaluateOnRoutine(wk.TestDays[0], 1.5)
+		marker := ""
+		if g.RMSE < m.RMSE {
+			better++
+			marker = "  <- tree placement wins"
+		}
+		fmt.Printf("w%-5d  %-11.3f  %-9.3f%s\n", wk.ID, g.RMSE, m.RMSE, marker)
+	}
+	fmt.Printf("\nGTTAML's tree placement beat the generic MAML start on %d/4 newcomers.\n", better)
+	fmt.Println("(Newcomers inherit the initialization of the most similar worker cluster.)")
+}

@@ -1,0 +1,63 @@
+// Delivery: a food-delivery style dispatch scenario exercising deadline
+// pressure and cross-batch task carry-over. Short task validity windows
+// force the platform to assign quickly; tasks rejected by workers return to
+// the pool and are retried until they expire. The example contrasts tight
+// and generous deadlines under the same fleet.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/spatialcrowd/tamp"
+)
+
+func run(validUnits int, pred *tamp.Predictors, seed int64) tamp.Metrics {
+	p := baseParams(seed)
+	p.ValidMin = validUnits
+	p.ValidMax = validUnits + 1
+	w := tamp.GenerateWorkload(p)
+	return tamp.Simulate(w, pred, tamp.NewPPI())
+}
+
+func baseParams(seed int64) tamp.WorkloadParams {
+	p := tamp.DefaultWorkloadParams(tamp.Workload1)
+	p.NumWorkers = 16
+	p.NewWorkers = 0
+	p.TrainDays = 3
+	p.TestDays = 1
+	p.NumTestTasks = 500
+	p.Seed = seed
+	return p
+}
+
+func main() {
+	const seed = 11
+	// Train once (offline stage); the deadline sweep only changes the
+	// online task stream, not the workers' mobility.
+	train := tamp.GenerateWorkload(baseParams(seed))
+	fmt.Println("training courier mobility models...")
+	pred, err := tamp.TrainPredictors(train, tamp.TrainOptions{
+		WeightedLoss: true,
+		MetaIters:    12,
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ndeadline pressure sweep (PPI dispatch):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "valid time\tcompletion\trejection\tcost(km)\tassignments |M|")
+	for _, valid := range []int{1, 3, 5} {
+		m := run(valid, pred, seed)
+		fmt.Fprintf(tw, "[%d,%d] units\t%.3f\t%.3f\t%.3f\t%d\n",
+			valid, valid+1, m.CompletionRate(), m.RejectionRate(), m.AvgCostKM(), m.Assigned)
+	}
+	tw.Flush()
+	fmt.Println("\nLonger validity windows give rejected orders more retry batches:")
+	fmt.Println("completion rises, rejection falls, and couriers can wait for")
+	fmt.Println("closer en-route matches instead of accepting expensive detours.")
+}

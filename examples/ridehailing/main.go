@@ -1,0 +1,53 @@
+// Ridehailing: the scenario motivating the paper's introduction — check-in
+// style tasks (ride pickups) assigned to taxi-like workers moving through a
+// city. Compares every assignment algorithm on the same workload and shows
+// why prediction-aware assignment (PPI) approaches the oracle (UB) while
+// the location-only baseline (LB) lags.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/spatialcrowd/tamp"
+)
+
+func main() {
+	p := tamp.DefaultWorkloadParams(tamp.Workload1)
+	p.NumWorkers = 20
+	p.NewWorkers = 2
+	p.TrainDays = 3
+	p.TestDays = 1
+	p.NumTestTasks = 300
+	p.DetourKM = 6
+	p.Seed = 7
+	w := tamp.GenerateWorkload(p)
+
+	fmt.Println("training GTTAML predictors (task-assignment-oriented loss)...")
+	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+		WeightedLoss: true,
+		MetaIters:    15,
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prediction: RMSE %.3f, MR %.3f\n\n", pred.Eval.RMSE, pred.Eval.MR)
+
+	assigners := []tamp.Assigner{
+		tamp.NewUB(), tamp.NewPPI(), tamp.NewKM(), tamp.NewGGPSO(7), tamp.NewLB(),
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tcompletion\trejection\tcost(km)\ttime")
+	for _, a := range assigners {
+		m := tamp.Simulate(w, pred, a)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%v\n",
+			a.Name(), m.CompletionRate(), m.RejectionRate(), m.AvgCostKM(),
+			m.AssignTime.Round(1e6))
+	}
+	tw.Flush()
+	fmt.Println("\nUB assigns on true trajectories (rejection 0 by construction);")
+	fmt.Println("PPI prioritizes high-confidence pairs and should sit closest to UB.")
+}

@@ -1,0 +1,3 @@
+module github.com/spatialcrowd/tamp
+
+go 1.22

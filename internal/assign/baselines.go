@@ -1,0 +1,261 @@
+package assign
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// KM is the plain prediction-based baseline: build the bipartite graph the
+// way PPI's third stage does (every pair whose predicted-trajectory minimum
+// distance satisfies the detour and deadline caps) and solve one global
+// maximum-weight matching.
+type KM struct{}
+
+// Name implements Assigner.
+func (KM) Name() string { return "KM" }
+
+// Assign implements Assigner.
+func (KM) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	return matchByPath(tasks, workers, tick)
+}
+
+// UB is the oracle upper bound: it checks the exact acceptance predicate
+// (ServeDist) against the workers' true timed trajectories, so every
+// assignment it makes is accepted and its rejection rate is 0 by
+// construction.
+type UB struct{}
+
+// Name implements Assigner.
+func (UB) Name() string { return "UB" }
+
+// Assign implements Assigner.
+func (UB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	var edges []Edge
+	for ti := range tasks {
+		for wi := range workers {
+			if tasks[ti].ExcludedWorker(workers[wi].ID) {
+				continue
+			}
+			d := ServeDist(&workers[wi], &tasks[ti], tick)
+			if d >= 0 {
+				edges = append(edges, Edge{Task: ti, Worker: wi, Weight: pairWeight(2 * d)})
+			}
+		}
+	}
+	return MaxWeightMatching(edges)
+}
+
+// matchByPath builds edges from predicted-trajectory-to-task distances
+// under the Theorem-2 feasibility cap and solves one KM matching.
+func matchByPath(tasks []Task, workers []Worker, tick int) []Pair {
+	var edges []Edge
+	for ti := range tasks {
+		for wi := range workers {
+			w := &workers[wi]
+			if tasks[ti].ExcludedWorker(w.ID) {
+				continue
+			}
+			dmin := minDistTo(w.Predicted, tasks[ti].Loc)
+			if dmin < 0 {
+				continue
+			}
+			if dmin <= reachCap(w, &tasks[ti], tick) {
+				edges = append(edges, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+			}
+		}
+	}
+	return MaxWeightMatching(edges)
+}
+
+// LB is the lower bound: the bipartite graph is generated only from each
+// worker's current location, ignoring mobility entirely.
+type LB struct{}
+
+// Name implements Assigner.
+func (LB) Name() string { return "LB" }
+
+// Assign implements Assigner.
+func (LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	var edges []Edge
+	for ti := range tasks {
+		for wi := range workers {
+			w := &workers[wi]
+			if tasks[ti].ExcludedWorker(w.ID) {
+				continue
+			}
+			d := w.Loc.Dist(tasks[ti].Loc)
+			if d <= reachCap(w, &tasks[ti], tick) {
+				edges = append(edges, Edge{Task: ti, Worker: wi, Weight: pairWeight(d)})
+			}
+		}
+	}
+	return MaxWeightMatching(edges)
+}
+
+// GGPSO is the genetic task assignment baseline of Zhang & Zhang [11]: it
+// searches the space of assignment plans with iterative crossover, mutation,
+// and selection over the prediction-feasible candidate edges.
+type GGPSO struct {
+	// Population is the number of chromosomes (default 40).
+	Population int
+	// Generations is the number of evolution rounds (default 60).
+	Generations int
+	// MutationRate is the per-gene mutation probability (default 0.1).
+	MutationRate float64
+	// Seed drives the random search; the zero seed is valid.
+	Seed int64
+}
+
+// Name implements Assigner.
+func (GGPSO) Name() string { return "GGPSO" }
+
+// chromosome maps each task index to a worker index (-1 = unassigned).
+type chromosome []int
+
+// Assign implements Assigner.
+func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	pop := g.Population
+	if pop <= 0 {
+		pop = 40
+	}
+	gens := g.Generations
+	if gens <= 0 {
+		gens = 60
+	}
+	mut := g.MutationRate
+	if mut <= 0 {
+		mut = 0.1
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 1))
+
+	// Candidate workers (with weights) per task, from the same
+	// prediction-feasibility graph the KM baseline uses.
+	cands := make([][]Edge, len(tasks))
+	for ti := range tasks {
+		for wi := range workers {
+			w := &workers[wi]
+			if tasks[ti].ExcludedWorker(w.ID) {
+				continue
+			}
+			dmin := minDistTo(w.Predicted, tasks[ti].Loc)
+			if dmin < 0 {
+				continue
+			}
+			if dmin <= reachCap(w, &tasks[ti], tick) {
+				cands[ti] = append(cands[ti], Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+			}
+		}
+	}
+
+	newChrom := func() chromosome {
+		c := make(chromosome, len(tasks))
+		used := make([]bool, len(workers))
+		for _, ti := range rng.Perm(len(tasks)) {
+			c[ti] = -1
+			if len(cands[ti]) == 0 {
+				continue
+			}
+			e := cands[ti][rng.Intn(len(cands[ti]))]
+			if !used[e.Worker] {
+				c[ti] = e.Worker
+				used[e.Worker] = true
+			}
+		}
+		return c
+	}
+	fitness := func(c chromosome) float64 {
+		var f float64
+		for ti, wi := range c {
+			if wi < 0 {
+				continue
+			}
+			for _, e := range cands[ti] {
+				if e.Worker == wi {
+					f += e.Weight
+					break
+				}
+			}
+		}
+		return f
+	}
+	repair := func(c chromosome) {
+		used := make([]bool, len(workers))
+		for ti, wi := range c {
+			if wi < 0 {
+				continue
+			}
+			if used[wi] {
+				c[ti] = -1
+				continue
+			}
+			used[wi] = true
+		}
+	}
+
+	popn := make([]chromosome, pop)
+	fits := make([]float64, pop)
+	for i := range popn {
+		popn[i] = newChrom()
+		fits[i] = fitness(popn[i])
+	}
+	best := append(chromosome(nil), popn[0]...)
+	bestFit := fits[0]
+
+	for gen := 0; gen < gens; gen++ {
+		next := make([]chromosome, 0, pop)
+		for len(next) < pop {
+			// Tournament selection of two parents.
+			pa := tournament(rng, fits)
+			pb := tournament(rng, fits)
+			child := make(chromosome, len(tasks))
+			for ti := range child {
+				if rng.Intn(2) == 0 {
+					child[ti] = popn[pa][ti]
+				} else {
+					child[ti] = popn[pb][ti]
+				}
+				// Mutation: re-draw from the candidate list or drop.
+				if rng.Float64() < mut {
+					if len(cands[ti]) > 0 && rng.Float64() < 0.8 {
+						child[ti] = cands[ti][rng.Intn(len(cands[ti]))].Worker
+					} else {
+						child[ti] = -1
+					}
+				}
+			}
+			repair(child)
+			next = append(next, child)
+		}
+		popn = next
+		for i := range popn {
+			fits[i] = fitness(popn[i])
+			if fits[i] > bestFit {
+				bestFit = fits[i]
+				best = append(best[:0], popn[i]...)
+			}
+		}
+	}
+
+	var out []Pair
+	for ti, wi := range best {
+		if wi < 0 {
+			continue
+		}
+		for _, e := range cands[ti] {
+			if e.Worker == wi {
+				out = append(out, Pair{Task: ti, Worker: wi, Weight: e.Weight})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Task < out[b].Task })
+	return out
+}
+
+func tournament(rng *rand.Rand, fits []float64) int {
+	a, b := rng.Intn(len(fits)), rng.Intn(len(fits))
+	if fits[a] >= fits[b] {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package assign
+
+import (
+	"sort"
+)
+
+// PPI is the Prediction Performance-Involved task assignment algorithm
+// (Algorithm 4). It stages the matching by the expected completion
+// probability derived from each worker's matching rate (Theorem 2):
+//
+//  1. pairs whose confidence |B|·MR reaches 1 are matched first by KM;
+//  2. the remaining confident pairs are matched in descending |B|·MR order,
+//     in KM batches of ε;
+//  3. leftover tasks and workers fall back to a plain prediction-based KM.
+type PPI struct {
+	// A is the matching-rate distance threshold a of Def. 7, in cells:
+	// predicted and true locations within A count as matched, and Theorem 2
+	// requires dis(l̂, τ.l) + a ≤ min(d/2, d^t) for a confident pair.
+	A float64
+	// Epsilon is ε, the KM batch size of the second stage. Values ≤ 0
+	// default to 8.
+	Epsilon int
+}
+
+// Name implements Assigner.
+func (p PPI) Name() string { return "PPI" }
+
+// candidate records one (B, τ, w) entry of Algorithm 4's first stage.
+type candidate struct {
+	task, worker int     // indexes into the slices
+	minB         float64 // min distance in B
+	conf         float64 // |B|·MR
+}
+
+// Assign implements Assigner.
+func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	eps := p.Epsilon
+	if eps <= 0 {
+		eps = 8
+	}
+
+	// Stage 1 (lines 1–12): collect B for every combination; pairs with
+	// |B|·MR ≥ 1 go straight to the first KM; the rest are kept in 𝓑.
+	var confident []Edge
+	var pending []candidate
+	for ti := range tasks {
+		for wi := range workers {
+			w := &workers[wi]
+			if tasks[ti].ExcludedWorker(w.ID) {
+				continue
+			}
+			cap := reachCap(w, &tasks[ti], tick)
+			var bCount int
+			minB := -1.0
+			for _, lhat := range w.Predicted {
+				d := lhat.Dist(tasks[ti].Loc)
+				if d+p.A <= cap {
+					bCount++
+					if minB < 0 || d < minB {
+						minB = d
+					}
+				}
+			}
+			if bCount == 0 {
+				continue
+			}
+			conf := float64(bCount) * w.MR
+			if conf >= 1 {
+				confident = append(confident, Edge{Task: ti, Worker: wi, Weight: pairWeight(minB)})
+			} else {
+				pending = append(pending, candidate{task: ti, worker: wi, minB: minB, conf: conf})
+			}
+		}
+	}
+	result := MaxWeightMatching(confident)
+	assignedT := map[int]bool{}
+	assignedW := map[int]bool{}
+	for _, m := range result {
+		assignedT[m.Task] = true
+		assignedW[m.Worker] = true
+	}
+
+	// Stage 2 (lines 13–27): traverse 𝓑 in descending |B|·MR, batching ε
+	// candidates per KM call; after each call, drop everything touching the
+	// matched tasks and workers.
+	sort.Slice(pending, func(a, b int) bool { return pending[a].conf > pending[b].conf })
+	var batch []Edge
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		mf := MaxWeightMatching(batch)
+		for _, m := range mf {
+			result = append(result, m)
+			assignedT[m.Task] = true
+			assignedW[m.Worker] = true
+		}
+		batch = batch[:0]
+	}
+	for _, c := range pending {
+		if assignedT[c.task] || assignedW[c.worker] {
+			continue
+		}
+		batch = append(batch, Edge{Task: c.task, Worker: c.worker, Weight: pairWeight(c.minB)})
+		if len(batch) == eps {
+			flush()
+		}
+	}
+	flush()
+
+	// Stage 3 (lines 28–34): remaining tasks and workers matched on the
+	// plain prediction-feasibility graph.
+	var rest []Edge
+	for ti := range tasks {
+		if assignedT[ti] {
+			continue
+		}
+		for wi := range workers {
+			if assignedW[wi] {
+				continue
+			}
+			w := &workers[wi]
+			if tasks[ti].ExcludedWorker(w.ID) {
+				continue
+			}
+			dmin := minDistTo(w.Predicted, tasks[ti].Loc)
+			if dmin < 0 {
+				continue
+			}
+			if dmin <= reachCap(w, &tasks[ti], tick) {
+				rest = append(rest, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+			}
+		}
+	}
+	for _, m := range MaxWeightMatching(rest) {
+		result = append(result, m)
+	}
+	return result
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/sim"
+)
+
+// Silhouette computes the mean silhouette coefficient of a clustering under
+// a similarity matrix (dissimilarity taken as 1−sim). Values near 1 mean
+// tight, well-separated clusters; near 0, overlapping ones; negative,
+// misassigned items. Singleton clusters contribute 0, matching the common
+// convention. An empty clustering yields 0.
+func Silhouette(m *sim.Matrix, clusters [][]int) float64 {
+	where := map[int]int{}
+	for ci, g := range clusters {
+		for _, it := range g {
+			where[it] = ci
+		}
+	}
+	var sum float64
+	var n int
+	for ci, g := range clusters {
+		for _, it := range g {
+			n++
+			if len(g) == 1 {
+				continue // silhouette of a singleton is defined as 0
+			}
+			// a: mean dissimilarity to own cluster.
+			var a float64
+			for _, other := range g {
+				if other != it {
+					a += 1 - m.At(it, other)
+				}
+			}
+			a /= float64(len(g) - 1)
+			// b: min over other clusters of mean dissimilarity.
+			b := -1.0
+			for cj, h := range clusters {
+				if cj == ci || len(h) == 0 {
+					continue
+				}
+				var d float64
+				for _, other := range h {
+					d += 1 - m.At(it, other)
+				}
+				d /= float64(len(h))
+				if b < 0 || d < b {
+					b = d
+				}
+			}
+			if b < 0 {
+				continue // single cluster overall
+			}
+			den := a
+			if b > den {
+				den = b
+			}
+			if den > 0 {
+				sum += (b - a) / den
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ChooseK selects the number of clusters in [kMin, kMax] that maximizes the
+// silhouette of a k-medoids clustering under m, breaking ties toward the
+// smaller k. It is a practical helper for workloads whose archetype count
+// is unknown (the paper fixes k; real deployments rarely can).
+func ChooseK(m *sim.Matrix, items []int, kMin, kMax int, rng *rand.Rand) (bestK int, bestScore float64) {
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMax < kMin {
+		kMax = kMin
+	}
+	if kMax > len(items) {
+		kMax = len(items)
+	}
+	bestK = kMin
+	bestScore = -2
+	for k := kMin; k <= kMax; k++ {
+		clusters := KMedoids(m, items, k, rng)
+		if s := Silhouette(m, clusters); s > bestScore {
+			bestScore, bestK = s, k
+		}
+	}
+	return bestK, bestScore
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/sim"
+)
+
+func TestSilhouetteSeparatedBlocks(t *testing.T) {
+	m, truth := blockMatrix(3, 6, 51)
+	// Truth clustering scores high.
+	var good [][]int
+	for b := 0; b < 3; b++ {
+		var g []int
+		for i, tb := range truth {
+			if tb == b {
+				g = append(g, i)
+			}
+		}
+		good = append(good, g)
+	}
+	sGood := Silhouette(m, good)
+	if sGood < 0.6 {
+		t.Errorf("truth silhouette = %v, want high", sGood)
+	}
+	// A random split scores clearly lower.
+	rng := rand.New(rand.NewSource(3))
+	bad := make([][]int, 3)
+	for i := range truth {
+		c := rng.Intn(3)
+		bad[c] = append(bad[c], i)
+	}
+	if sBad := Silhouette(m, bad); sBad >= sGood {
+		t.Errorf("random silhouette %v >= truth %v", sBad, sGood)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	m, _ := blockMatrix(1, 4, 53)
+	if got := Silhouette(m, nil); got != 0 {
+		t.Errorf("empty clustering silhouette = %v", got)
+	}
+	// One big cluster: no b term, silhouette 0.
+	if got := Silhouette(m, [][]int{allItems(4)}); got != 0 {
+		t.Errorf("single cluster silhouette = %v", got)
+	}
+	// All singletons: defined as 0.
+	if got := Silhouette(m, [][]int{{0}, {1}, {2}, {3}}); got != 0 {
+		t.Errorf("singleton silhouette = %v", got)
+	}
+}
+
+func TestSilhouetteBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(10) + 4
+		m := sim.NewMatrix(n, func(i, j int) float64 { return rng.Float64() })
+		k := rng.Intn(3) + 2
+		clusters := KMedoids(m, allItems(n), k, rng)
+		s := Silhouette(m, clusters)
+		if math.IsNaN(s) || s < -1-1e-9 || s > 1+1e-9 {
+			t.Fatalf("silhouette out of range: %v", s)
+		}
+	}
+}
+
+func TestChooseKRecoversBlockCount(t *testing.T) {
+	m, _ := blockMatrix(4, 8, 57)
+	rng := rand.New(rand.NewSource(5))
+	k, score := ChooseK(m, allItems(32), 2, 8, rng)
+	if k != 4 {
+		t.Errorf("ChooseK = %d (score %v), want 4", k, score)
+	}
+	if score < 0.5 {
+		t.Errorf("best score = %v, want high", score)
+	}
+}
+
+func TestChooseKClamps(t *testing.T) {
+	m, _ := blockMatrix(2, 3, 59)
+	rng := rand.New(rand.NewSource(1))
+	k, _ := ChooseK(m, allItems(6), 0, 100, rng)
+	if k < 2 || k > 6 {
+		t.Errorf("k = %d outside clamped range", k)
+	}
+}

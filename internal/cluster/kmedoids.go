@@ -1,0 +1,131 @@
+// Package cluster implements the clustering machinery behind GTMC
+// (Algorithm 1): k-medoids initialization, the best-response potential-game
+// refinement that reaches a Nash equilibrium (Theorem 1), the multi-level
+// learning-task tree (Def. 6), and the soft k-means used by the CTML
+// baseline.
+//
+// All hard-clustering routines operate on item indexes against a
+// pre-computed pairwise similarity matrix (higher = more similar); the
+// paper's k-medoids distance 1/Sim corresponds to assigning each item to its
+// maximum-similarity medoid.
+package cluster
+
+import (
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/sim"
+)
+
+// KMedoids partitions items into at most k clusters using a PAM-style
+// alternation: assign every item to its most similar medoid, then move each
+// medoid to the member maximizing total within-cluster similarity. It is the
+// initialization step of GTMC (Algorithm 1, line 5) and, run on its own, the
+// plain "k-means" multi-level baseline of the Table IV ablation.
+//
+// The returned clusters are non-empty and cover items exactly. If k exceeds
+// the number of items, each item forms its own cluster.
+func KMedoids(m *sim.Matrix, items []int, k int, rng *rand.Rand) [][]int {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k >= n {
+		out := make([][]int, n)
+		for i, it := range items {
+			out[i] = []int{it}
+		}
+		return out
+	}
+	// Greedy max-min seeding (deterministic given rng): first medoid random,
+	// each next medoid is the item least similar to its closest medoid.
+	medoids := make([]int, 0, k)
+	medoids = append(medoids, items[rng.Intn(n)])
+	for len(medoids) < k {
+		best, bestScore := -1, 2.0
+		for _, it := range items {
+			if containsInt(medoids, it) {
+				continue
+			}
+			closest := -1.0
+			for _, md := range medoids {
+				if s := m.At(it, md); s > closest {
+					closest = s
+				}
+			}
+			if closest < bestScore {
+				bestScore, best = closest, it
+			}
+		}
+		if best < 0 {
+			break
+		}
+		medoids = append(medoids, best)
+	}
+
+	assign := make(map[int]int, n) // item -> medoid slot
+	const maxIters = 50
+	for iter := 0; iter < maxIters; iter++ {
+		// Assignment step.
+		changed := false
+		for _, it := range items {
+			best, bestSim := 0, -1.0
+			for s, md := range medoids {
+				if v := m.At(it, md); v > bestSim {
+					bestSim, best = v, s
+				}
+			}
+			if assign[it] != best {
+				assign[it] = best
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Update step: medoid = member with max total similarity to peers.
+		groups := make([][]int, len(medoids))
+		for _, it := range items {
+			groups[assign[it]] = append(groups[assign[it]], it)
+		}
+		for s, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			best, bestSum := g[0], -1.0
+			for _, cand := range g {
+				var sum float64
+				for _, other := range g {
+					sum += m.At(cand, other)
+				}
+				if sum > bestSum {
+					bestSum, best = sum, cand
+				}
+			}
+			medoids[s] = best
+		}
+	}
+
+	groups := make([][]int, len(medoids))
+	for _, it := range items {
+		groups[assign[it]] = append(groups[assign[it]], it)
+	}
+	var out [][]int
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/nn"
+)
+
+// SoftKMeans clusters real-valued feature vectors with soft assignments,
+// as the CTML baseline [41] does over input-data features concatenated with
+// parameter-update learning paths. beta is the inverse temperature of the
+// softmax responsibilities (larger = harder assignments).
+//
+// It returns the hard argmax assignment per item and the final centroids.
+// Empty input yields (nil, nil). k is clamped to [1, len(x)].
+func SoftKMeans(x []nn.Vector, k int, beta float64, iters int, rng *rand.Rand) (assign []int, centers []nn.Vector) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	if beta <= 0 {
+		beta = 2
+	}
+	dim := len(x[0])
+
+	// Seed centroids with distinct random items.
+	perm := rng.Perm(n)
+	centers = make([]nn.Vector, k)
+	for c := 0; c < k; c++ {
+		centers[c] = x[perm[c]].Clone()
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	for it := 0; it < iters; it++ {
+		// E-step: responsibilities ∝ exp(−β·‖x − μ_c‖²).
+		for i, xi := range x {
+			maxNegD := math.Inf(-1)
+			negD := resp[i]
+			for c := range centers {
+				d2 := sqDist(xi, centers[c])
+				negD[c] = -beta * d2
+				if negD[c] > maxNegD {
+					maxNegD = negD[c]
+				}
+			}
+			var z float64
+			for c := range negD {
+				negD[c] = math.Exp(negD[c] - maxNegD)
+				z += negD[c]
+			}
+			for c := range negD {
+				negD[c] /= z
+			}
+		}
+		// M-step: centroids = responsibility-weighted means.
+		for c := range centers {
+			acc := nn.NewVector(dim)
+			var w float64
+			for i, xi := range x {
+				r := resp[i][c]
+				acc.Axpy(r, xi)
+				w += r
+			}
+			if w > 1e-12 {
+				acc.Scale(1 / w)
+				centers[c] = acc
+			}
+		}
+	}
+
+	assign = make([]int, n)
+	for i := range x {
+		best, bestR := 0, -1.0
+		for c := range centers {
+			if resp[i][c] > bestR {
+				bestR, best = resp[i][c], c
+			}
+		}
+		assign[i] = best
+	}
+	return assign, centers
+}
+
+func sqDist(a, b nn.Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Groups converts a hard assignment vector into index groups, dropping
+// empty clusters.
+func Groups(assign []int, k int) [][]int {
+	gs := make([][]int, k)
+	for i, c := range assign {
+		if c >= 0 && c < k {
+			gs[c] = append(gs[c], i)
+		}
+	}
+	var out [][]int
+	for _, g := range gs {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+// Package dataset generates the seeded synthetic workloads that stand in
+// for the paper's real datasets (see DESIGN.md §2 for the substitution
+// rationale):
+//
+//   - Workload 1 ("porto-like"): taxi-style workers with dense continuous
+//     routines driven by per-archetype movement patterns, plus ride-hailing
+//     tasks arriving at spatial hotspots (Porto + Didi).
+//   - Workload 2 ("gowalla-like"): check-in-style workers that dwell at
+//     venues and hop between them, with tasks drawn near the same venue set
+//     so worker and task distributions are deliberately similar
+//     (Gowalla + Foursquare).
+//
+// Every quantity is produced deterministically from Params.Seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// Kind selects the workload family.
+type Kind int
+
+// The two experimental workloads of Table II.
+const (
+	Workload1 Kind = iota + 1 // Porto workers + Didi tasks analogue
+	Workload2                 // Gowalla workers + Foursquare tasks analogue
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Workload1:
+		return "workload1(porto+didi)"
+	case Workload2:
+		return "workload2(gowalla+foursquare)"
+	default:
+		return fmt.Sprintf("workload(%d)", int(k))
+	}
+}
+
+// Params configures workload generation. Zero values are filled with the
+// defaults of Defaults().
+type Params struct {
+	Kind Kind
+	Grid geo.Grid
+	Seed int64
+
+	NumWorkers  int
+	NewWorkers  int // workers that appear only in the test horizon (cold start)
+	TrainDays   int
+	TestDays    int
+	TicksPerDay int
+
+	// NumTestTasks is the number of spatial tasks arriving during the test
+	// horizon (the paper sweeps 1K–5K); train-horizon historical tasks are
+	// generated at the same daily rate.
+	NumTestTasks int
+
+	// ValidMin/ValidMax bound each task's validity period in the paper's
+	// 10-minute time units (Table III sweeps [1,2]..[5,6]).
+	ValidMin, ValidMax int
+
+	// DetourKM is the worker detour budget d in kilometres.
+	DetourKM float64
+
+	// NumHotspots controls the spatial skew of task arrivals.
+	NumHotspots int
+	// NumPOIs is the size of the synthetic city POI map.
+	NumPOIs int
+}
+
+// Defaults returns the default experimental setting of Table III scaled to
+// laptop size: 60 workers over 8 train + 2 test days, 3K test tasks,
+// valid time [3,4] units, detour 6 km.
+func Defaults(kind Kind) Params {
+	return Params{
+		Kind:         kind,
+		Grid:         geo.DefaultGrid,
+		Seed:         1,
+		NumWorkers:   60,
+		NewWorkers:   6,
+		TrainDays:    8,
+		TestDays:     2,
+		TicksPerDay:  120,
+		NumTestTasks: 3000,
+		ValidMin:     3,
+		ValidMax:     4,
+		DetourKM:     6,
+		NumHotspots:  6,
+		NumPOIs:      300,
+	}
+}
+
+// Worker is one synthetic crowd worker with per-day routines split into the
+// train and test horizons. Test-day routines are the ground truth the
+// platform never sees in advance.
+type Worker struct {
+	ID        int
+	Archetype int
+	Detour    float64 // cells
+	Speed     float64 // cells per tick
+	Anchors   []geo.Point
+	TrainDays []traj.Routine
+	TestDays  []traj.Routine
+	// New marks cold-start workers that have no train-horizon history on
+	// the platform (their TrainDays hold only the short on-boarding sample
+	// used for few-shot adaptation).
+	New bool
+}
+
+// Workload bundles everything an experiment consumes.
+type Workload struct {
+	Params   Params
+	Workers  []Worker
+	POIs     []geo.POI
+	Hotspots []geo.Point
+	// HistTasks are the train-horizon historical task locations that feed
+	// the task-assignment-oriented loss (𝒯 of Eq. 7).
+	HistTasks []geo.Point
+	// TestTasks arrive during the test horizon, ordered by arrival tick.
+	TestTasks []assign.Task
+}
+
+// archetype describes one mobility pattern family shared by a subset of
+// workers, giving the clustering algorithms real structure to find.
+type archetype struct {
+	name     string
+	speed    float64 // cells/tick
+	nAnchors int
+	spread   float64 // anchor scatter around the district centre, cells
+	noise    float64 // per-tick positional noise, cells
+	dwell    int     // ticks spent at an anchor before moving on
+}
+
+func archetypes(kind Kind) []archetype {
+	if kind == Workload2 {
+		// Check-in style: long dwells, slower transitions, tight venues.
+		return []archetype{
+			{name: "homebody", speed: 0.8, nAnchors: 2, spread: 5, noise: 0.12, dwell: 18},
+			{name: "socialite", speed: 1.0, nAnchors: 4, spread: 7, noise: 0.12, dwell: 12},
+			{name: "explorer", speed: 1.4, nAnchors: 5, spread: 10, noise: 0.15, dwell: 8},
+			{name: "regular", speed: 0.9, nAnchors: 3, spread: 6, noise: 0.12, dwell: 15},
+		}
+	}
+	// Taxi style: fast continuous movement (≈5 cells per 2-minute tick is
+	// ~30 km/h), short stops, wide coverage. Speed is what separates the
+	// location-only LB baseline from prediction-aware assignment: a fast
+	// worker's current location goes stale within a batch or two.
+	return []archetype{
+		{name: "commuter", speed: 3.5, nAnchors: 3, spread: 8, noise: 0.35, dwell: 4},
+		{name: "courier", speed: 6.0, nAnchors: 6, spread: 12, noise: 0.45, dwell: 1},
+		{name: "roamer", speed: 4.5, nAnchors: 5, spread: 15, noise: 0.50, dwell: 2},
+		{name: "local", speed: 2.5, nAnchors: 4, spread: 6, noise: 0.30, dwell: 3},
+	}
+}
+
+// Generate builds the workload deterministically from p.Seed.
+func Generate(p Params) *Workload {
+	if p.Grid.Cols == 0 {
+		p.Grid = geo.DefaultGrid
+	}
+	if p.TicksPerDay <= 0 {
+		p.TicksPerDay = 120
+	}
+	if p.ValidMax < p.ValidMin {
+		p.ValidMax = p.ValidMin
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := &Workload{Params: p}
+
+	bounds := p.Grid.Bounds()
+	// District centres: one per archetype, spread across the city.
+	arcs := archetypes(p.Kind)
+	centres := make([]geo.Point, len(arcs))
+	for i := range centres {
+		centres[i] = geo.Pt(
+			bounds.Width()*(0.15+0.7*rng.Float64()),
+			bounds.Height()*(0.15+0.7*rng.Float64()),
+		)
+	}
+
+	// Hotspots: where tasks concentrate. For workload 2 they coincide with
+	// the worker districts (similar distributions, per the paper's
+	// observation); for workload 1 they are independent city hotspots.
+	for i := 0; i < p.NumHotspots; i++ {
+		if p.Kind == Workload2 {
+			c := centres[i%len(centres)]
+			w.Hotspots = append(w.Hotspots, bounds.Clamp(c.Add(geo.Pt(rng.NormFloat64()*3, rng.NormFloat64()*3))))
+		} else {
+			w.Hotspots = append(w.Hotspots, geo.Pt(
+				bounds.Width()*(0.1+0.8*rng.Float64()),
+				bounds.Height()*(0.1+0.8*rng.Float64()),
+			))
+		}
+	}
+
+	// POI map: clustered around districts and hotspots with type mixture.
+	for i := 0; i < p.NumPOIs; i++ {
+		var c geo.Point
+		if rng.Float64() < 0.5 && len(w.Hotspots) > 0 {
+			c = w.Hotspots[rng.Intn(len(w.Hotspots))]
+		} else {
+			c = centres[rng.Intn(len(centres))]
+		}
+		w.POIs = append(w.POIs, geo.POI{
+			Loc:  bounds.Clamp(c.Add(geo.Pt(rng.NormFloat64()*4, rng.NormFloat64()*4))),
+			Type: geo.POIType(rng.Intn(int(geo.NumPOITypes))),
+		})
+	}
+
+	// Workers.
+	total := p.NumWorkers + p.NewWorkers
+	for id := 0; id < total; id++ {
+		ai := id % len(arcs)
+		arc := arcs[ai]
+		wk := Worker{
+			ID:        id,
+			Archetype: ai,
+			Detour:    geo.KMToCells(p.DetourKM),
+			Speed:     arc.speed,
+			New:       id >= p.NumWorkers,
+		}
+		for a := 0; a < arc.nAnchors; a++ {
+			wk.Anchors = append(wk.Anchors, bounds.Clamp(centres[ai].Add(
+				geo.Pt(rng.NormFloat64()*arc.spread, rng.NormFloat64()*arc.spread))))
+		}
+		trainDays := p.TrainDays
+		if wk.New {
+			// Cold-start workers contribute only one short on-boarding day.
+			trainDays = 1
+		}
+		for d := 0; d < trainDays; d++ {
+			wk.TrainDays = append(wk.TrainDays, dayRoutine(&wk, arc, p, d, rng))
+		}
+		for d := 0; d < p.TestDays; d++ {
+			wk.TestDays = append(wk.TestDays, dayRoutine(&wk, arc, p, p.TrainDays+d, rng))
+		}
+		w.Workers = append(w.Workers, wk)
+	}
+
+	// Historical tasks over the train horizon at the test-horizon daily
+	// rate, used only as the loss-weighting distribution 𝒯.
+	perDay := 0
+	if p.TestDays > 0 {
+		perDay = p.NumTestTasks / p.TestDays
+	}
+	nHist := perDay * p.TrainDays
+	for i := 0; i < nHist; i++ {
+		w.HistTasks = append(w.HistTasks, taskLocation(w.Hotspots, bounds, rng))
+	}
+
+	// Test tasks with Poisson-ish arrivals across the test horizon.
+	horizon := p.TestDays * p.TicksPerDay
+	for i := 0; i < p.NumTestTasks; i++ {
+		arrival := rng.Intn(maxInt(horizon, 1))
+		validTicks := (p.ValidMin + rng.Intn(p.ValidMax-p.ValidMin+1)) * traj.TicksPerTimeUnit
+		w.TestTasks = append(w.TestTasks, assign.Task{
+			ID:       i,
+			Loc:      taskLocation(w.Hotspots, bounds, rng),
+			Arrival:  arrival,
+			Deadline: arrival + validTicks,
+		})
+	}
+	sortTasksByArrival(w.TestTasks)
+	return w
+}
+
+// dayRoutine simulates one worker-day: visit the worker's anchors in a
+// jittered order, dwelling and moving at the archetype's speed with noise.
+// day seeds small day-to-day variation so test days are predictable from
+// train days without being identical.
+func dayRoutine(wk *Worker, arc archetype, p Params, day int, rng *rand.Rand) traj.Routine {
+	bounds := p.Grid.Bounds()
+	r := traj.Routine{StartTick: 0}
+	// Visit order: anchors in base order with occasional swaps.
+	order := make([]int, len(wk.Anchors))
+	for i := range order {
+		order[i] = i
+	}
+	if len(order) > 2 && rng.Float64() < 0.3 {
+		i := 1 + rng.Intn(len(order)-1)
+		order[0], order[i] = order[i], order[0]
+	}
+	pos := wk.Anchors[order[0]].Add(geo.Pt(rng.NormFloat64(), rng.NormFloat64()))
+	pos = bounds.Clamp(pos)
+	target := 0
+	dwell := arc.dwell
+	for t := 0; t < p.TicksPerDay; t++ {
+		r.Points = append(r.Points, pos)
+		goal := wk.Anchors[order[target%len(order)]]
+		if pos.Dist(goal) < 1.5 {
+			if dwell > 0 {
+				dwell--
+			} else {
+				target++
+				dwell = arc.dwell
+			}
+		} else {
+			dir := goal.Sub(pos)
+			n := dir.Norm()
+			if n > 0 {
+				step := wk.Speed
+				if step > n {
+					step = n
+				}
+				pos = pos.Add(dir.Scale(step / n))
+			}
+		}
+		pos = bounds.Clamp(pos.Add(geo.Pt(rng.NormFloat64()*arc.noise, rng.NormFloat64()*arc.noise)))
+	}
+	return r
+}
+
+// taskLocation draws a task location around a random hotspot (80%) or
+// uniformly (20%).
+func taskLocation(hotspots []geo.Point, bounds geo.BBox, rng *rand.Rand) geo.Point {
+	if len(hotspots) > 0 && rng.Float64() < 0.8 {
+		h := hotspots[rng.Intn(len(hotspots))]
+		return bounds.Clamp(h.Add(geo.Pt(rng.NormFloat64()*3, rng.NormFloat64()*3)))
+	}
+	return geo.Pt(bounds.Min.X+rng.Float64()*bounds.Width(), bounds.Min.Y+rng.Float64()*bounds.Height())
+}
+
+func sortTasksByArrival(ts []assign.Task) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Arrival != ts[j].Arrival {
+			return ts[i].Arrival < ts[j].Arrival
+		}
+		return ts[i].ID < ts[j].ID
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NearbyPOIs returns the POIs within radius cells of any point in pts,
+// the 𝕍 spatial feature of a worker's learning task.
+func (w *Workload) NearbyPOIs(pts []geo.Point, radius float64) []geo.POI {
+	var out []geo.POI
+	for _, poi := range w.POIs {
+		for _, p := range pts {
+			if poi.Loc.Dist(p) <= radius {
+				out = append(out, poi)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DensityIndex builds the historical-task density index backing the
+// task-assignment-oriented loss.
+func (w *Workload) DensityIndex() *geo.DensityIndex {
+	d := geo.NewDensityIndex(w.Params.Grid)
+	d.AddAll(w.HistTasks)
+	return d
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/meta"
+	"github.com/spatialcrowd/tamp/internal/platform"
+	"github.com/spatialcrowd/tamp/internal/predict"
+)
+
+// AblationRow is one design-choice variant measured at the default
+// experimental setting.
+type AblationRow struct {
+	Group      string // which design choice the variant probes
+	Variant    string
+	Completion float64
+	Rejection  float64
+	CostKM     float64
+	MR         float64 // prediction MR where the variant retrains; else 0
+}
+
+// RunDesignAblations measures the design choices DESIGN.md §5 calls out,
+// all at the Table III default point: the task-assignment-oriented loss vs
+// MSE, PPI's staged matching vs one global KM, the matching radius a, the
+// stage-2 batch size ε, and game-theoretic clustering vs k-means.
+func RunDesignAblations(kind dataset.Kind, sc Scale) []AblationRow {
+	w := dataset.Generate(sc.params(kind))
+	weighted, err := predict.Train(w, predict.Options{
+		WeightedLoss: true, Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	mse, err := predict.Train(w, predict.Options{
+		WeightedLoss: false, Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	simulate := func(models map[int]*predict.WorkerModel, a assign.Assigner) platform.Metrics {
+		run := platform.Run{Workload: w, Models: models, Assigner: a}
+		return run.Simulate()
+	}
+	row := func(group, variant string, m platform.Metrics, mr float64) AblationRow {
+		return AblationRow{
+			Group: group, Variant: variant,
+			Completion: m.CompletionRate(), Rejection: m.RejectionRate(),
+			CostKM: m.AvgCostKM(), MR: mr,
+		}
+	}
+
+	var rows []AblationRow
+	ppi := assign.PPI{A: predict.DefaultMatchRadius}
+
+	// Loss function (PPI vs PPI-loss).
+	rows = append(rows,
+		row("loss", "task-oriented (Eq. 6-7)", simulate(weighted.Models, ppi), weighted.Eval.MR),
+		row("loss", "plain MSE", simulate(mse.Models, ppi), mse.Eval.MR),
+	)
+	// Staged confidence matching vs one global KM.
+	rows = append(rows,
+		row("staging", "staged PPI", simulate(weighted.Models, ppi), 0),
+		row("staging", "single global KM", simulate(weighted.Models, assign.KM{}), 0),
+	)
+	// Matching radius a.
+	for _, a := range []float64{0.5, 1.5, 3.0} {
+		rows = append(rows, row("radius", fmt.Sprintf("a=%.1f cells", a),
+			simulate(weighted.Models, assign.PPI{A: a}), 0))
+	}
+	// Stage-2 batch size ε.
+	for _, eps := range []int{1, 8, 64} {
+		rows = append(rows, row("epsilon", fmt.Sprintf("eps=%d", eps),
+			simulate(weighted.Models, assign.PPI{A: predict.DefaultMatchRadius, Epsilon: eps}), 0))
+	}
+	// Game-theoretic clustering vs plain multi-level k-means (MR only; the
+	// weighted run above is GTTAML already).
+	gt, err := predict.Train(w, predict.Options{
+		Algorithm: meta.AlgGTTAMLGT, WeightedLoss: true,
+		Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rows = append(rows,
+		AblationRow{Group: "clustering", Variant: "GTMC (game)", MR: weighted.Eval.MR},
+		AblationRow{Group: "clustering", Variant: "k-means", MR: gt.Eval.MR},
+	)
+	return rows
+}
+
+// WriteAblationTable renders ablation rows grouped by design choice.
+func WriteAblationTable(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design choice\tvariant\tcompletion\trejection\tcost(km)\tMR")
+	for _, r := range rows {
+		comp, rej, cost, mr := "-", "-", "-", "-"
+		if r.Completion > 0 || r.Rejection > 0 || r.CostKM > 0 {
+			comp = fmt.Sprintf("%.3f", r.Completion)
+			rej = fmt.Sprintf("%.3f", r.Rejection)
+			cost = fmt.Sprintf("%.3f", r.CostKM)
+		}
+		if r.MR > 0 {
+			mr = fmt.Sprintf("%.3f", r.MR)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", r.Group, r.Variant, comp, rej, cost, mr)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

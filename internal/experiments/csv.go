@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WritePredCSV renders prediction rows as CSV with one row per
+// (configuration) measurement.
+func WritePredCSV(w io.Writer, rows []PredRow) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"config", "seq_in", "seq_out", "rmse", "mae", "mr", "tt_sec"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Label,
+			strconv.Itoa(r.SeqIn),
+			strconv.Itoa(r.SeqOut),
+			fmtF(r.RMSE), fmtF(r.MAE), fmtF(r.MR), fmtF(r.TTSec),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAssignCSV renders assignment rows as CSV with one row per
+// (sweep value, algorithm) measurement.
+func WriteAssignCSV(w io.Writer, rows []AssignRow) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"sweep", "x", "algo", "completion", "rejection", "cost_km", "time_sec"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Sweep,
+			fmtF(r.X),
+			r.Algo,
+			fmtF(r.Completion), fmtF(r.Rejection), fmtF(r.CostKM), fmtF(r.TimeSec),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/meta"
+	"github.com/spatialcrowd/tamp/internal/predict"
+	"github.com/spatialcrowd/tamp/internal/sim"
+)
+
+// PredRow is one row of a mobility prediction experiment: the four metrics
+// of §IV-A (RMSE and MAE in grid cells, MR, and training time in seconds).
+type PredRow struct {
+	Label  string
+	SeqIn  int
+	SeqOut int
+	RMSE   float64
+	MAE    float64
+	MR     float64
+	TTSec  float64
+}
+
+// factorSet is one clustering-factor configuration of Tables IV/VI.
+type factorSet struct {
+	label   string
+	metrics []sim.Metric
+}
+
+var factorSets = []factorSet{
+	{"Sim_d", []sim.Metric{sim.Distribution}},
+	{"Sim_s", []sim.Metric{sim.Spatial}},
+	{"Sim_l", []sim.Metric{sim.LearningPath}},
+	{"Sim_d+Sim_s", []sim.Metric{sim.Distribution, sim.Spatial}},
+	{"Sim_d+Sim_s+Sim_l", []sim.Metric{sim.Distribution, sim.Spatial, sim.LearningPath}},
+}
+
+// RunClusterAblation reproduces Table IV (workload 1) / Table VI
+// (workload 2): the {GTMC, k-means} × clustering-factor grid, reporting
+// prediction quality and training time. The loss used for evaluation is the
+// plain MSE, as in the paper.
+func RunClusterAblation(kind dataset.Kind, sc Scale) []PredRow {
+	w := dataset.Generate(sc.params(kind))
+	var rows []PredRow
+	for _, alg := range []string{meta.AlgGTTAML, meta.AlgGTTAMLGT} {
+		algLabel := "GTMC"
+		if alg == meta.AlgGTTAMLGT {
+			algLabel = "k-means"
+		}
+		for _, fs := range factorSets {
+			res, err := predict.Train(w, predict.Options{
+				Algorithm: alg,
+				Hidden:    sc.Hidden,
+				MetaIters: sc.MetaIters,
+				Metrics:   fs.metrics,
+				Seed:      sc.Seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			rows = append(rows, PredRow{
+				Label: algLabel + " / " + fs.label,
+				SeqIn: res.Options.SeqIn, SeqOut: res.Options.SeqOut,
+				RMSE: res.Eval.RMSE, MAE: res.Eval.MAE, MR: res.Eval.MR,
+				TTSec: res.TrainTime.Seconds(),
+			})
+		}
+	}
+	return rows
+}
+
+// seqAlgorithms is the comparison set of Tables V/VII.
+var seqAlgorithms = []string{meta.AlgMAML, meta.AlgCTML, meta.AlgGTTAMLGT, meta.AlgGTTAML}
+
+// RunSeqSweep reproduces Table V (workload 1) / Table VII (workload 2):
+// vary seq_in ∈ {1,5,10} at seq_out=1 and seq_out ∈ {1,2,3} at seq_in=5
+// for MAML, CTML, GTTAML-GT, and GTTAML.
+func RunSeqSweep(kind dataset.Kind, sc Scale) []PredRow {
+	w := dataset.Generate(sc.params(kind))
+	var rows []PredRow
+	run := func(seqIn, seqOut int) {
+		for _, alg := range seqAlgorithms {
+			res, err := predict.Train(w, predict.Options{
+				Algorithm: alg,
+				SeqIn:     seqIn,
+				SeqOut:    seqOut,
+				Hidden:    sc.Hidden,
+				MetaIters: sc.MetaIters,
+				Seed:      sc.Seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			rows = append(rows, PredRow{
+				Label: alg, SeqIn: seqIn, SeqOut: seqOut,
+				RMSE: res.Eval.RMSE, MAE: res.Eval.MAE, MR: res.Eval.MR,
+				TTSec: res.TrainTime.Seconds(),
+			})
+		}
+	}
+	for _, seqIn := range []int{1, 5, 10} {
+		run(seqIn, 1)
+	}
+	for _, seqOut := range []int{2, 3} { // seq_out=1 covered by seq_in=5 above
+		run(5, seqOut)
+	}
+	return rows
+}
+
+// WritePredTable renders prediction rows in the paper's table layout.
+func WritePredTable(w io.Writer, title string, rows []PredRow) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tseq_in\tseq_out\tRMSE\tMAE\tMR\tTT(s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.4f\t%.4f\t%.1f\n",
+			r.Label, r.SeqIn, r.SeqOut, r.RMSE, r.MAE, r.MR, r.TTSec)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+)
+
+// Experiment is one runnable table/figure reproduction. Exactly one of the
+// row producers is set, depending on whether the experiment measures the
+// prediction stage (tables), the assignment stage (figures), or the design
+// ablations.
+type Experiment struct {
+	ID    string
+	Title string
+
+	predRows     func(sc Scale) []PredRow
+	assignRows   func(sc Scale) []AssignRow
+	ablationRows func(sc Scale) []AblationRow
+}
+
+// Run executes the experiment and writes the paper-style text rendering.
+func (e Experiment) Run(sc Scale, w io.Writer) {
+	switch {
+	case e.predRows != nil:
+		WritePredTable(w, e.Title, e.predRows(sc))
+	case e.assignRows != nil:
+		WriteAssignSeries(w, e.Title, e.assignRows(sc))
+	case e.ablationRows != nil:
+		WriteAblationTable(w, e.Title, e.ablationRows(sc))
+	}
+}
+
+// RunCSV executes the experiment and writes machine-readable CSV.
+func (e Experiment) RunCSV(sc Scale, w io.Writer) error {
+	switch {
+	case e.predRows != nil:
+		return WritePredCSV(w, e.predRows(sc))
+	case e.assignRows != nil:
+		return WriteAssignCSV(w, e.assignRows(sc))
+	}
+	return fmt.Errorf("experiments: %s has no runner", e.ID)
+}
+
+func predExp(id, title string, kind dataset.Kind, run func(dataset.Kind, Scale) []PredRow) Experiment {
+	return Experiment{ID: id, Title: title,
+		predRows: func(sc Scale) []PredRow { return run(kind, sc) }}
+}
+
+func assignExp(id, title string, kind dataset.Kind, sweep SweepKind) Experiment {
+	return Experiment{ID: id, Title: title,
+		assignRows: func(sc Scale) []AssignRow { return RunAssignmentSweep(kind, sweep, sc) }}
+}
+
+// Registry maps experiment ids (table4, fig6, …) to their runners, covering
+// every table and figure of the paper's evaluation.
+var Registry = map[string]Experiment{
+	"table4": predExp("table4",
+		"Table IV: clustering algorithm × factor ablation (workload 1)",
+		dataset.Workload1, RunClusterAblation),
+	"table5": predExp("table5",
+		"Table V: effect of seq_in and seq_out (workload 1)",
+		dataset.Workload1, RunSeqSweep),
+	"table6": predExp("table6",
+		"Table VI: clustering algorithm × factor ablation (workload 2)",
+		dataset.Workload2, RunClusterAblation),
+	"table7": predExp("table7",
+		"Table VII: effect of seq_in and seq_out (workload 2)",
+		dataset.Workload2, RunSeqSweep),
+	"fig6": assignExp("fig6",
+		"Fig. 6: effect of worker detour d (workload 1)",
+		dataset.Workload1, SweepDetour),
+	"fig7": assignExp("fig7",
+		"Fig. 7: effect of the number of spatial tasks (workload 1)",
+		dataset.Workload1, SweepTasks),
+	"fig8": assignExp("fig8",
+		"Fig. 8: effect of task valid time (workload 1)",
+		dataset.Workload1, SweepValid),
+	"fig9": assignExp("fig9",
+		"Fig. 9: effect of worker detour d (workload 2)",
+		dataset.Workload2, SweepDetour),
+	"fig10": assignExp("fig10",
+		"Fig. 10: effect of the number of spatial tasks (workload 2)",
+		dataset.Workload2, SweepTasks),
+	"fig11": assignExp("fig11",
+		"Fig. 11: effect of task valid time (workload 2)",
+		dataset.Workload2, SweepValid),
+	"ablations": {
+		ID:    "ablations",
+		Title: "Design-choice ablations at the default setting (workload 1)",
+		ablationRows: func(sc Scale) []AblationRow {
+			return RunDesignAblations(dataset.Workload1, sc)
+		},
+	},
+}
+
+// IDs returns the registered experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe writes the experiment catalogue.
+func Describe(w io.Writer) {
+	for _, id := range IDs() {
+		fmt.Fprintf(w, "%-8s %s\n", id, Registry[id].Title)
+	}
+}

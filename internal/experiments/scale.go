@@ -1,0 +1,78 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§IV and Appendix C) on the synthetic workloads: the
+// clustering ablations (Tables IV and VI), the seq_in/seq_out sweeps
+// (Tables V and VII), and the task assignment sweeps over worker detour,
+// task count, and task validity (Figs. 6–11). Each experiment is a plain
+// function returning typed rows, shared by cmd/tampbench and the root
+// benchmark suite.
+package experiments
+
+import (
+	"github.com/spatialcrowd/tamp/internal/dataset"
+)
+
+// Scale bounds an experiment's size so the suite can run both as a quick
+// smoke pass and as the full paper-shaped reproduction.
+type Scale struct {
+	Name        string
+	NumWorkers  int
+	NewWorkers  int
+	TrainDays   int
+	TestDays    int
+	TicksPerDay int
+	// TaskUnit is what the paper's "1K tasks" maps to; the Figs. 7/10
+	// x-axis becomes {1,2,3,4,5}·TaskUnit.
+	TaskUnit  int
+	Hidden    int
+	MetaIters int
+	// GGPSO search effort.
+	Population, Generations int
+	Seed                    int64
+}
+
+// Quick is the smoke-test scale: seconds per experiment.
+var Quick = Scale{
+	Name:        "quick",
+	NumWorkers:  12,
+	NewWorkers:  2,
+	TrainDays:   2,
+	TestDays:    1,
+	TicksPerDay: 60,
+	TaskUnit:    120,
+	Hidden:      8,
+	MetaIters:   8,
+	Population:  20,
+	Generations: 25,
+	Seed:        1,
+}
+
+// Full is the paper-shaped scale: minutes per experiment, large enough for
+// the orderings and trends of §IV to emerge.
+var Full = Scale{
+	Name:        "full",
+	NumWorkers:  40,
+	NewWorkers:  4,
+	TrainDays:   4,
+	TestDays:    2,
+	TicksPerDay: 120,
+	TaskUnit:    600,
+	Hidden:      16,
+	MetaIters:   25,
+	Population:  40,
+	Generations: 60,
+	Seed:        1,
+}
+
+// params builds dataset parameters at this scale with the Table III
+// defaults (3 task units, valid time [3,4], detour 6 km).
+func (sc Scale) params(kind dataset.Kind) dataset.Params {
+	p := dataset.Defaults(kind)
+	p.Seed = sc.Seed
+	p.NumWorkers = sc.NumWorkers
+	p.NewWorkers = sc.NewWorkers
+	p.TrainDays = sc.TrainDays
+	p.TestDays = sc.TestDays
+	p.TicksPerDay = sc.TicksPerDay
+	p.NumTestTasks = 3 * sc.TaskUnit
+	return p
+}

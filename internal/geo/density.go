@@ -1,0 +1,83 @@
+package geo
+
+import "math"
+
+// DensityIndex counts historical spatial-task locations per grid cell and
+// answers "how many historical tasks fell within radius r of point p"
+// queries. It backs the task-assignment-oriented loss weight f_w (Eq. 7),
+// which needs |{τ : dis(τ, l_i) < d^q}| for every trajectory point l_i.
+//
+// Counting is done at cell granularity: a task contributes to the count of
+// every cell whose centre lies within the query radius of the query cell's
+// centre. This keeps queries O(r²) with no per-task scan, which matters
+// because the loss is evaluated inside the training loop.
+type DensityIndex struct {
+	grid   Grid
+	counts []int // per-cell task counts
+	total  int
+}
+
+// NewDensityIndex returns an empty index over g.
+func NewDensityIndex(g Grid) *DensityIndex {
+	return &DensityIndex{grid: g, counts: make([]int, g.NumCells())}
+}
+
+// Add records one historical task at location p.
+func (d *DensityIndex) Add(p Point) {
+	d.counts[d.grid.CellIndex(p)]++
+	d.total++
+}
+
+// AddAll records every location in ps.
+func (d *DensityIndex) AddAll(ps []Point) {
+	for _, p := range ps {
+		d.Add(p)
+	}
+}
+
+// Total returns the number of tasks recorded.
+func (d *DensityIndex) Total() int { return d.total }
+
+// CountWithin returns the number of recorded tasks whose cell centre lies
+// within radius r (in cells) of p.
+func (d *DensityIndex) CountWithin(p Point, r float64) int {
+	if r <= 0 {
+		return 0
+	}
+	col, row := d.grid.CellOf(p)
+	ir := int(math.Ceil(r)) + 1
+	n := 0
+	for dr := -ir; dr <= ir; dr++ {
+		rr := row + dr
+		if rr < 0 || rr >= d.grid.Rows {
+			continue
+		}
+		for dc := -ir; dc <= ir; dc++ {
+			cc := col + dc
+			if cc < 0 || cc >= d.grid.Cols {
+				continue
+			}
+			if d.grid.CellCenter(cc, rr).Dist(p) <= r {
+				n += d.counts[rr*d.grid.Cols+cc]
+			}
+		}
+	}
+	return n
+}
+
+// Density returns the mean number of tasks per unit disc of radius r,
+// the ρ^t term of Eq. 7 (tasks per circular unit space). It is computed as
+// total tasks scaled by the ratio of the disc area to the grid area, and is
+// never smaller than 1 so the weight ratio in Eq. 7 stays bounded.
+func (d *DensityIndex) Density(r float64) float64 {
+	b := d.grid.Bounds()
+	area := b.Width() * b.Height()
+	if area <= 0 || d.total == 0 {
+		return 1
+	}
+	rho := float64(d.total) * math.Pi * r * r / area
+	if rho < 1 {
+		return 1
+	}
+	return rho
+}

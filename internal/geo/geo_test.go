@@ -1,0 +1,258 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-2, 0), Pt(2, 0), 4},
+		{Pt(0, -1), Pt(0, 5), 6},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dist(tc.q); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.p.DistSq(tc.q); !almostEq(got, tc.want*tc.want, 1e-9) {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+		}
+	}
+}
+
+func TestPointDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		d1, d2 := a.Dist(b), b.Dist(a)
+		if math.IsInf(d1, 1) && math.IsInf(d2, 1) {
+			return true // overflow on extreme inputs; still symmetric
+		}
+		return almostEq(d1, d2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		c := Pt(rng.Float64()*100, rng.Float64()*100)
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestPointVectorOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := q.Norm(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestKMConversionRoundTrip(t *testing.T) {
+	f := func(km float64) bool {
+		if math.IsNaN(km) || math.IsInf(km, 0) || math.Abs(km) > 1e300 {
+			return true // km/CellKM would overflow
+		}
+		return almostEq(CellsToKM(KMToCells(km)), km, math.Abs(km)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxContains(t *testing.T) {
+	b := BBox{Min: Pt(0, 0), Max: Pt(10, 5)}
+	if !b.Contains(Pt(0, 0)) {
+		t.Error("min corner should be contained")
+	}
+	if b.Contains(Pt(10, 5)) {
+		t.Error("max corner should be excluded")
+	}
+	if !b.Contains(Pt(9.999, 4.999)) {
+		t.Error("interior point should be contained")
+	}
+	if b.Contains(Pt(-0.001, 2)) {
+		t.Error("outside point should be excluded")
+	}
+}
+
+func TestBBoxClampAlwaysInside(t *testing.T) {
+	b := BBox{Min: Pt(0, 0), Max: Pt(100, 50)}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return b.Contains(b.Clamp(Pt(x, y)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxGeometry(t *testing.T) {
+	b := BBox{Min: Pt(2, 3), Max: Pt(12, 7)}
+	if b.Width() != 10 || b.Height() != 4 {
+		t.Errorf("Width/Height = %v/%v", b.Width(), b.Height())
+	}
+	if b.Center() != Pt(7, 5) {
+		t.Errorf("Center = %v", b.Center())
+	}
+}
+
+func TestGridCellOf(t *testing.T) {
+	g := DefaultGrid
+	tests := []struct {
+		p        Point
+		col, row int
+	}{
+		{Pt(0, 0), 0, 0},
+		{Pt(0.99, 0.99), 0, 0},
+		{Pt(1, 1), 1, 1},
+		{Pt(99.5, 49.5), 99, 49},
+		{Pt(-5, -5), 0, 0},     // clamped
+		{Pt(500, 500), 99, 49}, // clamped
+	}
+	for _, tc := range tests {
+		col, row := g.CellOf(tc.p)
+		if col != tc.col || row != tc.row {
+			t.Errorf("CellOf(%v) = (%d,%d), want (%d,%d)", tc.p, col, row, tc.col, tc.row)
+		}
+	}
+}
+
+func TestGridCellIndexBijective(t *testing.T) {
+	g := Grid{Cols: 7, Rows: 3}
+	seen := map[int]bool{}
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			idx := g.CellIndex(g.CellCenter(c, r))
+			if seen[idx] {
+				t.Fatalf("duplicate index %d for cell (%d,%d)", idx, c, r)
+			}
+			seen[idx] = true
+			if idx < 0 || idx >= g.NumCells() {
+				t.Fatalf("index %d out of range", idx)
+			}
+		}
+	}
+	if len(seen) != g.NumCells() {
+		t.Errorf("got %d distinct indexes, want %d", len(seen), g.NumCells())
+	}
+}
+
+func TestGridBounds(t *testing.T) {
+	b := DefaultGrid.Bounds()
+	if b.Width() != 100 || b.Height() != 50 {
+		t.Errorf("bounds = %v", b)
+	}
+}
+
+func TestPOITypeString(t *testing.T) {
+	for ty := POIType(0); ty < NumPOITypes; ty++ {
+		if s := ty.String(); s == "" || s[0] == 'p' && s != "poi" && len(s) > 3 && s[:4] == "poi(" {
+			t.Errorf("POIType(%d) has fallback string %q", ty, s)
+		}
+	}
+	if s := POIType(99).String(); s != "poi(99)" {
+		t.Errorf("unknown POI type string = %q", s)
+	}
+}
+
+func TestDensityIndexCounts(t *testing.T) {
+	g := Grid{Cols: 20, Rows: 20}
+	d := NewDensityIndex(g)
+	// Ten tasks in cell (5,5), one far away.
+	for i := 0; i < 10; i++ {
+		d.Add(Pt(5.5, 5.5))
+	}
+	d.Add(Pt(18.5, 18.5))
+	if d.Total() != 11 {
+		t.Fatalf("Total = %d", d.Total())
+	}
+	if got := d.CountWithin(Pt(5.5, 5.5), 1); got != 10 {
+		t.Errorf("CountWithin near cluster = %d, want 10", got)
+	}
+	if got := d.CountWithin(Pt(5.5, 5.5), 30); got != 11 {
+		t.Errorf("CountWithin whole grid = %d, want 11", got)
+	}
+	if got := d.CountWithin(Pt(0.5, 18.5), 1); got != 0 {
+		t.Errorf("CountWithin empty corner = %d, want 0", got)
+	}
+}
+
+func TestDensityIndexZeroRadius(t *testing.T) {
+	d := NewDensityIndex(Grid{Cols: 4, Rows: 4})
+	d.Add(Pt(1.5, 1.5))
+	if got := d.CountWithin(Pt(1.5, 1.5), 0); got != 0 {
+		t.Errorf("zero radius count = %d", got)
+	}
+}
+
+func TestDensityIndexDensity(t *testing.T) {
+	g := Grid{Cols: 10, Rows: 10}
+	d := NewDensityIndex(g)
+	if rho := d.Density(2); rho != 1 {
+		t.Errorf("empty density = %v, want floor 1", rho)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Add(Pt(float64(i%10)+0.5, float64(i/10%10)+0.5))
+	}
+	want := 1000 * math.Pi * 4 / 100
+	if rho := d.Density(2); !almostEq(rho, want, 1e-9) {
+		t.Errorf("density = %v, want %v", rho, want)
+	}
+}
+
+func TestDensityIndexMonotoneInRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := Grid{Cols: 30, Rows: 30}
+	d := NewDensityIndex(g)
+	for i := 0; i < 500; i++ {
+		d.Add(Pt(rng.Float64()*30, rng.Float64()*30))
+	}
+	q := Pt(15, 15)
+	prev := 0
+	for r := 1.0; r <= 20; r++ {
+		n := d.CountWithin(q, r)
+		if n < prev {
+			t.Fatalf("count not monotone: r=%v n=%d prev=%d", r, n, prev)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,49 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadWorkersCSV: arbitrary input must never panic; it either parses
+// or returns an error.
+func FuzzLoadWorkersCSV(f *testing.F) {
+	f.Add(workersCSV)
+	f.Add("")
+	f.Add("worker,split,day,tick,x,y\n1,train,0,0,1,1\n")
+	f.Add("worker,split,day,tick,x,y\n1,train,zero,0,1,1\n")
+	f.Add("a,b\n1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		ws, err := LoadWorkersCSV(strings.NewReader(data))
+		if err == nil {
+			for _, w := range ws {
+				if w.ID < 0 && len(w.TrainDays)+len(w.TestDays) == 0 {
+					t.Error("parsed worker with no routines")
+				}
+			}
+		}
+	})
+}
+
+// FuzzLoadTasksCSV: arbitrary input must never panic, and successful
+// parses must satisfy the arrival ≤ deadline invariant.
+func FuzzLoadTasksCSV(f *testing.F) {
+	f.Add(tasksCSV)
+	f.Add("")
+	f.Add("task,x,y,arrival,deadline\n0,1,1,5,2\n")
+	f.Add("task,x,y,arrival,deadline\n0,nan,inf,5,9\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		ts, err := LoadTasksCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, task := range ts {
+			if task.Deadline < task.Arrival {
+				t.Errorf("task %d violates arrival<=deadline", i)
+			}
+			if i > 0 && ts[i-1].Arrival > task.Arrival {
+				t.Error("tasks not sorted by arrival")
+			}
+		}
+	})
+}

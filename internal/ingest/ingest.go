@@ -1,0 +1,354 @@
+// Package ingest loads externally supplied mobility data into TAMP
+// workloads: CSV trajectory and task files (the formats cmd/tampgen
+// writes), WGS84 latitude/longitude projection onto the city grid, and
+// resampling of irregular GPS pings into the per-tick routines the
+// prediction models train on.
+//
+// The paper evaluates on proprietary datasets (Porto taxi, Didi orders,
+// Gowalla, Foursquare) that cannot be redistributed; this package is the
+// adapter a downstream user needs to run the pipeline on their own copies.
+package ingest
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// GeoMapper projects WGS84 coordinates onto the grid by linear scaling of
+// a bounding box — the same gridding the paper applies to Porto
+// (100×50 cells over the city extent). Points outside the box clamp to the
+// border.
+type GeoMapper struct {
+	MinLat, MaxLat float64
+	MinLng, MaxLng float64
+	Grid           geo.Grid
+}
+
+// ToGrid maps (lat, lng) to continuous grid coordinates: longitude spans
+// the X axis, latitude the Y axis.
+func (g GeoMapper) ToGrid(lat, lng float64) geo.Point {
+	b := g.Grid.Bounds()
+	x := b.Min.X
+	if g.MaxLng > g.MinLng {
+		x = (lng - g.MinLng) / (g.MaxLng - g.MinLng) * b.Width()
+	}
+	y := b.Min.Y
+	if g.MaxLat > g.MinLat {
+		y = (lat - g.MinLat) / (g.MaxLat - g.MinLat) * b.Height()
+	}
+	return b.Clamp(geo.Pt(x, y))
+}
+
+// Ping is one raw GPS observation.
+type Ping struct {
+	UnixSec int64
+	Lat     float64
+	Lng     float64
+}
+
+// ResamplePings converts irregular timestamped pings into a per-tick
+// routine: ticks are tickSeconds long starting at startUnix; each tick's
+// location linearly interpolates between the surrounding pings (clamping
+// beyond the ends). Pings are sorted by time first; fewer than one ping
+// yields an empty routine.
+func ResamplePings(pings []Ping, m GeoMapper, startUnix int64, tickSeconds, numTicks int) traj.Routine {
+	r := traj.Routine{StartTick: 0}
+	if len(pings) == 0 || tickSeconds <= 0 || numTicks <= 0 {
+		return r
+	}
+	ps := append([]Ping(nil), pings...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].UnixSec < ps[j].UnixSec })
+
+	locOf := func(p Ping) geo.Point { return m.ToGrid(p.Lat, p.Lng) }
+	j := 0
+	for t := 0; t < numTicks; t++ {
+		at := startUnix + int64(t)*int64(tickSeconds)
+		for j+1 < len(ps) && ps[j+1].UnixSec <= at {
+			j++
+		}
+		switch {
+		case at <= ps[0].UnixSec:
+			r.Points = append(r.Points, locOf(ps[0]))
+		case j+1 >= len(ps):
+			r.Points = append(r.Points, locOf(ps[len(ps)-1]))
+		default:
+			a, b := ps[j], ps[j+1]
+			span := float64(b.UnixSec - a.UnixSec)
+			frac := 0.0
+			if span > 0 {
+				frac = float64(at-a.UnixSec) / span
+			}
+			r.Points = append(r.Points, locOf(a).Lerp(locOf(b), frac))
+		}
+	}
+	return r
+}
+
+// LoadWorkersCSV reads the worker trajectory format written by cmd/tampgen:
+// a header row followed by
+//
+//	worker,archetype,new,split,day,tick,x,y
+//
+// rows (extra columns ignored). It returns one dataset.Worker per distinct
+// worker id with routines grouped by (split, day) and ordered by tick.
+// Speed and detour fields are left zero for the caller to fill.
+func LoadWorkersCSV(r io.Reader) ([]dataset.Worker, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read header: %w", err)
+	}
+	col := indexColumns(header)
+	for _, need := range []string{"worker", "split", "day", "tick", "x", "y"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("ingest: workers CSV missing column %q", need)
+		}
+	}
+
+	type dayKey struct {
+		split string
+		day   int
+	}
+	type rowPoint struct {
+		tick int
+		pt   geo.Point
+	}
+	days := map[int]map[dayKey][]rowPoint{}
+	arch := map[int]int{}
+	isNew := map[int]bool{}
+
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		id, err := atoi(rec, col, "worker")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		day, err := atoi(rec, col, "day")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		tick, err := atoi(rec, col, "tick")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		x, err := atof(rec, col, "x")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		y, err := atof(rec, col, "y")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		if c, ok := col["archetype"]; ok && c < len(rec) {
+			if v, err := strconv.Atoi(rec[c]); err == nil {
+				arch[id] = v
+			}
+		}
+		if c, ok := col["new"]; ok && c < len(rec) {
+			isNew[id] = rec[c] == "true"
+		}
+		if days[id] == nil {
+			days[id] = map[dayKey][]rowPoint{}
+		}
+		k := dayKey{split: rec[col["split"]], day: day}
+		days[id][k] = append(days[id][k], rowPoint{tick: tick, pt: geo.Pt(x, y)})
+	}
+
+	var ids []int
+	for id := range days {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []dataset.Worker
+	for _, id := range ids {
+		wk := dataset.Worker{ID: id, Archetype: arch[id], New: isNew[id]}
+		var keys []dayKey
+		for k := range days[id] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].split != keys[j].split {
+				// "train" < "test" chronologically; sort reverse-alpha.
+				return keys[i].split > keys[j].split
+			}
+			return keys[i].day < keys[j].day
+		})
+		for _, k := range keys {
+			pts := days[id][k]
+			sort.Slice(pts, func(i, j int) bool { return pts[i].tick < pts[j].tick })
+			r := traj.Routine{StartTick: 0}
+			for _, rp := range pts {
+				r.Points = append(r.Points, rp.pt)
+			}
+			if k.split == "test" {
+				wk.TestDays = append(wk.TestDays, r)
+			} else {
+				wk.TrainDays = append(wk.TrainDays, r)
+			}
+		}
+		out = append(out, wk)
+	}
+	return out, nil
+}
+
+// LoadTasksCSV reads the task format written by cmd/tampgen: a header row
+// followed by task,x,y,arrival,deadline rows. Tasks are returned sorted by
+// arrival.
+func LoadTasksCSV(r io.Reader) ([]assign.Task, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read header: %w", err)
+	}
+	col := indexColumns(header)
+	for _, need := range []string{"task", "x", "y", "arrival", "deadline"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("ingest: tasks CSV missing column %q", need)
+		}
+	}
+	var out []assign.Task
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		id, err := atoi(rec, col, "task")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		x, err := atof(rec, col, "x")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		y, err := atof(rec, col, "y")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		arr, err := atoi(rec, col, "arrival")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		dl, err := atoi(rec, col, "deadline")
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		if dl < arr {
+			return nil, fmt.Errorf("ingest: line %d: deadline %d before arrival %d", line, dl, arr)
+		}
+		out = append(out, assign.Task{ID: id, Loc: geo.Pt(x, y), Arrival: arr, Deadline: dl})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// BuildWorkload assembles a workload from externally loaded pieces. Worker
+// speed defaults to the median per-tick displacement of their own routines
+// when zero; detour defaults to p.DetourKM. Historical task locations (for
+// the weighted loss) default to the test task locations when hist is nil.
+func BuildWorkload(p dataset.Params, workers []dataset.Worker, tasks []assign.Task, hist []geo.Point, pois []geo.POI) *dataset.Workload {
+	if p.Grid.Cols == 0 {
+		p.Grid = geo.DefaultGrid
+	}
+	for i := range workers {
+		if workers[i].Speed <= 0 {
+			workers[i].Speed = medianSpeed(&workers[i])
+		}
+		if workers[i].Detour <= 0 {
+			workers[i].Detour = geo.KMToCells(p.DetourKM)
+		}
+	}
+	if hist == nil {
+		for _, t := range tasks {
+			hist = append(hist, t.Loc)
+		}
+	}
+	return &dataset.Workload{
+		Params:    p,
+		Workers:   workers,
+		POIs:      pois,
+		HistTasks: hist,
+		TestTasks: tasks,
+	}
+}
+
+// medianSpeed estimates a worker's speed as the median per-tick step over
+// all their routines; it falls back to 1 cell/tick for immobile traces.
+func medianSpeed(wk *dataset.Worker) float64 {
+	var steps []float64
+	collect := func(rs []traj.Routine) {
+		for _, r := range rs {
+			for i := 1; i < len(r.Points); i++ {
+				if d := r.Points[i].Dist(r.Points[i-1]); d > 1e-9 {
+					steps = append(steps, d)
+				}
+			}
+		}
+	}
+	collect(wk.TrainDays)
+	collect(wk.TestDays)
+	if len(steps) == 0 {
+		return 1
+	}
+	sort.Float64s(steps)
+	return steps[len(steps)/2]
+}
+
+func indexColumns(header []string) map[string]int {
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	return col
+}
+
+func atoi(rec []string, col map[string]int, name string) (int, error) {
+	c := col[name]
+	if c >= len(rec) {
+		return 0, fmt.Errorf("missing %s", name)
+	}
+	v, err := strconv.Atoi(rec[c])
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, rec[c])
+	}
+	return v, nil
+}
+
+func atof(rec []string, col map[string]int, name string) (float64, error) {
+	c := col[name]
+	if c >= len(rec) {
+		return 0, fmt.Errorf("missing %s", name)
+	}
+	v, err := strconv.ParseFloat(rec[c], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, rec[c])
+	}
+	return v, nil
+}

@@ -1,0 +1,257 @@
+package ingest
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+func TestGeoMapperCorners(t *testing.T) {
+	m := GeoMapper{MinLat: 41.0, MaxLat: 41.5, MinLng: -8.7, MaxLng: -8.2, Grid: geo.DefaultGrid}
+	sw := m.ToGrid(41.0, -8.7)
+	if sw.Dist(geo.Pt(0, 0)) > 1e-9 {
+		t.Errorf("SW corner = %v", sw)
+	}
+	ne := m.ToGrid(41.5, -8.2)
+	if ne.X < 99.9 || ne.Y < 49.9 {
+		t.Errorf("NE corner = %v", ne)
+	}
+	mid := m.ToGrid(41.25, -8.45)
+	if mid.Dist(geo.Pt(50, 25)) > 1e-9 {
+		t.Errorf("centre = %v", mid)
+	}
+	// Out-of-box points clamp.
+	if p := m.ToGrid(99, 99); !m.Grid.Bounds().Contains(p) {
+		t.Errorf("clamped point %v outside grid", p)
+	}
+}
+
+func TestGeoMapperDegenerateBox(t *testing.T) {
+	m := GeoMapper{MinLat: 41, MaxLat: 41, MinLng: -8, MaxLng: -8, Grid: geo.DefaultGrid}
+	p := m.ToGrid(41, -8)
+	if !m.Grid.Bounds().Contains(p) {
+		t.Errorf("degenerate box mapped outside: %v", p)
+	}
+}
+
+func TestResamplePingsInterpolation(t *testing.T) {
+	m := GeoMapper{MinLat: 0, MaxLat: 1, MinLng: 0, MaxLng: 1, Grid: geo.Grid{Cols: 100, Rows: 100}}
+	pings := []Ping{
+		{UnixSec: 100, Lat: 0.0, Lng: 0.0},
+		{UnixSec: 200, Lat: 0.0, Lng: 1.0}, // move east over 100s
+	}
+	r := ResamplePings(pings, m, 100, 25, 5)
+	if r.Len() != 5 {
+		t.Fatalf("resampled length = %d", r.Len())
+	}
+	// Tick 0 at t=100 → west edge; tick 4 at t=200 → east edge.
+	if r.Points[0].X > 1e-9 {
+		t.Errorf("tick 0 = %v", r.Points[0])
+	}
+	if math.Abs(r.Points[2].X-50) > 1e-6 {
+		t.Errorf("midpoint = %v, want x=50", r.Points[2])
+	}
+	if r.Points[4].X < 99.9 {
+		t.Errorf("tick 4 = %v", r.Points[4])
+	}
+}
+
+func TestResamplePingsClampsAndSorts(t *testing.T) {
+	m := GeoMapper{MinLat: 0, MaxLat: 1, MinLng: 0, MaxLng: 1, Grid: geo.Grid{Cols: 10, Rows: 10}}
+	pings := []Ping{
+		{UnixSec: 300, Lat: 0.5, Lng: 0.9}, // out of order on purpose
+		{UnixSec: 200, Lat: 0.5, Lng: 0.1},
+	}
+	r := ResamplePings(pings, m, 0, 100, 6)
+	if r.Len() != 6 {
+		t.Fatalf("length = %d", r.Len())
+	}
+	// Ticks before the first ping clamp to it; after the last, to the last.
+	if r.Points[0] != r.Points[1] || math.Abs(r.Points[0].X-1) > 1e-9 {
+		t.Errorf("pre-clamp = %v %v", r.Points[0], r.Points[1])
+	}
+	if math.Abs(r.Points[5].X-9) > 1e-9 {
+		t.Errorf("post-clamp = %v", r.Points[5])
+	}
+	if got := ResamplePings(nil, m, 0, 10, 5); got.Len() != 0 {
+		t.Error("empty pings should yield empty routine")
+	}
+}
+
+const workersCSV = `worker,archetype,new,split,day,tick,x,y
+1,0,false,train,0,0,1.0,2.0
+1,0,false,train,0,1,1.5,2.0
+1,0,false,test,0,0,2.0,2.0
+0,1,true,train,0,1,5.5,6.0
+0,1,true,train,0,0,5.0,6.0
+`
+
+func TestLoadWorkersCSV(t *testing.T) {
+	ws, err := LoadWorkersCSV(strings.NewReader(workersCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("workers = %d", len(ws))
+	}
+	// Sorted by id.
+	if ws[0].ID != 0 || ws[1].ID != 1 {
+		t.Fatalf("order = %d,%d", ws[0].ID, ws[1].ID)
+	}
+	w0 := ws[0]
+	if !w0.New || w0.Archetype != 1 {
+		t.Errorf("worker 0 meta = new:%v arch:%d", w0.New, w0.Archetype)
+	}
+	// Points ordered by tick even though rows were shuffled.
+	if w0.TrainDays[0].Points[0] != geo.Pt(5, 6) {
+		t.Errorf("worker 0 first point = %v", w0.TrainDays[0].Points[0])
+	}
+	w1 := ws[1]
+	if len(w1.TrainDays) != 1 || len(w1.TestDays) != 1 {
+		t.Fatalf("worker 1 days = %d/%d", len(w1.TrainDays), len(w1.TestDays))
+	}
+	if w1.TrainDays[0].Len() != 2 || w1.TestDays[0].Len() != 1 {
+		t.Errorf("worker 1 routine lengths = %d/%d", w1.TrainDays[0].Len(), w1.TestDays[0].Len())
+	}
+}
+
+func TestLoadWorkersCSVErrors(t *testing.T) {
+	if _, err := LoadWorkersCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := LoadWorkersCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("missing columns should fail")
+	}
+	bad := "worker,split,day,tick,x,y\nnope,train,0,0,1,1\n"
+	if _, err := LoadWorkersCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad integer should fail")
+	}
+}
+
+const tasksCSV = `task,x,y,arrival,deadline
+1,3.0,4.0,10,30
+0,1.0,2.0,5,25
+`
+
+func TestLoadTasksCSV(t *testing.T) {
+	ts, err := LoadTasksCSV(strings.NewReader(tasksCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tasks = %d", len(ts))
+	}
+	if ts[0].ID != 0 || ts[1].ID != 1 {
+		t.Errorf("not sorted by arrival: %v", ts)
+	}
+	if ts[0].Loc != geo.Pt(1, 2) || ts[0].Deadline != 25 {
+		t.Errorf("task 0 = %+v", ts[0])
+	}
+}
+
+func TestLoadTasksCSVErrors(t *testing.T) {
+	if _, err := LoadTasksCSV(strings.NewReader("task,x,y\n1,1,1\n")); err == nil {
+		t.Error("missing columns should fail")
+	}
+	bad := "task,x,y,arrival,deadline\n0,1,1,20,10\n"
+	if _, err := LoadTasksCSV(strings.NewReader(bad)); err == nil {
+		t.Error("deadline before arrival should fail")
+	}
+}
+
+func TestBuildWorkloadDefaults(t *testing.T) {
+	ws, err := LoadWorkersCSV(strings.NewReader(workersCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := LoadTasksCSV(strings.NewReader(tasksCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dataset.Defaults(dataset.Workload1)
+	p.DetourKM = 4
+	w := BuildWorkload(p, ws, ts, nil, nil)
+	if len(w.Workers) != 2 || len(w.TestTasks) != 2 {
+		t.Fatalf("workload sizes wrong")
+	}
+	for _, wk := range w.Workers {
+		if wk.Speed <= 0 {
+			t.Errorf("worker %d speed = %v", wk.ID, wk.Speed)
+		}
+		if wk.Detour != geo.KMToCells(4) {
+			t.Errorf("worker %d detour = %v", wk.ID, wk.Detour)
+		}
+	}
+	// Hist tasks default to test task locations.
+	if len(w.HistTasks) != 2 {
+		t.Errorf("hist tasks = %d", len(w.HistTasks))
+	}
+	// Worker 1 moved 0.5 cells/tick → median speed 0.5.
+	if math.Abs(w.Workers[1].Speed-0.5) > 1e-9 {
+		t.Errorf("worker 1 speed = %v", w.Workers[1].Speed)
+	}
+	// Immobile worker falls back to 1 cell/tick... worker 0 moved too.
+	if w.Workers[0].Speed <= 0 {
+		t.Error("worker 0 speed missing")
+	}
+}
+
+// TestRoundTripThroughTampgenFormat generates a synthetic workload, writes
+// it in the tampgen CSV formats, reloads it, and checks the reloaded
+// workload simulates.
+func TestRoundTripThroughGeneratedCSV(t *testing.T) {
+	p := dataset.Defaults(dataset.Workload1)
+	p.NumWorkers = 4
+	p.NewWorkers = 1
+	p.TrainDays = 2
+	p.TestDays = 1
+	p.TicksPerDay = 30
+	p.NumTestTasks = 40
+	src := dataset.Generate(p)
+
+	var wcsv strings.Builder
+	wcsv.WriteString("worker,archetype,new,split,day,tick,x,y\n")
+	for _, wk := range src.Workers {
+		write := func(split string, d int, pts []geo.Point) {
+			for tk, pt := range pts {
+				wcsv.WriteString(
+					itoa(wk.ID) + "," + itoa(wk.Archetype) + "," + boolStr(wk.New) + "," +
+						split + "," + itoa(d) + "," + itoa(tk) + "," +
+						ftoa(pt.X) + "," + ftoa(pt.Y) + "\n")
+			}
+		}
+		for d, r := range wk.TrainDays {
+			write("train", d, r.Points)
+		}
+		for d, r := range wk.TestDays {
+			write("test", d, r.Points)
+		}
+	}
+	ws, err := LoadWorkersCSV(strings.NewReader(wcsv.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != len(src.Workers) {
+		t.Fatalf("reloaded %d workers, want %d", len(ws), len(src.Workers))
+	}
+	for i := range ws {
+		if ws[i].TrainDays[0].Len() != src.Workers[i].TrainDays[0].Len() {
+			t.Fatalf("worker %d routine length mismatch", i)
+		}
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,158 @@
+package meta
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/spatialcrowd/tamp/internal/cluster"
+	"github.com/spatialcrowd/tamp/internal/nn"
+)
+
+// MetaTrain is Algorithm 3 (Meta-Training) run on one learning-task cluster:
+// repeatedly sample a batch of m tasks, adapt a copy of the shared
+// initialization k steps on each task's support set, evaluate the adapted
+// model's query loss, and move the initialization against the mean query
+// gradient.
+//
+// The update uses the first-order MAML approximation: the query gradient is
+// taken at the adapted parameters and applied directly to the
+// initialization, omitting the second-order term (see DESIGN.md). theta is
+// updated in place; the mean query loss across all iterations is returned
+// (Algorithm 3, lines 10–11).
+func MetaTrain(theta nn.Vector, tasks []*LearningTask, cfg Config) float64 {
+	if len(tasks) == 0 || cfg.MetaIters <= 0 {
+		return 0
+	}
+	batch := cfg.TaskBatch
+	if batch <= 0 || batch > len(tasks) {
+		batch = len(tasks)
+	}
+	// One worker (model + gradient buffer) per concurrent slot; the batch
+	// tasks are independent given the shared initialization, so they adapt
+	// in parallel. Results are reduced in slot order, keeping the update
+	// bit-for-bit deterministic regardless of scheduling.
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = defaultParallelism()
+	}
+	if par > batch {
+		par = batch
+	}
+	type slot struct {
+		model nn.Model
+		grad  nn.Vector // mean query grad of this slot's tasks
+		loss  float64
+		count int
+	}
+	slots := make([]slot, par)
+	for i := range slots {
+		slots[i].model = cfg.NewModel()
+		slots[i].grad = nn.NewVector(slots[i].model.NumParams())
+	}
+	queryGrads := make([]nn.Vector, par)
+	for i := range queryGrads {
+		queryGrads[i] = nn.NewVector(slots[i].model.NumParams())
+	}
+
+	meanGrad := nn.NewVector(len(theta))
+	var totalLoss float64
+	var lossCount int
+	for iter := 0; iter < cfg.MetaIters; iter++ {
+		// Sample a batch of m learning tasks from T^t.G (line 2).
+		idx := cfg.Rng.Perm(len(tasks))[:batch]
+		var wg sync.WaitGroup
+		for s := 0; s < par; s++ {
+			slots[s].grad.Zero()
+			slots[s].loss = 0
+			slots[s].count = 0
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sl := &slots[s]
+				for k := s; k < len(idx); k += par {
+					task := tasks[idx[k]]
+					// Adapt k steps on Γ_i from the shared initialization
+					// (lines 4–7).
+					sl.model.SetWeights(theta)
+					Adapt(sl.model, task, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm)
+					// Query loss and gradient at the adapted weights (line 8).
+					sl.loss += sl.model.BatchGrad(task.Query, cfg.Loss, queryGrads[s])
+					sl.count++
+					sl.grad.Axpy(1, queryGrads[s])
+				}
+			}(s)
+		}
+		wg.Wait()
+		meanGrad.Zero()
+		for s := range slots {
+			meanGrad.Axpy(1/float64(batch), slots[s].grad)
+			totalLoss += slots[s].loss
+			lossCount += slots[s].count
+		}
+		// Meta update (line 9).
+		if cfg.ClipNorm > 0 {
+			meanGrad.ClipNorm(cfg.ClipNorm)
+		}
+		theta.Axpy(-cfg.MetaLR, meanGrad)
+	}
+	if lossCount == 0 {
+		return 0
+	}
+	return totalLoss / float64(lossCount)
+}
+
+func defaultParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// TAML is Algorithm 2 (Task Adaptive Meta-learning): train the learning
+// task tree bottom-up. Leaves run MetaTrain on their cluster; an interior
+// node then moves its initialization toward the mean of its children's
+// trained initializations — the first-order realisation of the paper's
+// "update T^t.θ based on the average gradient of all child nodes" — and
+// returns the average of the children's losses.
+//
+// tasks indexes the global learning-task list that node.Members refers to.
+// Every node's Theta is (re)initialized from its parent's before training,
+// mirroring Algorithm 1's inheritance T^t_new.θ = T^t.θ.
+func TAML(node *cluster.TreeNode, tasks []*LearningTask, cfg Config, rootInit nn.Vector) float64 {
+	if node.Theta == nil {
+		if node.Parent != nil && node.Parent.Theta != nil {
+			node.Theta = node.Parent.Theta.Clone()
+		} else {
+			node.Theta = rootInit.Clone()
+		}
+	}
+	members := make([]*LearningTask, 0, len(node.Members))
+	for _, i := range node.Members {
+		members = append(members, tasks[i])
+	}
+	if node.IsLeaf() {
+		return MetaTrain(node.Theta, members, cfg)
+	}
+	// Coarse-to-fine refinement: meta-train this node's initialization on
+	// its whole cluster before the children specialize from it, so deeper
+	// tree levels refine the coarser ones instead of starting over from the
+	// raw inherited weights. (This is also why training time grows with the
+	// number of clustering factors, as Table IV reports.)
+	warm := cfg
+	warm.MetaIters = (cfg.MetaIters + 1) / 2
+	MetaTrain(node.Theta, members, warm)
+
+	var lossSum float64
+	delta := nn.NewVector(len(node.Theta))
+	for _, child := range node.Children {
+		child.Theta = node.Theta.Clone()
+		lossSum += TAML(child, tasks, cfg, rootInit)
+		diff := child.Theta.Clone()
+		diff.Axpy(-1, node.Theta)
+		delta.Axpy(1/float64(len(node.Children)), diff)
+	}
+	// Outer (Reptile-style) step toward the mean child initialization.
+	node.Theta.Axpy(1, delta)
+	return lossSum / float64(len(node.Children))
+}

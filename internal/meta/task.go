@@ -1,0 +1,117 @@
+// Package meta implements the paper's worker-specific mobility prediction
+// training stack: learning tasks (one per worker), first-order MAML
+// meta-training inside a cluster (Algorithm 3), the recursive task-adaptive
+// meta-learning over the learning task tree (TAML, Algorithm 2), the
+// end-to-end GTTAML trainer that combines GTMC clustering with TAML, the
+// MAML and CTML baselines of §IV, and the cold-start placement of newly
+// arrived workers onto the trained tree.
+package meta
+
+import (
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/sim"
+)
+
+// LearningTask is Γ_i: the task of learning worker w_i's mobility pattern.
+// Support and Query are the adaptation and evaluation halves of the worker's
+// trajectory dataset 𝔻, already mapped to model space. Features carries the
+// clustering representations of §III-B (POI sequence, k-step gradient
+// learning path, location distribution); Path is filled in lazily by
+// ComputeLearningPaths.
+type LearningTask struct {
+	WorkerID int
+	Support  []nn.Sample
+	Query    []nn.Sample
+	Features sim.Features
+}
+
+// Config collects every hyperparameter of the meta-learning stack.
+type Config struct {
+	// Arch selects the network architecture: nn.ArchLSTM (default) or
+	// nn.ArchGRU. The meta-learning algorithms are model-agnostic.
+	Arch string
+	// Model architecture sizes.
+	InDim, OutDim, Hidden int
+
+	// MetaLR is the meta-learning rate α of Algorithms 2–3.
+	MetaLR float64
+	// AdaptLR is the adapt (inner-loop) rate β.
+	AdaptLR float64
+	// AdaptSteps is k, the number of inner-loop steps per task.
+	AdaptSteps int
+	// MetaIters is the number of meta-iterations per cluster.
+	MetaIters int
+	// TaskBatch is m, the number of learning tasks sampled per iteration.
+	TaskBatch int
+	// Loss drives both inner and outer objectives; typically nn.MSE or the
+	// task-assignment-oriented nn.WeightedMSE.
+	Loss nn.Loss
+	// ClipNorm bounds gradient norms (0 disables).
+	ClipNorm float64
+	// Parallelism is the number of goroutines adapting batch tasks
+	// concurrently inside MetaTrain (0 = GOMAXPROCS). Results are
+	// deterministic for a fixed parallelism level.
+	Parallelism int
+	// Rng seeds model initialization and task sampling. Required.
+	Rng *rand.Rand
+}
+
+// DefaultConfig returns laptop-scale hyperparameters that keep the paper's
+// regime (few-step adaptation, small batches) while training in seconds.
+func DefaultConfig(rng *rand.Rand) Config {
+	return Config{
+		InDim:      2,
+		OutDim:     2,
+		Hidden:     16,
+		MetaLR:     0.01,
+		AdaptLR:    0.05,
+		AdaptSteps: 3,
+		MetaIters:  30,
+		TaskBatch:  8,
+		Loss:       nn.MSE{},
+		ClipNorm:   5,
+		Rng:        rng,
+	}
+}
+
+// NewModel constructs a fresh network with the configured architecture.
+func (c Config) NewModel() nn.Model {
+	if c.Arch == nn.ArchGRU {
+		return nn.NewGRUSeq2Seq(c.InDim, c.OutDim, c.Hidden, c.Rng)
+	}
+	return nn.NewSeq2Seq(c.InDim, c.OutDim, c.Hidden, c.Rng)
+}
+
+// Adapt performs k inner-loop SGD steps on the task's support set starting
+// from the model's current weights (Algorithm 3, lines 4–7), mutating the
+// model in place. It returns the gradient at each step — the task's k-step
+// learning path ℤ used by Sim_l.
+func Adapt(m nn.Model, task *LearningTask, steps int, lr float64, loss nn.Loss, clipNorm float64) []nn.Vector {
+	path := make([]nn.Vector, 0, steps)
+	grad := nn.NewVector(m.NumParams())
+	opt := nn.SGD{LR: lr, ClipNorm: clipNorm}
+	for s := 0; s < steps; s++ {
+		m.BatchGrad(task.Support, loss, grad)
+		path = append(path, grad.Clone())
+		opt.Step(m.Weights(), grad)
+	}
+	return path
+}
+
+// ComputeLearningPaths fills task.Features.Path for every task by adapting
+// a model initialized at the shared weights init. Sharing the starting point
+// is what makes gradient paths comparable across tasks (Eq. 2).
+func ComputeLearningPaths(tasks []*LearningTask, cfg Config, init nn.Vector) {
+	m := cfg.NewModel()
+	for _, t := range tasks {
+		m.SetWeights(init)
+		t.Features.Path = Adapt(m, t, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm)
+	}
+}
+
+// QueryLoss evaluates the model (already adapted) on the task's query set.
+func QueryLoss(m nn.Model, task *LearningTask, loss nn.Loss) float64 {
+	return m.BatchLoss(task.Query, loss)
+}

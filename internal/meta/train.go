@@ -1,0 +1,267 @@
+package meta
+
+import (
+	"fmt"
+
+	"github.com/spatialcrowd/tamp/internal/cluster"
+	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/sim"
+)
+
+// Algorithm names reported by Trained.Algorithm, matching §IV's compared
+// mobility prediction algorithms.
+const (
+	AlgMAML     = "MAML"
+	AlgCTML     = "CTML"
+	AlgGTTAMLGT = "GTTAML-GT" // GTMC replaced by plain k-means multi-level clustering
+	AlgGTTAML   = "GTTAML"
+)
+
+// Trained is the output of meta-training: a learning task tree whose nodes
+// carry trained initialization parameters, plus the configuration needed to
+// adapt per-worker models from it.
+type Trained struct {
+	Algorithm string
+	Tree      *cluster.TreeNode
+	Tasks     []*LearningTask
+	Cfg       Config
+	// Matrices holds the similarity matrices (parallel to Metrics) used
+	// during clustering; reused for cold-start placement. Nil for baselines
+	// that do not cluster by these metrics.
+	Matrices []*sim.Matrix
+	Metrics  []sim.Metric
+	// MeanLoss is the average query loss reported by the final TAML pass.
+	MeanLoss float64
+
+	leafOf map[int]*cluster.TreeNode
+}
+
+// LeafFor returns the tree leaf whose cluster contains the given task index.
+func (t *Trained) LeafFor(taskIdx int) *cluster.TreeNode {
+	if t.leafOf == nil {
+		t.leafOf = map[int]*cluster.TreeNode{}
+		for _, leaf := range t.Tree.Leaves() {
+			for _, m := range leaf.Members {
+				t.leafOf[m] = leaf
+			}
+		}
+	}
+	return t.leafOf[taskIdx]
+}
+
+// InitFor returns the trained initialization for the given task index
+// (its leaf's θ).
+func (t *Trained) InitFor(taskIdx int) nn.Vector {
+	if leaf := t.LeafFor(taskIdx); leaf != nil && leaf.Theta != nil {
+		return leaf.Theta
+	}
+	return t.Tree.Theta
+}
+
+// AdaptedModel clones the architecture, loads the task's initialization,
+// and adapts it on the task's support set, returning the personalized
+// mobility model for the worker.
+func (t *Trained) AdaptedModel(taskIdx int) nn.Model {
+	m := t.Cfg.NewModel()
+	m.SetWeights(t.InitFor(taskIdx))
+	Adapt(m, t.Tasks[taskIdx], t.Cfg.AdaptSteps, t.Cfg.AdaptLR, t.Cfg.Loss, t.Cfg.ClipNorm)
+	return m
+}
+
+// TrainGTTAML runs the full pipeline of §III-B: compute learning paths,
+// build the three similarity matrices, cluster with GTMC (Algorithm 1), and
+// meta-train the tree with TAML (Algorithm 2). With ccfg.UseGame=false this
+// is the GTTAML-GT ablation variant.
+func TrainGTTAML(tasks []*LearningTask, cfg Config, ccfg cluster.Config) (*Trained, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("meta: no learning tasks")
+	}
+	if ccfg.Rng == nil {
+		ccfg.Rng = cfg.Rng
+	}
+	// The learning-path factor needs per-task gradient paths from a shared
+	// starting point.
+	model := cfg.NewModel()
+	init := model.Weights().Clone()
+	if metricsInclude(ccfg.Metrics, sim.LearningPath) {
+		ComputeLearningPaths(tasks, cfg, init)
+	}
+	matrices := make([]*sim.Matrix, len(ccfg.Metrics))
+	for mi, metric := range ccfg.Metrics {
+		matrices[mi] = sim.NewMatrix(len(tasks), func(i, j int) float64 {
+			return sim.Similarity(metric, &tasks[i].Features, &tasks[j].Features)
+		})
+	}
+	tree := cluster.BuildTree(matrices, ccfg)
+	loss := TAML(tree, tasks, cfg, init)
+
+	name := AlgGTTAML
+	if !ccfg.UseGame {
+		name = AlgGTTAMLGT
+	}
+	return &Trained{
+		Algorithm: name,
+		Tree:      tree,
+		Tasks:     tasks,
+		Cfg:       cfg,
+		Matrices:  matrices,
+		Metrics:   ccfg.Metrics,
+		MeanLoss:  loss,
+	}, nil
+}
+
+// TrainMAML is the plain MAML baseline [15]: no clustering, one shared
+// initialization meta-trained over every learning task.
+func TrainMAML(tasks []*LearningTask, cfg Config) (*Trained, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("meta: no learning tasks")
+	}
+	root := &cluster.TreeNode{Level: -1}
+	for i := range tasks {
+		root.Members = append(root.Members, i)
+	}
+	model := cfg.NewModel()
+	init := model.Weights().Clone()
+	loss := TAML(root, tasks, cfg, init)
+	return &Trained{
+		Algorithm: AlgMAML,
+		Tree:      root,
+		Tasks:     tasks,
+		Cfg:       cfg,
+		MeanLoss:  loss,
+	}, nil
+}
+
+// CTMLClusters is the number of soft-k-means clusters used by the CTML
+// baseline.
+const CTMLClusters = 4
+
+// TrainCTML is the clustered task-aware meta-learning baseline [41]: tasks
+// are embedded by input-data features concatenated with a parameter-based
+// learning path (the adapted parameter snapshots, not gradients), clustered
+// by soft k-means, and each cluster is meta-trained independently under a
+// single-level tree.
+func TrainCTML(tasks []*LearningTask, cfg Config) (*Trained, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("meta: no learning tasks")
+	}
+	model := cfg.NewModel()
+	init := model.Weights().Clone()
+
+	embed := make([]nn.Vector, len(tasks))
+	for i, t := range tasks {
+		embed[i] = ctmlEmbedding(model, init, t, cfg)
+	}
+	assign, _ := cluster.SoftKMeans(embed, CTMLClusters, 2, 30, cfg.Rng)
+	groups := cluster.Groups(assign, CTMLClusters)
+
+	root := &cluster.TreeNode{Level: -1}
+	for i := range tasks {
+		root.Members = append(root.Members, i)
+	}
+	for _, g := range groups {
+		root.Children = append(root.Children, &cluster.TreeNode{Members: g, Parent: root, Level: 0})
+	}
+	loss := TAML(root, tasks, cfg, init)
+	return &Trained{
+		Algorithm: AlgCTML,
+		Tree:      root,
+		Tasks:     tasks,
+		Cfg:       cfg,
+		MeanLoss:  loss,
+	}, nil
+}
+
+// ctmlEmbedding builds CTML's task representation: summary statistics of the
+// task's input data followed by the parameter snapshots visited during
+// adaptation (subsampled to bound dimensionality).
+func ctmlEmbedding(model nn.Model, init nn.Vector, t *LearningTask, cfg Config) nn.Vector {
+	// Input-data features: mean and standard deviation per dimension over
+	// the support inputs.
+	var meanX, meanY, m2X, m2Y float64
+	var n float64
+	for _, s := range t.Support {
+		for _, p := range s.In {
+			n++
+			meanX += p[0]
+			meanY += p[1]
+			m2X += p[0] * p[0]
+			m2Y += p[1] * p[1]
+		}
+	}
+	if n > 0 {
+		meanX /= n
+		meanY /= n
+		m2X = m2X/n - meanX*meanX
+		m2Y = m2Y/n - meanY*meanY
+	}
+	out := nn.Vector{meanX, meanY, m2X, m2Y}
+
+	// Parameter-based learning path: adapted weights after each step,
+	// subsampled every stride-th parameter.
+	model.SetWeights(init)
+	grad := nn.NewVector(model.NumParams())
+	opt := nn.SGD{LR: cfg.AdaptLR, ClipNorm: cfg.ClipNorm}
+	stride := model.NumParams()/16 + 1
+	for s := 0; s < cfg.AdaptSteps; s++ {
+		model.BatchGrad(t.Support, cfg.Loss, grad)
+		opt.Step(model.Weights(), grad)
+		w := model.Weights()
+		for i := 0; i < len(w); i += stride {
+			out = append(out, w[i])
+		}
+	}
+	return out
+}
+
+// PlaceNew implements the cold-start placement of §III-B: given a newly
+// arrived worker's learning task, traverse the trained tree depth-first in
+// post-order, compute the mean similarity between the new task and the
+// tasks inside each node, and return the most similar node. The caller then
+// initializes the new worker's model with that node's θ.
+//
+// Similarity uses the first metric the trainer clustered by (for GTTAML,
+// Sim_d); trainers without matrices fall back to the tree root.
+func (t *Trained) PlaceNew(f *sim.Features) *cluster.TreeNode {
+	if len(t.Metrics) == 0 || t.Tree == nil {
+		return t.Tree
+	}
+	metric := t.Metrics[0]
+	best := t.Tree
+	bestSim := -1.0
+	t.Tree.PostOrder(func(n *cluster.TreeNode) {
+		if len(n.Members) == 0 || n.Theta == nil {
+			return
+		}
+		var sum float64
+		for _, mi := range n.Members {
+			sum += sim.Similarity(metric, f, &t.Tasks[mi].Features)
+		}
+		if avg := sum / float64(len(n.Members)); avg > bestSim {
+			bestSim, best = avg, n
+		}
+	})
+	return best
+}
+
+// AdaptNew builds a model for a newly arrived worker: place the task on the
+// tree, initialize from the chosen node, adapt on the new task's support
+// set.
+func (t *Trained) AdaptNew(task *LearningTask) nn.Model {
+	node := t.PlaceNew(&task.Features)
+	m := t.Cfg.NewModel()
+	if node != nil && node.Theta != nil {
+		m.SetWeights(node.Theta)
+	}
+	Adapt(m, task, t.Cfg.AdaptSteps, t.Cfg.AdaptLR, t.Cfg.Loss, t.Cfg.ClipNorm)
+	return m
+}
+
+func metricsInclude(ms []sim.Metric, m sim.Metric) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}

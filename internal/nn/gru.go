@@ -1,0 +1,312 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// gruCell is a single-layer GRU with a packed weight layout: rows = 3*hidden
+// for the update (z), reset (r), and candidate (h̃) blocks, cols = in +
+// hidden + 1 (bias last). Update rule:
+//
+//	z = σ(W_z·[x; hPrev] + b_z)
+//	r = σ(W_r·[x; hPrev] + b_r)
+//	h̃ = tanh(W_h·[x; r⊙hPrev] + b_h)
+//	h = (1−z)⊙hPrev + z⊙h̃
+type gruCell struct {
+	in, hidden int
+}
+
+func (c gruCell) numParams() int { return 3 * c.hidden * (c.in + c.hidden + 1) }
+func (c gruCell) cols() int      { return c.in + c.hidden + 1 }
+
+type gruStep struct {
+	x     []float64
+	hPrev []float64
+	z, r  []float64
+	hCand []float64
+	rh    []float64 // r ⊙ hPrev, the recurrent input of the candidate
+	h     []float64
+}
+
+func (c gruCell) forward(w Vector, x, hPrev []float64) gruStep {
+	h := c.hidden
+	cols := c.cols()
+	st := gruStep{
+		x: x, hPrev: hPrev,
+		z: make([]float64, h), r: make([]float64, h),
+		hCand: make([]float64, h), rh: make([]float64, h), h: make([]float64, h),
+	}
+	rowDot := func(r int, rec []float64) float64 {
+		row := w[r*cols : (r+1)*cols]
+		s := row[c.in+h]
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		for j, hv := range rec {
+			s += row[c.in+j] * hv
+		}
+		return s
+	}
+	for k := 0; k < h; k++ {
+		st.z[k] = sigmoid(rowDot(k, hPrev))
+		st.r[k] = sigmoid(rowDot(h+k, hPrev))
+	}
+	for k := 0; k < h; k++ {
+		st.rh[k] = st.r[k] * hPrev[k]
+	}
+	for k := 0; k < h; k++ {
+		st.hCand[k] = math.Tanh(rowDot(2*h+k, st.rh))
+		st.h[k] = (1-st.z[k])*hPrev[k] + st.z[k]*st.hCand[k]
+	}
+	return st
+}
+
+func (c gruCell) backward(w, grad Vector, st gruStep, dh []float64) (dhPrev, dx []float64) {
+	h := c.hidden
+	cols := c.cols()
+	dhPrev = make([]float64, h)
+	dx = make([]float64, c.in)
+
+	dzPre := make([]float64, h) // pre-activation grad of z
+	drPre := make([]float64, h) // pre-activation grad of r
+	dcPre := make([]float64, h) // pre-activation grad of h̃
+	drh := make([]float64, h)   // grad of r⊙hPrev
+
+	for k := 0; k < h; k++ {
+		dz := dh[k] * (st.hCand[k] - st.hPrev[k])
+		dc := dh[k] * st.z[k]
+		dhPrev[k] += dh[k] * (1 - st.z[k])
+		dzPre[k] = dz * st.z[k] * (1 - st.z[k])
+		dcPre[k] = dc * (1 - st.hCand[k]*st.hCand[k])
+	}
+	// Candidate block: inputs [x; rh].
+	for k := 0; k < h; k++ {
+		d := dcPre[k]
+		if d == 0 {
+			continue
+		}
+		r := 2*h + k
+		row := w[r*cols : (r+1)*cols]
+		grow := grad[r*cols : (r+1)*cols]
+		for j, xv := range st.x {
+			grow[j] += d * xv
+			dx[j] += d * row[j]
+		}
+		for j, hv := range st.rh {
+			grow[c.in+j] += d * hv
+			drh[j] += d * row[c.in+j]
+		}
+		grow[c.in+h] += d
+	}
+	for k := 0; k < h; k++ {
+		dr := drh[k] * st.hPrev[k]
+		dhPrev[k] += drh[k] * st.r[k]
+		drPre[k] = dr * st.r[k] * (1 - st.r[k])
+	}
+	// Update and reset blocks: inputs [x; hPrev].
+	apply := func(block int, dPre []float64) {
+		for k := 0; k < h; k++ {
+			d := dPre[k]
+			if d == 0 {
+				continue
+			}
+			r := block*h + k
+			row := w[r*cols : (r+1)*cols]
+			grow := grad[r*cols : (r+1)*cols]
+			for j, xv := range st.x {
+				grow[j] += d * xv
+				dx[j] += d * row[j]
+			}
+			for j, hv := range st.hPrev {
+				grow[c.in+j] += d * hv
+				dhPrev[j] += d * row[c.in+j]
+			}
+			grow[c.in+h] += d
+		}
+	}
+	apply(0, dzPre)
+	apply(1, drPre)
+	return dhPrev, dx
+}
+
+// GRUSeq2Seq is the GRU variant of the encoder–decoder mobility model,
+// matching the RNN encoder–decoder of Cho et al. [27] that the paper cites.
+// Structure mirrors Seq2Seq: encoder GRU, decoder GRU seeded by the encoder
+// state, and a residual displacement head.
+type GRUSeq2Seq struct {
+	InDim  int
+	OutDim int
+	Hidden int
+
+	enc gruCell
+	dec gruCell
+	out linear
+
+	w Vector
+
+	encOff, decOff, outOff int
+}
+
+// NewGRUSeq2Seq constructs a GRU encoder–decoder with small random weights
+// and a zero displacement head.
+func NewGRUSeq2Seq(inDim, outDim, hidden int, rng *rand.Rand) *GRUSeq2Seq {
+	m := &GRUSeq2Seq{
+		InDim:  inDim,
+		OutDim: outDim,
+		Hidden: hidden,
+		enc:    gruCell{in: inDim, hidden: hidden},
+		dec:    gruCell{in: outDim, hidden: hidden},
+		out:    linear{in: hidden, out: outDim},
+	}
+	m.encOff = 0
+	m.decOff = m.enc.numParams()
+	m.outOff = m.decOff + m.dec.numParams()
+	n := m.outOff + m.out.numParams()
+	scale := 1 / math.Sqrt(float64(hidden+inDim))
+	m.w = RandomVector(n, scale, rng)
+	for i := m.outOff; i < len(m.w); i++ {
+		m.w[i] = 0
+	}
+	return m
+}
+
+// NumParams implements Model.
+func (m *GRUSeq2Seq) NumParams() int { return len(m.w) }
+
+// Weights implements Model.
+func (m *GRUSeq2Seq) Weights() Vector { return m.w }
+
+// SetWeights implements Model.
+func (m *GRUSeq2Seq) SetWeights(w Vector) {
+	if len(w) != len(m.w) {
+		panic(fmt.Sprintf("nn: SetWeights length %d != %d", len(w), len(m.w)))
+	}
+	copy(m.w, w)
+}
+
+// CloneModel implements Model.
+func (m *GRUSeq2Seq) CloneModel() Model {
+	cp := *m
+	cp.w = m.w.Clone()
+	return &cp
+}
+
+// ArchName implements Model.
+func (m *GRUSeq2Seq) ArchName() string { return ArchGRU }
+
+func (m *GRUSeq2Seq) encW() Vector { return m.w[m.encOff:m.decOff] }
+func (m *GRUSeq2Seq) decW() Vector { return m.w[m.decOff:m.outOff] }
+func (m *GRUSeq2Seq) outW() Vector { return m.w[m.outOff:] }
+
+type gruTrace struct {
+	encSteps []gruStep
+	decSteps []gruStep
+	preds    [][]float64
+}
+
+func (m *GRUSeq2Seq) forward(in [][]float64, seqOut int) *gruTrace {
+	h := make([]float64, m.Hidden)
+	tr := &gruTrace{}
+	for _, x := range in {
+		st := m.enc.forward(m.encW(), x, h)
+		tr.encSteps = append(tr.encSteps, st)
+		h = st.h
+	}
+	prev := make([]float64, m.OutDim)
+	if len(in) > 0 {
+		copy(prev, in[len(in)-1])
+	}
+	for t := 0; t < seqOut; t++ {
+		st := m.dec.forward(m.decW(), prev, h)
+		tr.decSteps = append(tr.decSteps, st)
+		h = st.h
+		y := m.out.forward(m.outW(), st.h)
+		for d := range y {
+			y[d] += prev[d]
+		}
+		tr.preds = append(tr.preds, y)
+		prev = y
+	}
+	return tr
+}
+
+// Predict implements Model.
+func (m *GRUSeq2Seq) Predict(in [][]float64, seqOut int) [][]float64 {
+	return m.forward(in, seqOut).preds
+}
+
+// Grad implements Model.
+func (m *GRUSeq2Seq) Grad(in, target [][]float64, loss Loss, grad Vector) float64 {
+	if len(grad) != len(m.w) {
+		panic(fmt.Sprintf("nn: Grad vector length %d != %d", len(grad), len(m.w)))
+	}
+	tr := m.forward(in, len(target))
+	dPreds := make([][]float64, len(tr.preds))
+	for i := range dPreds {
+		dPreds[i] = make([]float64, m.OutDim)
+	}
+	lossVal := loss.LossGrad(tr.preds, target, dPreds)
+
+	encG := grad[m.encOff:m.decOff]
+	decG := grad[m.decOff:m.outOff]
+	outG := grad[m.outOff:]
+
+	dh := make([]float64, m.Hidden)
+	var dNextIn []float64
+	for t := len(tr.decSteps) - 1; t >= 0; t-- {
+		dy := make([]float64, m.OutDim)
+		copy(dy, dPreds[t])
+		if dNextIn != nil {
+			for i := range dy {
+				dy[i] += dNextIn[i]
+			}
+		}
+		dhOut := m.out.backward(m.outW(), outG, tr.decSteps[t].h, dy)
+		for i := range dh {
+			dh[i] += dhOut[i]
+		}
+		var dx []float64
+		dh, dx = m.dec.backward(m.decW(), decG, tr.decSteps[t], dh)
+		for i := range dx {
+			dx[i] += dy[i] // residual path
+		}
+		dNextIn = dx
+	}
+	for t := len(tr.encSteps) - 1; t >= 0; t-- {
+		dh, _ = m.enc.backward(m.encW(), encG, tr.encSteps[t], dh)
+	}
+	return lossVal
+}
+
+// BatchLoss implements Model.
+func (m *GRUSeq2Seq) BatchLoss(batch []Sample, loss Loss) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range batch {
+		preds := m.Predict(s.In, len(s.Out))
+		d := make([][]float64, len(preds))
+		for i := range d {
+			d[i] = make([]float64, m.OutDim)
+		}
+		sum += loss.LossGrad(preds, s.Out, d)
+	}
+	return sum / float64(len(batch))
+}
+
+// BatchGrad implements Model.
+func (m *GRUSeq2Seq) BatchGrad(batch []Sample, loss Loss, grad Vector) float64 {
+	grad.Zero()
+	if len(batch) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range batch {
+		sum += m.Grad(s.In, s.Out, loss, grad)
+	}
+	grad.Scale(1 / float64(len(batch)))
+	return sum / float64(len(batch))
+}

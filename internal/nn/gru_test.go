@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGRUGradCheck validates the GRU encoder–decoder's analytic gradient
+// against central finite differences over every parameter.
+func TestGRUGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m := NewGRUSeq2Seq(2, 2, 4, rng)
+	// Give the zero head signal so its gradient path is exercised.
+	w := m.Weights()
+	for i := m.outOff; i < len(w); i++ {
+		w[i] = rng.NormFloat64() * 0.1
+	}
+	s := randSample(rng, 2, 2, 3, 2)
+	loss := MSE{}
+
+	grad := NewVector(m.NumParams())
+	m.Grad(s.In, s.Out, loss, grad)
+
+	const eps = 1e-5
+	maxRel := 0.0
+	for i := 0; i < m.NumParams(); i++ {
+		orig := w[i]
+		w[i] = orig + eps
+		lp := m.BatchLoss([]Sample{s}, loss)
+		w[i] = orig - eps
+		lm := m.BatchLoss([]Sample{s}, loss)
+		w[i] = orig
+		num := (lp - lm) / (2 * eps)
+		denom := math.Max(math.Abs(num)+math.Abs(grad[i]), 1e-6)
+		rel := math.Abs(num-grad[i]) / denom
+		if rel > maxRel {
+			maxRel = rel
+		}
+		if rel > 1e-3 && math.Abs(num-grad[i]) > 1e-6 {
+			t.Fatalf("param %d: analytic %v vs numeric %v (rel %v)", i, grad[i], num, rel)
+		}
+	}
+	t.Logf("max relative gradient error: %.2e", maxRel)
+}
+
+func TestGRULearnsLinearMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	m := NewGRUSeq2Seq(2, 2, 8, rng)
+	var batch []Sample
+	for i := 0; i < 32; i++ {
+		x0, y0 := rng.Float64()-0.5, rng.Float64()-0.5
+		vx, vy := rng.NormFloat64()*0.05, rng.NormFloat64()*0.05
+		var s Sample
+		for k := 0; k < 4; k++ {
+			s.In = append(s.In, []float64{x0 + vx*float64(k), y0 + vy*float64(k)})
+		}
+		s.Out = append(s.Out, []float64{x0 + vx*4, y0 + vy*4})
+		batch = append(batch, s)
+	}
+	grad := NewVector(m.NumParams())
+	before := m.BatchLoss(batch, MSE{})
+	opt := NewAdam(0.01)
+	for it := 0; it < 200; it++ {
+		m.BatchGrad(batch, MSE{}, grad)
+		opt.Step(m.Weights(), grad)
+	}
+	after := m.BatchLoss(batch, MSE{})
+	if after > before*0.3 {
+		t.Errorf("GRU training did not converge: %v -> %v", before, after)
+	}
+}
+
+func TestGRUModelInterface(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	var m Model = NewGRUSeq2Seq(3, 2, 4, rng)
+	if m.ArchName() != ArchGRU {
+		t.Errorf("arch = %q", m.ArchName())
+	}
+	cp := m.CloneModel()
+	cp.Weights()[0] += 5
+	if m.Weights()[0] == cp.Weights()[0] {
+		t.Error("CloneModel shares storage")
+	}
+	var l Model = NewSeq2Seq(3, 2, 4, rng)
+	if l.ArchName() != ArchLSTM {
+		t.Errorf("lstm arch = %q", l.ArchName())
+	}
+}
+
+func TestGRUZeroHeadPredictsStandStill(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := NewGRUSeq2Seq(2, 2, 4, rng)
+	in := [][]float64{{0.1, 0.2}, {0.15, 0.25}}
+	preds := m.Predict(in, 3)
+	for _, p := range preds {
+		if p[0] != 0.15 || p[1] != 0.25 {
+			t.Fatalf("untrained GRU should predict the last input, got %v", p)
+		}
+	}
+}
+
+func TestGRUSetWeightsPanics(t *testing.T) {
+	m := NewGRUSeq2Seq(2, 2, 3, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.SetWeights(NewVector(1))
+}

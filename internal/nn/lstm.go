@@ -1,0 +1,158 @@
+package nn
+
+import "math"
+
+// lstmCell is a single-layer LSTM with a packed weight layout.
+//
+// The weight matrix for the four gates (input i, forget f, cell g, output o)
+// is stored row-major as rows = 4*hidden, cols = in + hidden + 1; the final
+// column is the bias. Gate pre-activations for gate block k of row r are
+//
+//	z[k*h+r] = Σ_j W[k*h+r][j]·x[j] + Σ_j W[k*h+r][in+j]·hPrev[j] + W[k*h+r][in+h]
+//
+// The cell does not own parameter storage: weights are a view into the
+// model's flat Vector so meta-learning can manipulate all parameters at once.
+type lstmCell struct {
+	in, hidden int
+}
+
+func (c lstmCell) numParams() int { return 4 * c.hidden * (c.in + c.hidden + 1) }
+
+func (c lstmCell) cols() int { return c.in + c.hidden + 1 }
+
+// lstmStep caches everything the backward pass needs for one time step.
+type lstmStep struct {
+	x          []float64 // input at this step
+	hPrev      []float64
+	cPrev      []float64
+	i, f, g, o []float64 // gate activations
+	cNew       []float64
+	tanhC      []float64
+	h          []float64
+}
+
+// forward computes one LSTM step, returning the cached step record.
+func (c lstmCell) forward(w Vector, x, hPrev, cPrev []float64) lstmStep {
+	h := c.hidden
+	cols := c.cols()
+	st := lstmStep{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		i: make([]float64, h), f: make([]float64, h),
+		g: make([]float64, h), o: make([]float64, h),
+		cNew: make([]float64, h), tanhC: make([]float64, h), h: make([]float64, h),
+	}
+	for r := 0; r < 4*h; r++ {
+		row := w[r*cols : (r+1)*cols]
+		z := row[c.in+h] // bias
+		for j, xv := range x {
+			z += row[j] * xv
+		}
+		for j, hv := range hPrev {
+			z += row[c.in+j] * hv
+		}
+		gate, idx := r/h, r%h
+		switch gate {
+		case 0:
+			st.i[idx] = sigmoid(z)
+		case 1:
+			st.f[idx] = sigmoid(z)
+		case 2:
+			st.g[idx] = math.Tanh(z)
+		case 3:
+			st.o[idx] = sigmoid(z)
+		}
+	}
+	for k := 0; k < h; k++ {
+		st.cNew[k] = st.f[k]*cPrev[k] + st.i[k]*st.g[k]
+		st.tanhC[k] = math.Tanh(st.cNew[k])
+		st.h[k] = st.o[k] * st.tanhC[k]
+	}
+	return st
+}
+
+// backward accumulates gradients for one step. dh and dc are the gradients
+// flowing into this step's h and c outputs; it returns the gradients to
+// propagate to hPrev, cPrev, and the step's input x. grad views the cell's
+// slice of the flat gradient vector.
+func (c lstmCell) backward(w, grad Vector, st lstmStep, dh, dc []float64) (dhPrev, dcPrev, dx []float64) {
+	h := c.hidden
+	cols := c.cols()
+	dhPrev = make([]float64, h)
+	dcPrev = make([]float64, h)
+	dx = make([]float64, c.in)
+
+	dz := make([]float64, 4*h)
+	for k := 0; k < h; k++ {
+		do := dh[k] * st.tanhC[k]
+		dcT := dh[k]*st.o[k]*(1-st.tanhC[k]*st.tanhC[k]) + dc[k]
+		di := dcT * st.g[k]
+		df := dcT * st.cPrev[k]
+		dg := dcT * st.i[k]
+		dcPrev[k] = dcT * st.f[k]
+		// Through the gate nonlinearities.
+		dz[0*h+k] = di * st.i[k] * (1 - st.i[k])
+		dz[1*h+k] = df * st.f[k] * (1 - st.f[k])
+		dz[2*h+k] = dg * (1 - st.g[k]*st.g[k])
+		dz[3*h+k] = do * st.o[k] * (1 - st.o[k])
+	}
+	for r := 0; r < 4*h; r++ {
+		d := dz[r]
+		if d == 0 {
+			continue
+		}
+		row := w[r*cols : (r+1)*cols]
+		grow := grad[r*cols : (r+1)*cols]
+		for j, xv := range st.x {
+			grow[j] += d * xv
+			dx[j] += d * row[j]
+		}
+		for j, hv := range st.hPrev {
+			grow[c.in+j] += d * hv
+			dhPrev[j] += d * row[c.in+j]
+		}
+		grow[c.in+h] += d
+	}
+	return dhPrev, dcPrev, dx
+}
+
+// linear is a dense layer y = W·x + b with packed layout rows = out,
+// cols = in + 1 (bias last).
+type linear struct {
+	in, out int
+}
+
+func (l linear) numParams() int { return l.out * (l.in + 1) }
+
+func (l linear) forward(w Vector, x []float64) []float64 {
+	y := make([]float64, l.out)
+	cols := l.in + 1
+	for r := 0; r < l.out; r++ {
+		row := w[r*cols : (r+1)*cols]
+		z := row[l.in]
+		for j, xv := range x {
+			z += row[j] * xv
+		}
+		y[r] = z
+	}
+	return y
+}
+
+// backward accumulates parameter gradients and returns dL/dx given dL/dy.
+func (l linear) backward(w, grad Vector, x, dy []float64) (dx []float64) {
+	dx = make([]float64, l.in)
+	cols := l.in + 1
+	for r := 0; r < l.out; r++ {
+		d := dy[r]
+		if d == 0 {
+			continue
+		}
+		row := w[r*cols : (r+1)*cols]
+		grow := grad[r*cols : (r+1)*cols]
+		for j, xv := range x {
+			grow[j] += d * xv
+			dx[j] += d * row[j]
+		}
+		grow[l.in] += d
+	}
+	return dx
+}

@@ -1,0 +1,41 @@
+package nn
+
+// Model is the contract the meta-learning stack requires of a mobility
+// prediction network: the paper's algorithms are model-agnostic and work
+// with "any machine learning model that can be updated via gradient
+// descent" (§III-B Discussion). All parameters live in one flat Vector.
+type Model interface {
+	// Predict runs the model on one input sequence, emitting seqOut steps.
+	Predict(in [][]float64, seqOut int) [][]float64
+	// Grad accumulates dLoss/dWeights for one sample into grad and returns
+	// the loss.
+	Grad(in, target [][]float64, loss Loss, grad Vector) float64
+	// BatchLoss returns the mean loss over a batch.
+	BatchLoss(batch []Sample, loss Loss) float64
+	// BatchGrad zeroes grad, accumulates the mean gradient over the batch,
+	// and returns the mean loss.
+	BatchGrad(batch []Sample, loss Loss, grad Vector) float64
+	// Weights returns the live flat parameter vector.
+	Weights() Vector
+	// SetWeights copies w into the model.
+	SetWeights(w Vector)
+	// NumParams returns the parameter count.
+	NumParams() int
+	// CloneModel returns an independent copy.
+	CloneModel() Model
+	// ArchName identifies the architecture for serialization ("lstm",
+	// "gru").
+	ArchName() string
+}
+
+// Architecture names.
+const (
+	ArchLSTM = "lstm"
+	ArchGRU  = "gru"
+)
+
+// CloneModel implements Model.
+func (m *Seq2Seq) CloneModel() Model { return m.Clone() }
+
+// ArchName implements Model.
+func (m *Seq2Seq) ArchName() string { return ArchLSTM }

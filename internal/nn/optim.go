@@ -1,0 +1,77 @@
+package nn
+
+import "math"
+
+// Optimizer updates a parameter vector in place given its gradient.
+type Optimizer interface {
+	Step(w, grad Vector)
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping,
+// used for the inner-loop adaptation steps of MAML (Algorithm 3, line 7).
+type SGD struct {
+	LR       float64
+	ClipNorm float64 // 0 disables clipping
+}
+
+// Step implements Optimizer.
+func (o SGD) Step(w, grad Vector) {
+	if o.ClipNorm > 0 {
+		grad.ClipNorm(o.ClipNorm)
+	}
+	w.Axpy(-o.LR, grad)
+}
+
+// Adam is the Adam optimizer, used for the outer meta-updates where noisy
+// per-cluster gradients benefit from adaptive step sizes.
+type Adam struct {
+	LR       float64
+	Beta1    float64 // default 0.9
+	Beta2    float64 // default 0.999
+	Eps      float64 // default 1e-8
+	ClipNorm float64 // 0 disables clipping
+
+	m, v Vector
+	t    int
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(w, grad Vector) {
+	if o.Beta1 == 0 {
+		o.Beta1 = 0.9
+	}
+	if o.Beta2 == 0 {
+		o.Beta2 = 0.999
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-8
+	}
+	if o.m == nil {
+		o.m = NewVector(len(w))
+		o.v = NewVector(len(w))
+	}
+	if o.ClipNorm > 0 {
+		grad.ClipNorm(o.ClipNorm)
+	}
+	o.t++
+	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
+	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i := range w {
+		o.m[i] = o.Beta1*o.m[i] + (1-o.Beta1)*grad[i]
+		o.v[i] = o.Beta2*o.v[i] + (1-o.Beta2)*grad[i]*grad[i]
+		mHat := o.m[i] / b1c
+		vHat := o.v[i] / b2c
+		w[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+	}
+}
+
+// Reset clears Adam's moment estimates, e.g. when reusing the optimizer for
+// a fresh model.
+func (o *Adam) Reset() {
+	o.m, o.v, o.t = nil, nil, 0
+}

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sample is one supervised sequence pair in model space: In is the observed
+// trajectory (seq_in steps of InDim values), Out the continuation to predict
+// (seq_out steps of OutDim values).
+type Sample struct {
+	In  [][]float64
+	Out [][]float64
+}
+
+// Seq2Seq is the LSTM-Encoder-Decoder mobility prediction model of §III-B:
+// an encoder LSTM consumes the input trajectory, its final state seeds a
+// decoder LSTM that autoregressively emits the predicted continuation, one
+// point per step, through a linear output head.
+//
+// The head is residual: each step predicts the displacement from the
+// previous position, y_t = y_{t−1} + W_o·h_t (+ b_o), with y_{−1} the last
+// observed input point. Trajectories move a little per tick, so a
+// zero-initialized displacement head starts at the strong "stand still"
+// baseline and only has to learn the motion.
+//
+// All parameters live in a single flat Vector (Weights), enabling the
+// meta-learning machinery to treat the model as a point in parameter space.
+type Seq2Seq struct {
+	InDim  int // input feature size per step (2: x, y)
+	OutDim int // output feature size per step (2: x, y)
+	Hidden int
+
+	enc lstmCell
+	dec lstmCell
+	out linear
+
+	w Vector
+
+	encOff, decOff, outOff int
+}
+
+// NewSeq2Seq constructs a model with small random weights drawn from rng.
+func NewSeq2Seq(inDim, outDim, hidden int, rng *rand.Rand) *Seq2Seq {
+	m := &Seq2Seq{
+		InDim:  inDim,
+		OutDim: outDim,
+		Hidden: hidden,
+		enc:    lstmCell{in: inDim, hidden: hidden},
+		dec:    lstmCell{in: outDim, hidden: hidden},
+		out:    linear{in: hidden, out: outDim},
+	}
+	m.encOff = 0
+	m.decOff = m.enc.numParams()
+	m.outOff = m.decOff + m.dec.numParams()
+	n := m.outOff + m.out.numParams()
+	// Xavier-style scale keeps gate pre-activations in the linear regime.
+	scale := 1 / math.Sqrt(float64(hidden+inDim))
+	m.w = RandomVector(n, scale, rng)
+	// Zero displacement head: the untrained model predicts "no movement",
+	// the natural baseline the residual architecture improves upon.
+	for i := m.outOff; i < len(m.w); i++ {
+		m.w[i] = 0
+	}
+	return m
+}
+
+// NumParams returns the size of the flat parameter vector.
+func (m *Seq2Seq) NumParams() int { return len(m.w) }
+
+// Weights returns the live parameter vector. Mutating it mutates the model.
+func (m *Seq2Seq) Weights() Vector { return m.w }
+
+// SetWeights copies w into the model. It panics if the length differs.
+func (m *Seq2Seq) SetWeights(w Vector) {
+	if len(w) != len(m.w) {
+		panic(fmt.Sprintf("nn: SetWeights length %d != %d", len(w), len(m.w)))
+	}
+	copy(m.w, w)
+}
+
+// Clone returns a structurally identical model with copied weights.
+func (m *Seq2Seq) Clone() *Seq2Seq {
+	cp := *m
+	cp.w = m.w.Clone()
+	return &cp
+}
+
+func (m *Seq2Seq) encW() Vector { return m.w[m.encOff:m.decOff] }
+func (m *Seq2Seq) decW() Vector { return m.w[m.decOff:m.outOff] }
+func (m *Seq2Seq) outW() Vector { return m.w[m.outOff:] }
+
+// Predict runs the model on one input sequence and returns seqOut predicted
+// steps of OutDim values each.
+func (m *Seq2Seq) Predict(in [][]float64, seqOut int) [][]float64 {
+	preds, _, _ := m.forward(in, seqOut)
+	return preds
+}
+
+type seq2seqTrace struct {
+	encSteps []lstmStep
+	decSteps []lstmStep
+	decIn    [][]float64 // decoder inputs per step
+	preds    [][]float64
+}
+
+func (m *Seq2Seq) forward(in [][]float64, seqOut int) ([][]float64, []float64, *seq2seqTrace) {
+	h := make([]float64, m.Hidden)
+	c := make([]float64, m.Hidden)
+	tr := &seq2seqTrace{}
+	for _, x := range in {
+		st := m.enc.forward(m.encW(), x, h, c)
+		tr.encSteps = append(tr.encSteps, st)
+		h, c = st.h, st.cNew
+	}
+	// The decoder's first input is the last observed point (projected to
+	// OutDim); afterwards it consumes its own previous prediction.
+	prev := make([]float64, m.OutDim)
+	if len(in) > 0 {
+		copy(prev, in[len(in)-1])
+	}
+	for t := 0; t < seqOut; t++ {
+		tr.decIn = append(tr.decIn, prev)
+		st := m.dec.forward(m.decW(), prev, h, c)
+		tr.decSteps = append(tr.decSteps, st)
+		h, c = st.h, st.cNew
+		y := m.out.forward(m.outW(), st.h)
+		for d := range y {
+			y[d] += prev[d] // residual: displacement from previous position
+		}
+		tr.preds = append(tr.preds, y)
+		prev = y
+	}
+	return tr.preds, h, tr
+}
+
+// Grad computes the loss of the model on (in, target) under loss and
+// accumulates dLoss/dWeights into grad (which must have NumParams length).
+// The autoregressive decoder input path is differentiated exactly: the
+// gradient of step t's prediction includes its effect on steps t+1….
+func (m *Seq2Seq) Grad(in, target [][]float64, loss Loss, grad Vector) float64 {
+	if len(grad) != len(m.w) {
+		panic(fmt.Sprintf("nn: Grad vector length %d != %d", len(grad), len(m.w)))
+	}
+	preds, _, tr := m.forward(in, len(target))
+	dPreds := make([][]float64, len(preds))
+	for i := range dPreds {
+		dPreds[i] = make([]float64, m.OutDim)
+	}
+	lossVal := loss.LossGrad(preds, target, dPreds)
+
+	encG := grad[m.encOff:m.decOff]
+	decG := grad[m.decOff:m.outOff]
+	outG := grad[m.outOff:]
+
+	dh := make([]float64, m.Hidden)
+	dc := make([]float64, m.Hidden)
+	// dNextIn carries the gradient of the next step's decoder input, which
+	// is this step's prediction.
+	var dNextIn []float64
+	for t := len(tr.decSteps) - 1; t >= 0; t-- {
+		dy := make([]float64, m.OutDim)
+		copy(dy, dPreds[t])
+		if dNextIn != nil {
+			for i := range dy {
+				dy[i] += dNextIn[i]
+			}
+		}
+		dhOut := m.out.backward(m.outW(), outG, tr.decSteps[t].h, dy)
+		for i := range dh {
+			dh[i] += dhOut[i]
+		}
+		var dx []float64
+		dh, dc, dx = m.dec.backward(m.decW(), decG, tr.decSteps[t], dh, dc)
+		// The previous prediction feeds step t twice: as the decoder input
+		// (dx) and through the residual head (dy).
+		for i := range dx {
+			dx[i] += dy[i]
+		}
+		dNextIn = dx
+	}
+	// The first decoder input is the last encoder input (data), so dNextIn
+	// stops here. Continue BPTT through the encoder.
+	for t := len(tr.encSteps) - 1; t >= 0; t-- {
+		dh, dc, _ = m.enc.backward(m.encW(), encG, tr.encSteps[t], dh, dc)
+	}
+	return lossVal
+}
+
+// BatchLoss returns the mean loss of the model over batch without computing
+// gradients.
+func (m *Seq2Seq) BatchLoss(batch []Sample, loss Loss) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range batch {
+		preds := m.Predict(s.In, len(s.Out))
+		d := make([][]float64, len(preds))
+		for i := range d {
+			d[i] = make([]float64, m.OutDim)
+		}
+		sum += loss.LossGrad(preds, s.Out, d)
+	}
+	return sum / float64(len(batch))
+}
+
+// BatchGrad accumulates the mean gradient of the loss over batch into grad
+// and returns the mean loss. grad is zeroed first.
+func (m *Seq2Seq) BatchGrad(batch []Sample, loss Loss, grad Vector) float64 {
+	grad.Zero()
+	if len(batch) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range batch {
+		sum += m.Grad(s.In, s.Out, loss, grad)
+	}
+	grad.Scale(1 / float64(len(batch)))
+	return sum / float64(len(batch))
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelFile is the on-disk representation of a Seq2Seq model.
+type modelFile struct {
+	Format  string `json:"format"`
+	InDim   int    `json:"inDim"`
+	OutDim  int    `json:"outDim"`
+	Hidden  int    `json:"hidden"`
+	Weights Vector `json:"weights"`
+}
+
+const modelFormat = "tamp-seq2seq-v1"
+
+// Save writes the model architecture and weights as JSON.
+func (m *Seq2Seq) Save(w io.Writer) error {
+	f := modelFile{
+		Format:  modelFormat,
+		InDim:   m.InDim,
+		OutDim:  m.OutDim,
+		Hidden:  m.Hidden,
+		Weights: m.w,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// LoadSeq2Seq reads a model previously written by Save.
+func LoadSeq2Seq(r io.Reader) (*Seq2Seq, error) {
+	var f modelFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	if f.Format != modelFormat {
+		return nil, fmt.Errorf("nn: unsupported model format %q", f.Format)
+	}
+	if f.InDim <= 0 || f.OutDim <= 0 || f.Hidden <= 0 {
+		return nil, fmt.Errorf("nn: invalid model dims %d/%d/%d", f.InDim, f.OutDim, f.Hidden)
+	}
+	m := &Seq2Seq{
+		InDim:  f.InDim,
+		OutDim: f.OutDim,
+		Hidden: f.Hidden,
+		enc:    lstmCell{in: f.InDim, hidden: f.Hidden},
+		dec:    lstmCell{in: f.OutDim, hidden: f.Hidden},
+		out:    linear{in: f.Hidden, out: f.OutDim},
+	}
+	m.encOff = 0
+	m.decOff = m.enc.numParams()
+	m.outOff = m.decOff + m.dec.numParams()
+	n := m.outOff + m.out.numParams()
+	if len(f.Weights) != n {
+		return nil, fmt.Errorf("nn: weight count %d, want %d", len(f.Weights), n)
+	}
+	m.w = f.Weights
+	return m, nil
+}

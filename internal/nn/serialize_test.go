@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSeq2SeqSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewSeq2Seq(4, 2, 6, rng)
+	// Give the zero-initialized head some non-trivial weights.
+	w := m.Weights()
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.2
+	}
+	s := randSample(rng, 4, 2, 3, 2)
+	want := m.Predict(s.In, 2)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSeq2Seq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.InDim != 4 || loaded.OutDim != 2 || loaded.Hidden != 6 {
+		t.Fatalf("dims lost: %d/%d/%d", loaded.InDim, loaded.OutDim, loaded.Hidden)
+	}
+	got := loaded.Predict(s.In, 2)
+	for i := range want {
+		for d := range want[i] {
+			if want[i][d] != got[i][d] {
+				t.Fatalf("prediction differs after round trip at %d,%d", i, d)
+			}
+		}
+	}
+}
+
+func TestLoadSeq2SeqErrors(t *testing.T) {
+	if _, err := LoadSeq2Seq(strings.NewReader("{")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := LoadSeq2Seq(strings.NewReader(`{"format":"nope"}`)); err == nil {
+		t.Error("expected format error")
+	}
+	if _, err := LoadSeq2Seq(strings.NewReader(
+		`{"format":"tamp-seq2seq-v1","inDim":0,"outDim":2,"hidden":4,"weights":[]}`)); err == nil {
+		t.Error("expected dim error")
+	}
+	if _, err := LoadSeq2Seq(strings.NewReader(
+		`{"format":"tamp-seq2seq-v1","inDim":2,"outDim":2,"hidden":4,"weights":[1,2]}`)); err == nil {
+		t.Error("expected weight-count error")
+	}
+}

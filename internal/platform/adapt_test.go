@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/predict"
+)
+
+func twoDayWorkload(t *testing.T) (*dataset.Workload, map[int]*predict.WorkerModel) {
+	t.Helper()
+	p := dataset.Defaults(dataset.Workload1)
+	p.NumWorkers = 8
+	p.NewWorkers = 0
+	p.TrainDays = 2
+	p.TestDays = 2
+	p.TicksPerDay = 50
+	p.NumTestTasks = 160
+	p.NumPOIs = 50
+	w := dataset.Generate(p)
+	res, err := predict.Train(w, predict.Options{SeqIn: 3, SeqOut: 1, Hidden: 6, MetaIters: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, res.Models
+}
+
+func TestDailyAdaptationRunsAndImprovesFit(t *testing.T) {
+	w, models := twoDayWorkload(t)
+	wk := &w.Workers[0]
+	model := models[wk.ID]
+
+	before := model.EvaluateOnRoutine(wk.TestDays[0], predict.DefaultMatchRadius)
+	model.AdaptOn(wk.TestDays[0], 5, 0.002)
+	after := model.EvaluateOnRoutine(wk.TestDays[0], predict.DefaultMatchRadius)
+	if after.RMSE >= before.RMSE {
+		t.Errorf("AdaptOn did not improve fit on the adapted day: %.4f -> %.4f", before.RMSE, after.RMSE)
+	}
+}
+
+func TestAdaptOnDegenerate(t *testing.T) {
+	w, models := twoDayWorkload(t)
+	model := models[w.Workers[0].ID]
+	wBefore := model.Model.Weights().Clone()
+	model.AdaptOn(w.Workers[0].TestDays[0], 0, 0.01) // zero steps: no-op
+	model.AdaptOn(w.Workers[0].TestDays[0], 3, 0)    // zero lr: no-op
+	var empty = w.Workers[0].TestDays[0]
+	empty.Points = empty.Points[:2] // too short for a sample
+	model.AdaptOn(empty, 3, 0.01)
+	for i, v := range model.Model.Weights() {
+		if v != wBefore[i] {
+			t.Fatal("degenerate AdaptOn changed weights")
+		}
+	}
+}
+
+func TestSimulateWithDailyAdaptation(t *testing.T) {
+	w, models := twoDayWorkload(t)
+	run := Run{
+		Workload:        w,
+		Models:          models,
+		Assigner:        assign.PPI{A: predict.DefaultMatchRadius},
+		DailyAdaptSteps: 3,
+	}
+	m := run.Simulate()
+	if m.Accepted == 0 {
+		t.Error("adaptive run completed nothing")
+	}
+	if m.Accepted > m.Assigned || m.Accepted > m.TotalTasks {
+		t.Error("accounting broken under adaptation")
+	}
+}

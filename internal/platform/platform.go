@@ -1,0 +1,249 @@
+// Package platform simulates the online stage of the spatial crowdsourcing
+// platform (Fig. 1): spatial tasks arrive over time, assignment runs in
+// batch mode once per tick (the paper's 2-minute window), workers accept or
+// reject assignments against their true itineraries and detour budgets, and
+// rejected tasks carry over to later batches until they expire.
+//
+// The simulator is the measurement harness behind Figs. 6–11: it accounts
+// task completion, rejection, worker detour cost, and assignment-algorithm
+// running time.
+package platform
+
+import (
+	"math"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/predict"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// Metrics aggregates one simulation run, the four measures of §IV-A.
+type Metrics struct {
+	TotalTasks int // tasks that arrived during the horizon
+	Assigned   int // |M| summed over batches
+	Accepted   int // |M′|: assignments accepted (and therefore completed)
+	SumCostKM  float64
+	AssignTime time.Duration // time spent inside the assignment algorithm
+}
+
+// CompletionRate is Accepted / TotalTasks.
+func (m Metrics) CompletionRate() float64 {
+	if m.TotalTasks == 0 {
+		return 0
+	}
+	return float64(m.Accepted) / float64(m.TotalTasks)
+}
+
+// RejectionRate is (|M| − |M′|) / |M|.
+func (m Metrics) RejectionRate() float64 {
+	if m.Assigned == 0 {
+		return 0
+	}
+	return float64(m.Assigned-m.Accepted) / float64(m.Assigned)
+}
+
+// AvgCostKM is the mean detour workers travelled per accepted task, in km.
+func (m Metrics) AvgCostKM() float64 {
+	if m.Accepted == 0 {
+		return 0
+	}
+	return m.SumCostKM / float64(m.Accepted)
+}
+
+// Run configures one simulation.
+type Run struct {
+	Workload *dataset.Workload
+	// Models holds each worker's mobility predictor (nil entries degrade
+	// that worker to a standing-still prediction). UB and LB ignore them.
+	Models   map[int]*predict.WorkerModel
+	Assigner assign.Assigner
+	// Horizon is how many future ticks of true trajectory the acceptance
+	// check and the UB oracle can see; 0 derives it from the maximum task
+	// validity.
+	Horizon int
+	// PredHorizon is how many future ticks the platform forecasts per
+	// worker per batch. Autoregressive rollouts accumulate error, so the
+	// platform only trusts a bounded window; tasks farther out are matched
+	// in later batches as they carry over (default 8).
+	PredHorizon int
+	// ServiceTicks is the fixed handling time added to a worker's busy
+	// window after accepting a task (default 2).
+	ServiceTicks int
+	// DailyAdaptSteps, when positive, turns on continual prediction: at
+	// every day boundary each worker's model takes this many SGD steps on
+	// the trajectory the platform observed the previous day.
+	DailyAdaptSteps int
+	// DailyAdaptLR is the learning rate of the continual updates
+	// (default 0.002).
+	DailyAdaptLR float64
+}
+
+// pendingTask tracks a task waiting in the pool.
+type pendingTask struct {
+	task assign.Task
+	done bool
+}
+
+// Simulate runs the full test horizon and returns the aggregated metrics.
+func (r *Run) Simulate() Metrics {
+	p := r.Workload.Params
+	horizonTicks := p.TestDays * p.TicksPerDay
+	lookahead := r.Horizon
+	if lookahead <= 0 {
+		lookahead = p.ValidMax*traj.TicksPerTimeUnit + 5
+	}
+	service := r.ServiceTicks
+	if service <= 0 {
+		service = 2
+	}
+	predHorizon := r.PredHorizon
+	if predHorizon <= 0 {
+		predHorizon = 8
+	}
+	if predHorizon > lookahead {
+		predHorizon = lookahead
+	}
+
+	var m Metrics
+	m.TotalTasks = len(r.Workload.TestTasks)
+
+	pending := make([]*pendingTask, 0, 64)
+	next := 0 // next arriving task index
+	busyUntil := map[int]int{}
+
+	adaptLR := r.DailyAdaptLR
+	if adaptLR <= 0 {
+		adaptLR = 0.002
+	}
+	for tick := 0; tick < horizonTicks; tick++ {
+		// Continual prediction: at a day boundary, fine-tune every model on
+		// the trace observed during the previous day.
+		if r.DailyAdaptSteps > 0 && tick > 0 && tick%p.TicksPerDay == 0 {
+			prevDay := tick/p.TicksPerDay - 1
+			for i := range r.Workload.Workers {
+				wk := &r.Workload.Workers[i]
+				if model := r.Models[wk.ID]; model != nil && prevDay < len(wk.TestDays) {
+					model.AdaptOn(wk.TestDays[prevDay], r.DailyAdaptSteps, adaptLR)
+				}
+			}
+		}
+		// Task arrivals.
+		for next < len(r.Workload.TestTasks) && r.Workload.TestTasks[next].Arrival <= tick {
+			t := r.Workload.TestTasks[next]
+			pending = append(pending, &pendingTask{task: t})
+			next++
+		}
+		// Drop expired tasks; collect the live pool.
+		var pool []*pendingTask
+		for _, pt := range pending {
+			if !pt.done && pt.task.Deadline >= tick {
+				pool = append(pool, pt)
+			}
+		}
+		pending = pool
+		if len(pool) == 0 {
+			continue
+		}
+
+		day := tick / p.TicksPerDay
+		tickInDay := tick % p.TicksPerDay
+
+		// Build the worker views for this batch.
+		var workers []assign.Worker
+		for i := range r.Workload.Workers {
+			wk := &r.Workload.Workers[i]
+			if busyUntil[wk.ID] > tick {
+				continue
+			}
+			if day >= len(wk.TestDays) {
+				continue
+			}
+			actualDay := wk.TestDays[day]
+			cur := actualDay.At(tickInDay)
+			w := assign.Worker{
+				ID:     wk.ID,
+				Loc:    cur,
+				Detour: wk.Detour,
+				Speed:  wk.Speed,
+			}
+			// True future path for the acceptance check and the UB oracle.
+			for dt := 1; dt <= lookahead; dt++ {
+				w.Actual = append(w.Actual, actualDay.At(tickInDay+dt))
+			}
+			// Predicted path from the trace observed so far today.
+			if model := r.Models[wk.ID]; model != nil {
+				recent := recentPoints(actualDay, tickInDay, model.SeqIn)
+				w.Predicted = model.PredictFuture(recent, predHorizon)
+				w.MR = model.MR
+			} else {
+				// No model: predict the worker stays put.
+				for dt := 0; dt < predHorizon; dt++ {
+					w.Predicted = append(w.Predicted, cur)
+				}
+			}
+			workers = append(workers, w)
+		}
+		if len(workers) == 0 {
+			continue
+		}
+
+		// One batch of tasks.
+		batchTasks := make([]assign.Task, len(pool))
+		for i, pt := range pool {
+			batchTasks[i] = pt.task
+		}
+
+		start := time.Now()
+		pairs := r.Assigner.Assign(batchTasks, workers, tick)
+		m.AssignTime += time.Since(start)
+
+		// Workers accept or reject against their true itineraries.
+		for _, pr := range pairs {
+			m.Assigned++
+			pt := pool[pr.Task]
+			w := &workers[pr.Worker]
+			costCells, ok := acceptance(w, &pt.task, tick)
+			if !ok {
+				// Rejected: the task stays in the pool, but the platform
+				// never re-proposes a declined (task, worker) pair.
+				pt.task.Excluded = append(pt.task.Excluded, w.ID)
+				continue
+			}
+			m.Accepted++
+			m.SumCostKM += geo.CellsToKM(costCells)
+			pt.done = true
+			busy := int(math.Ceil(costCells/w.Speed)) + service
+			busyUntil[w.ID] = tick + busy
+		}
+	}
+	return m
+}
+
+// recentPoints returns the up-to-n most recent true locations the platform
+// has observed today (workers share their location while online).
+func recentPoints(day traj.Routine, tickInDay, n int) []geo.Point {
+	start := tickInDay - n + 1
+	if start < 0 {
+		start = 0
+	}
+	var out []geo.Point
+	for t := start; t <= tickInDay; t++ {
+		out = append(out, day.At(t))
+	}
+	return out
+}
+
+// acceptance decides whether the worker accepts the assigned task given
+// their actual timed itinerary, delegating to the same exact feasibility
+// predicate the UB oracle assigns with (assign.ServeDist). It returns the
+// real detour cost d_c in cells and whether the task is accepted.
+func acceptance(w *assign.Worker, t *assign.Task, tick int) (float64, bool) {
+	d := assign.ServeDist(w, t, tick)
+	if d < 0 {
+		return 0, false
+	}
+	return 2 * d, true
+}

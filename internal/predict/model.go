@@ -1,0 +1,167 @@
+package predict
+
+import (
+	"math"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// WorkerModel is one worker's personalized mobility predictor: the adapted
+// Seq2Seq plus the matching rate MR measured on held-out data, which
+// Theorem 2 converts into the worker's task-completion probability.
+type WorkerModel struct {
+	WorkerID int
+	Model    nn.Model
+	Norm     traj.Normalizer
+	SeqIn    int
+	SeqOut   int
+	MR       float64
+}
+
+// PredictFuture forecasts the worker's next horizon locations given the
+// recent trajectory (grid coordinates, most recent last). The model is
+// rolled forward seqOut points at a time, feeding predictions back as
+// context, until horizon points are produced.
+func (wm *WorkerModel) PredictFuture(recent []geo.Point, horizon int) []geo.Point {
+	if horizon <= 0 || len(recent) == 0 {
+		return nil
+	}
+	// Context window of normalized positions.
+	win := make([]geo.Point, 0, wm.SeqIn)
+	start := len(recent) - wm.SeqIn
+	if start < 0 {
+		start = 0
+	}
+	for _, p := range recent[start:] {
+		win = append(win, wm.Norm.Norm(p))
+	}
+	// Left-pad a short context by repeating the oldest point, keeping the
+	// window length the model was trained with.
+	for len(win) < wm.SeqIn {
+		win = append([]geo.Point{win[0]}, win...)
+	}
+
+	var out []geo.Point
+	for len(out) < horizon {
+		preds := wm.Model.Predict(Featurize(win), wm.SeqOut)
+		for _, p := range preds {
+			q := geo.Pt(p[0], p[1])
+			out = append(out, wm.Norm.Denorm(q))
+			win = append(win[1:], q)
+			if len(out) == horizon {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AdaptOn fine-tunes the worker's model on an observed routine (e.g. the
+// day's trace the platform collected), taking a few SGD steps on samples
+// extracted from it. It implements the platform's continual "dynamic
+// prediction": models keep tracking workers whose patterns drift. The loss
+// is plain MSE in grid-cell scale. It is a no-op when the routine is too
+// short to yield a sample.
+func (wm *WorkerModel) AdaptOn(r traj.Routine, steps int, lr float64) {
+	if steps <= 0 || lr <= 0 {
+		return
+	}
+	raw := traj.ExtractSamples(r, wm.SeqIn, wm.SeqOut, sampleStride)
+	if len(raw) == 0 {
+		return
+	}
+	batch := make([]nn.Sample, len(raw))
+	for i, s := range raw {
+		batch[i] = toNNSample(wm.Norm.NormSample(s))
+	}
+	loss := nn.Scaled{Inner: nn.MSE{}, Factor: wm.Norm.Scale * wm.Norm.Scale}
+	grad := nn.NewVector(wm.Model.NumParams())
+	opt := nn.SGD{LR: lr, ClipNorm: 5}
+	for s := 0; s < steps; s++ {
+		wm.Model.BatchGrad(batch, loss, grad)
+		opt.Step(wm.Model.Weights(), grad)
+	}
+}
+
+// MatchingRate is MR(r, r̂) of Def. 7: the fraction of positions where the
+// predicted location falls within distance a (cells) of the true location.
+// Mismatched lengths compare over the common prefix; empty input yields 0.
+func MatchingRate(actual, predicted []geo.Point, a float64) float64 {
+	n := len(actual)
+	if len(predicted) < n {
+		n = len(predicted)
+	}
+	if n == 0 {
+		return 0
+	}
+	matched := 0
+	for i := 0; i < n; i++ {
+		if actual[i].Dist(predicted[i]) <= a {
+			matched++
+		}
+	}
+	return float64(matched) / float64(n)
+}
+
+// EvalResult aggregates the prediction quality metrics of §IV-A in grid
+// cells: root mean squared error, mean absolute error, and matching rate.
+type EvalResult struct {
+	RMSE float64
+	MAE  float64
+	MR   float64
+	N    int // number of predicted points scored
+}
+
+// evalAccum incrementally builds an EvalResult.
+type evalAccum struct {
+	se, ae  float64
+	matched int
+	n       int
+}
+
+func (a *evalAccum) add(actual, predicted geo.Point, radius float64) {
+	d := actual.Dist(predicted)
+	a.se += d * d
+	a.ae += d
+	if d <= radius {
+		a.matched++
+	}
+	a.n++
+}
+
+func (a *evalAccum) result() EvalResult {
+	if a.n == 0 {
+		return EvalResult{}
+	}
+	return EvalResult{
+		RMSE: math.Sqrt(a.se / float64(a.n)),
+		MAE:  a.ae / float64(a.n),
+		MR:   float64(a.matched) / float64(a.n),
+		N:    a.n,
+	}
+}
+
+// EvaluateOnRoutine scores the model's one-shot predictions sliding over a
+// ground-truth routine: for every window of seqIn observed points it
+// predicts the next seqOut and scores them against the truth.
+func (wm *WorkerModel) EvaluateOnRoutine(r traj.Routine, radius float64) EvalResult {
+	var acc evalAccum
+	wm.accumulateRoutine(r, radius, &acc)
+	return acc.result()
+}
+
+func (wm *WorkerModel) accumulateRoutine(r traj.Routine, radius float64, acc *evalAccum) {
+	samples := traj.ExtractSamples(r, wm.SeqIn, wm.SeqOut, sampleStride)
+	for _, s := range samples {
+		win := make([]geo.Point, len(s.In))
+		for i, p := range s.In {
+			win[i] = wm.Norm.Norm(p)
+		}
+		preds := wm.Model.Predict(Featurize(win), wm.SeqOut)
+		for i, p := range preds {
+			acc.add(s.Out[i], wm.Norm.Denorm(geo.Pt(p[0], p[1])), radius)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package predict
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/cluster"
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/meta"
+	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/sim"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// Options configures the offline training stage of the platform.
+type Options struct {
+	// Algorithm is one of meta.AlgMAML, meta.AlgCTML, meta.AlgGTTAMLGT,
+	// meta.AlgGTTAML (default).
+	Algorithm string
+	// SeqIn/SeqOut are the prediction window lengths (defaults 5 and 1,
+	// the bold settings of Table III).
+	SeqIn, SeqOut int
+	// WeightedLoss selects the task-assignment-oriented loss of Eq. 6; the
+	// plain MSE is used otherwise (the "-loss" algorithm variants).
+	WeightedLoss bool
+	// MatchRadius is a of Def. 7 in cells (default 1.5).
+	MatchRadius float64
+	// Arch selects the network architecture: nn.ArchLSTM (default) or
+	// nn.ArchGRU.
+	Arch string
+	// Hidden overrides the recurrent hidden size (default 16).
+	Hidden int
+	// MetaIters overrides meta-training iterations (default 30).
+	MetaIters int
+	// MetaLR/AdaptLR/AdaptSteps override the meta-learning rates α and β
+	// and the inner-loop step count k (0 = package defaults).
+	MetaLR, AdaptLR float64
+	AdaptSteps      int
+	// Metrics optionally restricts the GTMC clustering factors (default
+	// Sim_d, Sim_s, Sim_l). Used by the Table IV/VI ablations.
+	Metrics []sim.Metric
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultMatchRadius is a of Def. 7 in grid cells (0.3 km).
+const DefaultMatchRadius = 1.5
+
+// clusterThreshold is Θ_j: a cluster whose quality under its split metric
+// already reaches this value is specific enough and is not re-clustered by
+// the next factor. Similarities are bounded transforms (1/(1+W) for Sim_d),
+// so absolute qualities sit well below 1; 0.5 re-clusters moderately
+// heterogeneous clusters while leaving tight ones alone.
+const clusterThreshold = 0.5
+
+func (o *Options) fill() {
+	if o.Algorithm == "" {
+		o.Algorithm = meta.AlgGTTAML
+	}
+	if o.SeqIn <= 0 {
+		o.SeqIn = 5
+	}
+	if o.SeqOut <= 0 {
+		o.SeqOut = 1
+	}
+	if o.MatchRadius <= 0 {
+		o.MatchRadius = DefaultMatchRadius
+	}
+	if o.Hidden <= 0 {
+		o.Hidden = 16
+	}
+	if o.MetaIters <= 0 {
+		o.MetaIters = 30
+	}
+	if o.MetaLR <= 0 {
+		o.MetaLR = 0.01
+	}
+	if o.AdaptLR <= 0 {
+		// The loss is trained in grid-cell scale (see Train); inner-loop
+		// steps must stay small or few-shot adaptation overshoots.
+		o.AdaptLR = 0.002
+	}
+	if len(o.Metrics) == 0 {
+		o.Metrics = []sim.Metric{sim.Distribution, sim.Spatial, sim.LearningPath}
+	}
+}
+
+// Result is the trained prediction stage: one WorkerModel per workload
+// worker (cold-start workers included, adapted through tree placement), the
+// underlying meta-training artifacts, and the aggregate test-set evaluation.
+type Result struct {
+	Options   Options
+	Trained   *meta.Trained
+	Models    map[int]*WorkerModel // worker ID → model
+	Norm      traj.Normalizer
+	Eval      EvalResult
+	TrainTime time.Duration
+}
+
+// Train runs the offline stage end to end: build learning tasks, meta-train
+// with the chosen algorithm, adapt per-worker models (placing cold-start
+// workers on the tree), measure each worker's matching rate on held-out
+// query data, and evaluate on the test-day routines.
+func Train(w *dataset.Workload, opts Options) (*Result, error) {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+
+	cfg := meta.DefaultConfig(rng)
+	cfg.Arch = opts.Arch
+	cfg.InDim = InputDims
+	cfg.Hidden = opts.Hidden
+	cfg.MetaIters = opts.MetaIters
+	if opts.MetaLR > 0 {
+		cfg.MetaLR = opts.MetaLR
+	}
+	if opts.AdaptLR > 0 {
+		cfg.AdaptLR = opts.AdaptLR
+	}
+	if opts.AdaptSteps > 0 {
+		cfg.AdaptSteps = opts.AdaptSteps
+	}
+	{
+		// Train against the loss measured in grid cells (factor = scale²):
+		// unit-normalized displacements are tiny, and unscaled gradients
+		// would be too weak for the few-step adaptation regime.
+		norm := traj.NewNormalizer(w.Params.Grid)
+		var base nn.Loss = nn.MSE{}
+		if opts.WeightedLoss {
+			base = nn.WeightedMSE{Weight: TaskOrientedWeight(
+				w.DensityIndex(), norm, DefaultDQ, DefaultKappa, DefaultDelta)}
+		}
+		cfg.Loss = nn.Scaled{Inner: base, Factor: norm.Scale * norm.Scale}
+	}
+
+	tasks, norm := BuildLearningTasks(w, opts.SeqIn, opts.SeqOut)
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("predict: workload has no established workers")
+	}
+
+	start := time.Now()
+	var trained *meta.Trained
+	var err error
+	switch opts.Algorithm {
+	case meta.AlgMAML:
+		trained, err = meta.TrainMAML(tasks, cfg)
+	case meta.AlgCTML:
+		trained, err = meta.TrainCTML(tasks, cfg)
+	case meta.AlgGTTAML, meta.AlgGTTAMLGT:
+		ccfg := cluster.DefaultConfig(rng)
+		ccfg.Metrics = opts.Metrics
+		ccfg.Thresholds = make([]float64, len(opts.Metrics))
+		for i := range ccfg.Thresholds {
+			ccfg.Thresholds[i] = clusterThreshold
+		}
+		ccfg.UseGame = opts.Algorithm == meta.AlgGTTAML
+		trained, err = meta.TrainGTTAML(tasks, cfg, ccfg)
+	default:
+		return nil, fmt.Errorf("predict: unknown algorithm %q", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trainTime := time.Since(start)
+
+	res := &Result{
+		Options:   opts,
+		Trained:   trained,
+		Models:    map[int]*WorkerModel{},
+		Norm:      norm,
+		TrainTime: trainTime,
+	}
+
+	// Established workers: adapt from their leaf initialization.
+	taskByWorker := map[int]int{}
+	for i, t := range tasks {
+		taskByWorker[t.WorkerID] = i
+	}
+	for i := range w.Workers {
+		wk := &w.Workers[i]
+		var model *WorkerModel
+		if ti, ok := taskByWorker[wk.ID]; ok {
+			model = res.newWorkerModel(wk.ID, trained.AdaptedModel(ti), tasks[ti])
+		} else {
+			// Cold-start worker: build its short task, place it on the
+			// tree, adapt from the most similar node's initialization.
+			task, _ := BuildTaskFor(w, wk, opts.SeqIn, opts.SeqOut)
+			model = res.newWorkerModel(wk.ID, trained.AdaptNew(task), task)
+		}
+		res.Models[wk.ID] = model
+	}
+
+	// Aggregate evaluation over test-day routines (established workers,
+	// matching the paper's protocol of scoring the prediction stage on the
+	// test split).
+	var acc evalAccum
+	for i := range w.Workers {
+		wk := &w.Workers[i]
+		if wk.New {
+			continue
+		}
+		model := res.Models[wk.ID]
+		for _, day := range wk.TestDays {
+			model.accumulateRoutine(day, opts.MatchRadius, &acc)
+		}
+	}
+	res.Eval = acc.result()
+	return res, nil
+}
+
+// newWorkerModel wraps an adapted network and measures its matching rate on
+// the worker's held-out query samples (the platform's proxy for MR before
+// any test-day data exists).
+func (r *Result) newWorkerModel(workerID int, m nn.Model, task *meta.LearningTask) *WorkerModel {
+	wm := &WorkerModel{
+		WorkerID: workerID,
+		Model:    m,
+		Norm:     r.Norm,
+		SeqIn:    r.Options.SeqIn,
+		SeqOut:   r.Options.SeqOut,
+		MR:       queryMatchingRate(m, task, r.Norm, r.Options.MatchRadius),
+	}
+	return wm
+}
+
+func queryMatchingRate(m nn.Model, task *meta.LearningTask, norm traj.Normalizer, radius float64) float64 {
+	samples := task.Query
+	if len(samples) == 0 {
+		samples = task.Support
+	}
+	if len(samples) == 0 {
+		return 0
+	}
+	matched, n := 0, 0
+	for _, s := range samples {
+		preds := m.Predict(s.In, len(s.Out))
+		for i := range preds {
+			p := norm.Denorm(geo.Pt(preds[i][0], preds[i][1]))
+			a := norm.Denorm(geo.Pt(s.Out[i][0], s.Out[i][1]))
+			if p.Dist(a) <= radius {
+				matched++
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(matched) / float64(n)
+}

@@ -1,0 +1,113 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// zeroRand seeds throwaway model construction; the random weights are
+// immediately replaced by the loaded ones.
+func zeroRand() *rand.Rand { return rand.New(rand.NewSource(0)) }
+
+// bundleFile is the on-disk representation of a trained prediction stage:
+// one entry per worker with its adapted weights and matching rate, plus the
+// shared architecture and normalizer.
+type bundleFile struct {
+	Format string             `json:"format"`
+	Arch   string             `json:"arch"`
+	SeqIn  int                `json:"seqIn"`
+	SeqOut int                `json:"seqOut"`
+	Hidden int                `json:"hidden"`
+	InDim  int                `json:"inDim"`
+	OutDim int                `json:"outDim"`
+	Norm   traj.Normalizer    `json:"norm"`
+	Models map[int]modelEntry `json:"models"`
+}
+
+type modelEntry struct {
+	MR      float64   `json:"mr"`
+	Weights nn.Vector `json:"weights"`
+}
+
+const bundleFormat = "tamp-predictors-v1"
+
+// SaveModels serializes every worker model of the result so the offline
+// stage can train once and the online platform can load predictors without
+// retraining.
+func (r *Result) SaveModels(w io.Writer) error {
+	if len(r.Models) == 0 {
+		return fmt.Errorf("predict: no models to save")
+	}
+	var proto *WorkerModel
+	for _, m := range r.Models {
+		proto = m
+		break
+	}
+	inDim, outDim, hidden := modelDims(proto.Model)
+	f := bundleFile{
+		Format: bundleFormat,
+		Arch:   proto.Model.ArchName(),
+		SeqIn:  proto.SeqIn,
+		SeqOut: proto.SeqOut,
+		Hidden: hidden,
+		InDim:  inDim,
+		OutDim: outDim,
+		Norm:   r.Norm,
+		Models: map[int]modelEntry{},
+	}
+	for id, m := range r.Models {
+		f.Models[id] = modelEntry{MR: m.MR, Weights: m.Model.Weights()}
+	}
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// LoadModels reads a bundle written by SaveModels and reconstructs the
+// per-worker predictors.
+func LoadModels(r io.Reader) (map[int]*WorkerModel, error) {
+	var f bundleFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("predict: decode bundle: %w", err)
+	}
+	if f.Format != bundleFormat {
+		return nil, fmt.Errorf("predict: unsupported bundle format %q", f.Format)
+	}
+	out := map[int]*WorkerModel{}
+	for id, e := range f.Models {
+		var m nn.Model
+		if f.Arch == nn.ArchGRU {
+			m = nn.NewGRUSeq2Seq(f.InDim, f.OutDim, f.Hidden, zeroRand())
+		} else {
+			m = nn.NewSeq2Seq(f.InDim, f.OutDim, f.Hidden, zeroRand())
+		}
+		if len(e.Weights) != m.NumParams() {
+			return nil, fmt.Errorf("predict: worker %d weight count %d, want %d", id, len(e.Weights), m.NumParams())
+		}
+		m.SetWeights(e.Weights)
+		out[id] = &WorkerModel{
+			WorkerID: id,
+			Model:    m,
+			Norm:     f.Norm,
+			SeqIn:    f.SeqIn,
+			SeqOut:   f.SeqOut,
+			MR:       e.MR,
+		}
+	}
+	return out, nil
+}
+
+// modelDims extracts the architecture sizes of a known model type.
+func modelDims(m nn.Model) (inDim, outDim, hidden int) {
+	switch t := m.(type) {
+	case *nn.Seq2Seq:
+		return t.InDim, t.OutDim, t.Hidden
+	case *nn.GRUSeq2Seq:
+		return t.InDim, t.OutDim, t.Hidden
+	default:
+		return 0, 0, 0
+	}
+}

@@ -1,0 +1,63 @@
+package predict
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+)
+
+func TestSaveLoadModelsRoundTrip(t *testing.T) {
+	w := tinyWorkload(dataset.Workload1)
+	res, err := Train(w, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(res.Models) {
+		t.Fatalf("loaded %d models, want %d", len(loaded), len(res.Models))
+	}
+	// Predictions from loaded models must match the originals exactly.
+	wk := &w.Workers[0]
+	recent := wk.TestDays[0].Points[:5]
+	orig := res.Models[wk.ID].PredictFuture(recent, 6)
+	rest := loaded[wk.ID].PredictFuture(recent, 6)
+	for i := range orig {
+		if orig[i] != rest[i] {
+			t.Fatalf("prediction %d differs after round trip: %v vs %v", i, orig[i], rest[i])
+		}
+	}
+	if loaded[wk.ID].MR != res.Models[wk.ID].MR {
+		t.Error("MR lost in round trip")
+	}
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	if _, err := LoadModels(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := LoadModels(strings.NewReader(`{"format":"wrong"}`)); err == nil {
+		t.Error("expected format error")
+	}
+	bad := `{"format":"tamp-predictors-v1","seqIn":3,"seqOut":1,"hidden":4,"inDim":4,"outDim":2,` +
+		`"models":{"0":{"mr":0.5,"weights":[1,2,3]}}}`
+	if _, err := LoadModels(strings.NewReader(bad)); err == nil {
+		t.Error("expected weight-count error")
+	}
+}
+
+func TestSaveModelsEmpty(t *testing.T) {
+	r := &Result{Models: map[int]*WorkerModel{}}
+	var buf bytes.Buffer
+	if err := r.SaveModels(&buf); err == nil {
+		t.Error("expected error for empty result")
+	}
+}

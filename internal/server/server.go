@@ -1,0 +1,591 @@
+// Package server hosts the online stage of the spatial crowdsourcing
+// platform over HTTP, implementing the four-party protocol of Fig. 1:
+//
+//  1. task requesters POST /api/tasks;
+//  2. the platform runs batch assignment (POST /api/batch or the
+//     background ticker) using each worker's mobility predictor;
+//  3. workers GET their offers and POST accept or reject decisions;
+//  4. requesters GET /api/tasks/{id} for status.
+//
+// Workers never upload route plans — they only report their current
+// location (POST /api/workers/{id}/location), exactly as §II specifies;
+// the platform forecasts their trajectories from the reported trace with
+// the trained models. Rejected (task, worker) pairs are never re-offered.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/predict"
+)
+
+// TaskStatus enumerates a task's lifecycle.
+type TaskStatus string
+
+// Task lifecycle states.
+const (
+	TaskOpen      TaskStatus = "open"      // waiting for assignment
+	TaskOffered   TaskStatus = "offered"   // offered to a worker, awaiting decision
+	TaskAccepted  TaskStatus = "accepted"  // worker committed to serve it
+	TaskExpired   TaskStatus = "expired"   // deadline passed unserved
+	TaskCancelled TaskStatus = "cancelled" // withdrawn by the requester
+)
+
+// Config parameterizes the platform server.
+type Config struct {
+	Grid geo.Grid
+	// Assigner runs each batch (default PPI).
+	Assigner assign.Assigner
+	// Models supplies per-worker predictors (nil entries degrade to
+	// stand-still forecasts).
+	Models map[int]*predict.WorkerModel
+	// PredHorizon is the forecast window per batch, in ticks (default 8).
+	PredHorizon int
+	// DefaultDetourKM/DefaultSpeed apply to workers that register without
+	// their own values.
+	DefaultDetourKM float64
+	DefaultSpeed    float64
+}
+
+type workerState struct {
+	ID      int
+	Detour  float64 // cells
+	Speed   float64 // cells/tick
+	MR      float64
+	Online  bool
+	Trace   []geo.Point // reported locations, most recent last
+	OfferID int         // 0 = none pending
+}
+
+type taskState struct {
+	Task     assign.Task
+	Status   TaskStatus
+	Offered  int // worker id of the pending offer
+	Accepted int // worker id that accepted
+}
+
+type offer struct {
+	ID     int
+	TaskID int
+	Worker int
+}
+
+// Server is the HTTP platform. The zero value is not usable; construct
+// with New.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	tick     int
+	nextTask int
+	nextOff  int
+	tasks    map[int]*taskState
+	workers  map[int]*workerState
+	offers   map[int]*offer
+
+	// counters for /api/metrics
+	assigned, accepted, rejected, expired int
+	mux                                   *http.ServeMux
+}
+
+// New builds a Server ready to mount on an http.Server.
+func New(cfg Config) *Server {
+	if cfg.Grid.Cols == 0 {
+		cfg.Grid = geo.DefaultGrid
+	}
+	if cfg.Assigner == nil {
+		cfg.Assigner = assign.PPI{A: predict.DefaultMatchRadius}
+	}
+	if cfg.PredHorizon <= 0 {
+		cfg.PredHorizon = 8
+	}
+	if cfg.DefaultDetourKM <= 0 {
+		cfg.DefaultDetourKM = 6
+	}
+	if cfg.DefaultSpeed <= 0 {
+		cfg.DefaultSpeed = 3
+	}
+	s := &Server{
+		cfg:      cfg,
+		nextTask: 1,
+		nextOff:  1,
+		tasks:    map[int]*taskState{},
+		workers:  map[int]*workerState{},
+		offers:   map[int]*offer{},
+	}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/api/tasks", s.handleTasks)
+	s.mux.HandleFunc("/api/tasks/", s.handleTaskByID)
+	s.mux.HandleFunc("/api/workers", s.handleWorkers)
+	s.mux.HandleFunc("/api/workers/", s.handleWorkerByID)
+	s.mux.HandleFunc("/api/offers/", s.handleOfferByID)
+	s.mux.HandleFunc("/api/batch", s.handleBatch)
+	s.mux.HandleFunc("/api/tick", s.handleTick)
+	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- tasks ---
+
+type taskRequest struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Deadline int     `json:"deadline"` // absolute tick
+}
+
+type taskResponse struct {
+	ID       int        `json:"id"`
+	X        float64    `json:"x"`
+	Y        float64    `json:"y"`
+	Deadline int        `json:"deadline"`
+	Status   TaskStatus `json:"status"`
+	Worker   int        `json:"worker,omitempty"`
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req taskRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if req.Deadline <= s.tick {
+			httpError(w, http.StatusBadRequest, "deadline %d not after current tick %d", req.Deadline, s.tick)
+			return
+		}
+		loc := s.cfg.Grid.Bounds().Clamp(geo.Pt(req.X, req.Y))
+		id := s.nextTask
+		s.nextTask++
+		s.tasks[id] = &taskState{
+			Task:   assign.Task{ID: id, Loc: loc, Arrival: s.tick, Deadline: req.Deadline},
+			Status: TaskOpen,
+		}
+		writeJSON(w, http.StatusCreated, s.taskResponseLocked(id))
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]taskResponse, 0, len(s.tasks))
+		for id := range s.tasks {
+			out = append(out, s.taskResponseLocked(id))
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+func (s *Server) taskResponseLocked(id int) taskResponse {
+	t := s.tasks[id]
+	resp := taskResponse{
+		ID: id, X: t.Task.Loc.X, Y: t.Task.Loc.Y,
+		Deadline: t.Task.Deadline, Status: t.Status,
+	}
+	switch t.Status {
+	case TaskOffered:
+		resp.Worker = t.Offered
+	case TaskAccepted:
+		resp.Worker = t.Accepted
+	}
+	return resp
+}
+
+func (s *Server) handleTaskByID(w http.ResponseWriter, r *http.Request) {
+	id, ok := trailingID(r.URL.Path, "/api/tasks/")
+	if !ok {
+		httpError(w, http.StatusBadRequest, "bad task id")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, exists := s.tasks[id]
+	if !exists {
+		httpError(w, http.StatusNotFound, "task %d not found", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.taskResponseLocked(id))
+	case http.MethodDelete:
+		if t.Status == TaskAccepted {
+			httpError(w, http.StatusConflict, "task %d already accepted", id)
+			return
+		}
+		t.Status = TaskCancelled
+		writeJSON(w, http.StatusOK, s.taskResponseLocked(id))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+// --- workers ---
+
+type workerRequest struct {
+	ID       int     `json:"id"`
+	DetourKM float64 `json:"detourKm"`
+	Speed    float64 `json:"speed"` // cells per tick
+	MR       float64 `json:"mr"`    // optional override of the model's MR
+}
+
+type workerResponse struct {
+	ID       int     `json:"id"`
+	DetourKM float64 `json:"detourKm"`
+	Speed    float64 `json:"speed"`
+	MR       float64 `json:"mr"`
+	Online   bool    `json:"online"`
+	HasModel bool    `json:"hasModel"`
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req workerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if req.ID <= 0 {
+			httpError(w, http.StatusBadRequest, "worker id must be positive")
+			return
+		}
+		if _, dup := s.workers[req.ID]; dup {
+			httpError(w, http.StatusConflict, "worker %d already registered", req.ID)
+			return
+		}
+		ws := &workerState{ID: req.ID, Detour: geo.KMToCells(s.cfg.DefaultDetourKM), Speed: s.cfg.DefaultSpeed}
+		if req.DetourKM > 0 {
+			ws.Detour = geo.KMToCells(req.DetourKM)
+		}
+		if req.Speed > 0 {
+			ws.Speed = req.Speed
+		}
+		if m := s.cfg.Models[req.ID]; m != nil {
+			ws.MR = m.MR
+		}
+		if req.MR > 0 {
+			ws.MR = req.MR
+		}
+		s.workers[req.ID] = ws
+		writeJSON(w, http.StatusCreated, s.workerResponseLocked(ws))
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]workerResponse, 0, len(s.workers))
+		for _, ws := range s.workers {
+			out = append(out, s.workerResponseLocked(ws))
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+func (s *Server) workerResponseLocked(ws *workerState) workerResponse {
+	return workerResponse{
+		ID: ws.ID, DetourKM: geo.CellsToKM(ws.Detour), Speed: ws.Speed,
+		MR: ws.MR, Online: ws.Online, HasModel: s.cfg.Models[ws.ID] != nil,
+	}
+}
+
+type locationRequest struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type offerResponse struct {
+	OfferID  int     `json:"offerId"`
+	TaskID   int     `json:"taskId"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Deadline int     `json:"deadline"`
+}
+
+func (s *Server) handleWorkerByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/workers/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad worker id")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws, exists := s.workers[id]
+	if !exists {
+		httpError(w, http.StatusNotFound, "worker %d not registered", id)
+		return
+	}
+	action := ""
+	if len(parts) > 1 {
+		action = parts[1]
+	}
+	switch {
+	case r.Method == http.MethodGet && action == "":
+		writeJSON(w, http.StatusOK, s.workerResponseLocked(ws))
+	case r.Method == http.MethodPost && action == "location":
+		var req locationRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		ws.Online = true
+		ws.Trace = append(ws.Trace, s.cfg.Grid.Bounds().Clamp(geo.Pt(req.X, req.Y)))
+		if len(ws.Trace) > 256 {
+			ws.Trace = ws.Trace[len(ws.Trace)-256:]
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"traceLen": len(ws.Trace)})
+	case r.Method == http.MethodGet && action == "offers":
+		var out []offerResponse
+		if ws.OfferID != 0 {
+			off := s.offers[ws.OfferID]
+			t := s.tasks[off.TaskID]
+			out = append(out, offerResponse{
+				OfferID: off.ID, TaskID: off.TaskID,
+				X: t.Task.Loc.X, Y: t.Task.Loc.Y, Deadline: t.Task.Deadline,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s %s", r.Method, action)
+	}
+}
+
+// --- offers ---
+
+func (s *Server) handleOfferByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/offers/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil || len(parts) < 2 {
+		httpError(w, http.StatusBadRequest, "use /api/offers/{id}/accept or /reject")
+		return
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off, exists := s.offers[id]
+	if !exists {
+		httpError(w, http.StatusNotFound, "offer %d not found", id)
+		return
+	}
+	t := s.tasks[off.TaskID]
+	ws := s.workers[off.Worker]
+	delete(s.offers, id)
+	ws.OfferID = 0
+	switch parts[1] {
+	case "accept":
+		t.Status = TaskAccepted
+		t.Accepted = off.Worker
+		s.accepted++
+		writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+	case "reject":
+		t.Status = TaskOpen
+		t.Offered = 0
+		// Never re-offer a declined pair.
+		t.Task.Excluded = append(t.Task.Excluded, off.Worker)
+		s.rejected++
+		writeJSON(w, http.StatusOK, map[string]string{"status": "rejected"})
+	default:
+		httpError(w, http.StatusBadRequest, "unknown action %q", parts[1])
+	}
+}
+
+// --- batch loop ---
+
+type batchResponse struct {
+	Tick   int `json:"tick"`
+	Offers int `json:"offers"`
+	Open   int `json:"open"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	made := s.runBatchLocked()
+	open := 0
+	for _, t := range s.tasks {
+		if t.Status == TaskOpen {
+			open++
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Tick: s.tick, Offers: made, Open: open})
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.mu.Lock()
+		s.tick++
+		s.expireLocked()
+		tick := s.tick
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]int{"tick": tick})
+	case http.MethodGet:
+		s.mu.Lock()
+		tick := s.tick
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]int{"tick": tick})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+func (s *Server) expireLocked() {
+	for _, t := range s.tasks {
+		if (t.Status == TaskOpen || t.Status == TaskOffered) && t.Task.Deadline < s.tick {
+			if t.Status == TaskOffered {
+				if off := s.offers[findOfferLocked(s, t.Task.ID)]; off != nil {
+					s.workers[off.Worker].OfferID = 0
+					delete(s.offers, off.ID)
+				}
+			}
+			t.Status = TaskExpired
+			s.expired++
+		}
+	}
+}
+
+func findOfferLocked(s *Server, taskID int) int {
+	for id, off := range s.offers {
+		if off.TaskID == taskID {
+			return id
+		}
+	}
+	return 0
+}
+
+// runBatchLocked builds the assignment input from open tasks and online,
+// offer-free workers, runs the configured assigner, and converts the plan
+// into pending offers. It returns the number of offers made.
+func (s *Server) runBatchLocked() int {
+	var tasks []assign.Task
+	var taskIDs []int
+	for id, t := range s.tasks {
+		if t.Status == TaskOpen && t.Task.Deadline >= s.tick {
+			tasks = append(tasks, t.Task)
+			taskIDs = append(taskIDs, id)
+		}
+	}
+	var workers []assign.Worker
+	var workerIDs []int
+	for id, ws := range s.workers {
+		if !ws.Online || ws.OfferID != 0 || len(ws.Trace) == 0 {
+			continue
+		}
+		cur := ws.Trace[len(ws.Trace)-1]
+		aw := assign.Worker{
+			ID: id, Loc: cur, Detour: ws.Detour, Speed: ws.Speed, MR: ws.MR,
+		}
+		if m := s.cfg.Models[id]; m != nil {
+			aw.Predicted = m.PredictFuture(ws.Trace, s.cfg.PredHorizon)
+		} else {
+			for i := 0; i < s.cfg.PredHorizon; i++ {
+				aw.Predicted = append(aw.Predicted, cur)
+			}
+		}
+		workers = append(workers, aw)
+		workerIDs = append(workerIDs, id)
+	}
+	if len(tasks) == 0 || len(workers) == 0 {
+		return 0
+	}
+	pairs := s.cfg.Assigner.Assign(tasks, workers, s.tick)
+	for _, pr := range pairs {
+		tid := taskIDs[pr.Task]
+		wid := workerIDs[pr.Worker]
+		off := &offer{ID: s.nextOff, TaskID: tid, Worker: wid}
+		s.nextOff++
+		s.offers[off.ID] = off
+		s.tasks[tid].Status = TaskOffered
+		s.tasks[tid].Offered = wid
+		s.workers[wid].OfferID = off.ID
+		s.assigned++
+	}
+	return len(pairs)
+}
+
+// AdvanceTick moves the platform clock forward one tick and expires
+// overdue tasks. The background ticker of cmd/tampserver calls this; tests
+// and manual deployments use POST /api/tick.
+func (s *Server) AdvanceTick() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	s.expireLocked()
+	return s.tick
+}
+
+// RunBatch executes one assignment batch programmatically, returning the
+// number of offers made.
+func (s *Server) RunBatch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runBatchLocked()
+}
+
+// --- metrics ---
+
+type metricsResponse struct {
+	Tick     int `json:"tick"`
+	Tasks    int `json:"tasks"`
+	Assigned int `json:"assigned"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	Expired  int `json:"expired"`
+	Workers  int `json:"workers"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Tick: s.tick, Tasks: len(s.tasks),
+		Assigned: s.assigned, Accepted: s.accepted,
+		Rejected: s.rejected, Expired: s.expired,
+		Workers: len(s.workers),
+	})
+}
+
+func trailingID(path, prefix string) (int, bool) {
+	rest := strings.TrimPrefix(path, prefix)
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	id, err := strconv.Atoi(rest)
+	return id, err == nil
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWasserstein1D checks the metric's core invariants (symmetry,
+// non-negativity, identity) on arbitrary small inputs.
+func FuzzWasserstein1D(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-5.0, 5.0, 1e9, -1e9)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return
+			}
+		}
+		xs := []float64{a, b}
+		ys := []float64{c, d}
+		w1 := Wasserstein1D(xs, ys)
+		w2 := Wasserstein1D(ys, xs)
+		if math.Abs(w1-w2) > 1e-6*(1+math.Abs(w1)) {
+			t.Errorf("asymmetric: %v vs %v", w1, w2)
+		}
+		if w1 < 0 {
+			t.Errorf("negative distance %v", w1)
+		}
+		if self := Wasserstein1D(xs, xs); self > 1e-9*(1+math.Abs(a)+math.Abs(b)) {
+			t.Errorf("d(x,x) = %v", self)
+		}
+	})
+}

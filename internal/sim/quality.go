@@ -1,0 +1,77 @@
+package sim
+
+// Matrix is a symmetric pairwise-similarity matrix over n items, stored as
+// the full square for O(1) access. Diagonal entries are 1.
+type Matrix struct {
+	N int
+	v []float64
+}
+
+// NewMatrix computes the symmetric similarity matrix for n items from f,
+// evaluating f only on the upper triangle.
+func NewMatrix(n int, f func(i, j int) float64) *Matrix {
+	m := &Matrix{N: n, v: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		m.v[i*n+i] = 1
+		for j := i + 1; j < n; j++ {
+			s := f(i, j)
+			m.v[i*n+j] = s
+			m.v[j*n+i] = s
+		}
+	}
+	return m
+}
+
+// At returns the similarity between items i and j.
+func (m *Matrix) At(i, j int) float64 { return m.v[i*m.N+j] }
+
+// Quality is Q(G) of Eq. 4 for the cluster holding the given member indexes:
+// the mean pairwise similarity for clusters of two or more, the singleton
+// utility γ for clusters of one, and 0 for empty clusters.
+func Quality(m *Matrix, members []int, gamma float64) float64 {
+	switch len(members) {
+	case 0:
+		return 0
+	case 1:
+		return gamma
+	}
+	var sum float64
+	for a, i := range members {
+		for b, j := range members {
+			if a == b {
+				continue
+			}
+			sum += m.At(i, j)
+		}
+	}
+	n := float64(len(members))
+	return sum / (n * (n - 1))
+}
+
+// Utility is u(Γ_i, G) of Eq. 5: the marginal quality the item contributes
+// by joining the cluster whose members are given including the item itself.
+// It equals Q(G) − Q(G \ {item}).
+func Utility(m *Matrix, membersWithItem []int, item int, gamma float64) float64 {
+	with := Quality(m, membersWithItem, gamma)
+	without := make([]int, 0, len(membersWithItem)-1)
+	for _, j := range membersWithItem {
+		if j != item {
+			without = append(without, j)
+		}
+	}
+	return with - Quality(m, without, gamma)
+}
+
+// MeanSimTo returns the average similarity between item i and the given
+// members, used when placing a newly arrived worker's learning task onto the
+// most similar tree node. An empty member list yields 0.
+func MeanSimTo(m *Matrix, i int, members []int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, j := range members {
+		sum += m.At(i, j)
+	}
+	return sum / float64(len(members))
+}

@@ -1,0 +1,145 @@
+package traj
+
+import "github.com/spatialcrowd/tamp/internal/geo"
+
+// Simplify reduces a routine's points with the Ramer–Douglas–Peucker
+// algorithm: points farther than epsilon (cells) from the chord between
+// kept neighbours are retained. Useful when ingesting dense GPS exports
+// before feature extraction. The first and last points are always kept;
+// routines of fewer than three points return unchanged copies.
+//
+// Note the result is no longer regularly sampled; use it for spatial
+// features (Sim_d, POI lookups), not as model training input.
+func Simplify(r Routine, epsilon float64) Routine {
+	out := Routine{StartTick: r.StartTick}
+	if len(r.Points) < 3 || epsilon <= 0 {
+		out.Points = append(out.Points, r.Points...)
+		return out
+	}
+	keep := make([]bool, len(r.Points))
+	keep[0], keep[len(r.Points)-1] = true, true
+	rdp(r.Points, 0, len(r.Points)-1, epsilon, keep)
+	for i, k := range keep {
+		if k {
+			out.Points = append(out.Points, r.Points[i])
+		}
+	}
+	return out
+}
+
+func rdp(pts []geo.Point, lo, hi int, eps float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	var maxD float64
+	maxI := -1
+	for i := lo + 1; i < hi; i++ {
+		if d := perpDist(pts[i], pts[lo], pts[hi]); d > maxD {
+			maxD, maxI = d, i
+		}
+	}
+	if maxD > eps {
+		keep[maxI] = true
+		rdp(pts, lo, maxI, eps, keep)
+		rdp(pts, maxI, hi, eps, keep)
+	}
+}
+
+// perpDist is the distance from p to the segment a-b.
+func perpDist(p, a, b geo.Point) float64 {
+	ab := b.Sub(a)
+	den := ab.Norm()
+	if den == 0 {
+		return p.Dist(a)
+	}
+	t := (p.Sub(a).X*ab.X + p.Sub(a).Y*ab.Y) / (den * den)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// Smooth applies a centred moving average of the given window (odd,
+// clamped to ≥1) to the routine, damping GPS jitter before training.
+// Window 1 returns an unchanged copy.
+func Smooth(r Routine, window int) Routine {
+	out := Routine{StartTick: r.StartTick, Points: make([]geo.Point, len(r.Points))}
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	for i := range r.Points {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(r.Points) {
+			hi = len(r.Points) - 1
+		}
+		var sx, sy float64
+		for j := lo; j <= hi; j++ {
+			sx += r.Points[j].X
+			sy += r.Points[j].Y
+		}
+		n := float64(hi - lo + 1)
+		out.Points[i] = geo.Pt(sx/n, sy/n)
+	}
+	return out
+}
+
+// StayPoint is a dwell detected on a routine: the worker stayed within
+// Radius cells for at least the configured number of ticks.
+type StayPoint struct {
+	Center    geo.Point
+	StartTick int
+	EndTick   int
+}
+
+// StayPoints detects dwells: maximal runs of at least minTicks consecutive
+// points within radius of their centroid. Dwells are where check-in style
+// workers meet tasks; the workload-2 generator produces them by design.
+func StayPoints(r Routine, radius float64, minTicks int) []StayPoint {
+	if minTicks < 1 {
+		minTicks = 1
+	}
+	var out []StayPoint
+	i := 0
+	for i < len(r.Points) {
+		j := i
+		var cx, cy float64
+		n := 0.0
+		for j < len(r.Points) {
+			// Tentatively include point j and test the radius invariant.
+			ncx, ncy := (cx*n+r.Points[j].X)/(n+1), (cy*n+r.Points[j].Y)/(n+1)
+			ok := true
+			for k := i; k <= j; k++ {
+				if r.Points[k].Dist(geo.Pt(ncx, ncy)) > radius {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			cx, cy, n = ncx, ncy, n+1
+			j++
+		}
+		if j-i >= minTicks {
+			out = append(out, StayPoint{
+				Center:    geo.Pt(cx, cy),
+				StartTick: r.StartTick + i,
+				EndTick:   r.StartTick + j - 1,
+			})
+			i = j
+		} else {
+			i++
+		}
+	}
+	return out
+}

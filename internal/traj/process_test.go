@@ -1,0 +1,176 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+func TestSimplifyStraightLine(t *testing.T) {
+	// A perfectly straight line collapses to its endpoints.
+	r := Routine{}
+	for i := 0; i < 20; i++ {
+		r.Points = append(r.Points, geo.Pt(float64(i), 0))
+	}
+	s := Simplify(r, 0.5)
+	if s.Len() != 2 {
+		t.Fatalf("straight line simplified to %d points, want 2", s.Len())
+	}
+	if s.Points[0] != geo.Pt(0, 0) || s.Points[1] != geo.Pt(19, 0) {
+		t.Errorf("endpoints = %v", s.Points)
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	// An L-shape keeps the corner.
+	r := Routine{}
+	for i := 0; i <= 10; i++ {
+		r.Points = append(r.Points, geo.Pt(float64(i), 0))
+	}
+	for i := 1; i <= 10; i++ {
+		r.Points = append(r.Points, geo.Pt(10, float64(i)))
+	}
+	s := Simplify(r, 0.5)
+	if s.Len() != 3 {
+		t.Fatalf("L-shape simplified to %d points, want 3", s.Len())
+	}
+	if s.Points[1] != geo.Pt(10, 0) {
+		t.Errorf("corner = %v", s.Points[1])
+	}
+}
+
+func TestSimplifyErrorBound(t *testing.T) {
+	// Every dropped point must lie within epsilon of the simplified chain.
+	rng := rand.New(rand.NewSource(3))
+	r := Routine{}
+	pos := geo.Pt(50, 25)
+	for i := 0; i < 200; i++ {
+		pos = pos.Add(geo.Pt(rng.NormFloat64(), rng.NormFloat64()))
+		r.Points = append(r.Points, pos)
+	}
+	const eps = 2.0
+	s := Simplify(r, eps)
+	if s.Len() >= r.Len() {
+		t.Fatalf("no reduction: %d -> %d", r.Len(), s.Len())
+	}
+	for _, p := range r.Points {
+		best := math.Inf(1)
+		for i := 1; i < s.Len(); i++ {
+			if d := perpDist(p, s.Points[i-1], s.Points[i]); d < best {
+				best = d
+			}
+		}
+		if best > eps+1e-9 {
+			t.Fatalf("point %v is %v from the simplified chain (eps %v)", p, best, eps)
+		}
+	}
+}
+
+func TestSimplifyDegenerate(t *testing.T) {
+	r := Routine{Points: []geo.Point{geo.Pt(1, 1), geo.Pt(2, 2)}}
+	if got := Simplify(r, 1); got.Len() != 2 {
+		t.Errorf("two-point simplify = %d", got.Len())
+	}
+	if got := Simplify(Routine{}, 1); got.Len() != 0 {
+		t.Errorf("empty simplify = %d", got.Len())
+	}
+	// Zero epsilon keeps everything.
+	r3 := Routine{Points: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 5), geo.Pt(2, 0)}}
+	if got := Simplify(r3, 0); got.Len() != 3 {
+		t.Errorf("eps=0 simplify = %d", got.Len())
+	}
+}
+
+func TestSmoothDampsJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := Routine{}
+	for i := 0; i < 100; i++ {
+		r.Points = append(r.Points, geo.Pt(float64(i)+rng.NormFloat64()*0.5, rng.NormFloat64()*0.5))
+	}
+	s := Smooth(r, 5)
+	if s.Len() != r.Len() {
+		t.Fatalf("smoothing changed length")
+	}
+	// Jitter (per-step second difference) should shrink.
+	wiggle := func(r Routine) float64 {
+		var sum float64
+		for i := 2; i < r.Len(); i++ {
+			a := r.Points[i].Sub(r.Points[i-1])
+			b := r.Points[i-1].Sub(r.Points[i-2])
+			sum += a.Sub(b).Norm()
+		}
+		return sum
+	}
+	if wiggle(s) >= wiggle(r) {
+		t.Errorf("smoothing did not damp jitter: %v -> %v", wiggle(r), wiggle(s))
+	}
+}
+
+func TestSmoothWindowHandling(t *testing.T) {
+	r := Routine{Points: []geo.Point{geo.Pt(0, 0), geo.Pt(2, 0), geo.Pt(4, 0)}}
+	// Window 1 (and anything < 1) is identity.
+	for _, w := range []int{0, 1} {
+		s := Smooth(r, w)
+		for i := range r.Points {
+			if s.Points[i] != r.Points[i] {
+				t.Fatalf("window %d modified points", w)
+			}
+		}
+	}
+	// Even windows round up to odd.
+	s := Smooth(r, 2)
+	if s.Points[1] != geo.Pt(2, 0) {
+		t.Errorf("window-2 centre = %v", s.Points[1])
+	}
+}
+
+func TestStayPoints(t *testing.T) {
+	r := Routine{StartTick: 10}
+	// Dwell at (5,5) for 6 ticks, travel, dwell at (20,5) for 4 ticks.
+	for i := 0; i < 6; i++ {
+		r.Points = append(r.Points, geo.Pt(5+0.1*float64(i%2), 5))
+	}
+	for i := 1; i <= 5; i++ {
+		r.Points = append(r.Points, geo.Pt(5+3*float64(i), 5))
+	}
+	for i := 0; i < 4; i++ {
+		r.Points = append(r.Points, geo.Pt(20+0.1*float64(i%2), 5))
+	}
+	sps := StayPoints(r, 1.0, 3)
+	if len(sps) != 2 {
+		t.Fatalf("stay points = %d, want 2: %+v", len(sps), sps)
+	}
+	if sps[0].StartTick != 10 || sps[0].EndTick != 15 {
+		t.Errorf("first dwell ticks = %d..%d", sps[0].StartTick, sps[0].EndTick)
+	}
+	if sps[0].Center.Dist(geo.Pt(5.05, 5)) > 0.1 {
+		t.Errorf("first dwell centre = %v", sps[0].Center)
+	}
+	if sps[1].Center.Dist(geo.Pt(20.05, 5)) > 0.1 {
+		t.Errorf("second dwell centre = %v", sps[1].Center)
+	}
+}
+
+func TestStayPointsNone(t *testing.T) {
+	r := Routine{}
+	for i := 0; i < 10; i++ {
+		r.Points = append(r.Points, geo.Pt(float64(i*5), 0))
+	}
+	if sps := StayPoints(r, 1, 2); len(sps) != 0 {
+		t.Errorf("moving trace produced dwells: %+v", sps)
+	}
+	if sps := StayPoints(Routine{}, 1, 2); sps != nil {
+		t.Errorf("empty trace produced dwells")
+	}
+}
+
+func TestStayPointsWorkload2Style(t *testing.T) {
+	// minTicks clamps to 1: every point is then trivially a dwell run.
+	r := Routine{Points: []geo.Point{geo.Pt(0, 0), geo.Pt(10, 10)}}
+	sps := StayPoints(r, 0.5, 0)
+	if len(sps) != 2 {
+		t.Errorf("minTicks clamp: %+v", sps)
+	}
+}

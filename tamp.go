@@ -1,0 +1,165 @@
+// Package tamp is a Go implementation of Task Assignment in Mobility
+// Prediction-aware Spatial Crowdsourcing (TAMP), reproducing the system of
+// Li et al., "Effective Task Assignment in Mobility Prediction-Aware
+// Spatial Crowdsourcing" (ICDE 2025).
+//
+// The library covers the paper end to end:
+//
+//   - Worker-specific mobility prediction via game-theory-based multi-level
+//     learning-task clustering (GTMC) and task-adaptive meta-learning (TAML)
+//     on a from-scratch LSTM encoder–decoder — the GTTAML algorithm — plus
+//     the MAML and CTML baselines.
+//   - The task-assignment-oriented weighted loss that aligns prediction
+//     training with assignment quality.
+//   - The matching-rate metric and the prediction performance-involved
+//     assignment algorithm (PPI), alongside the UB, LB, KM, and GGPSO
+//     comparison algorithms.
+//   - A batch-mode platform simulator with worker accept/reject semantics,
+//     and seeded synthetic workload generators standing in for the paper's
+//     Porto+Didi and Gowalla+Foursquare datasets.
+//
+// # Quick start
+//
+//	w := tamp.GenerateWorkload(tamp.DefaultWorkloadParams(tamp.Workload1))
+//	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{WeightedLoss: true})
+//	if err != nil { ... }
+//	metrics := tamp.Simulate(w, pred, tamp.NewPPI())
+//	fmt.Println(metrics.CompletionRate(), metrics.RejectionRate())
+//
+// The cmd/tampbench binary regenerates every table and figure of the
+// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package tamp
+
+import (
+	"io"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/platform"
+	"github.com/spatialcrowd/tamp/internal/predict"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// Core spatial types.
+type (
+	// Point is a location in grid coordinates (one cell = 0.2 km).
+	Point = geo.Point
+	// Grid is the discrete city grid (the paper uses 100×50).
+	Grid = geo.Grid
+	// POI is a typed point of interest used by the spatial similarity.
+	POI = geo.POI
+	// Routine is a worker's timestamped movement trace.
+	Routine = traj.Routine
+)
+
+// Task and assignment types.
+type (
+	// Task is a spatial task τ = (location, deadline).
+	Task = assign.Task
+	// AssignWorker is the assignment-time view of a crowd worker.
+	AssignWorker = assign.Worker
+	// Pair is one matched (task, worker) assignment.
+	Pair = assign.Pair
+	// Assigner produces a batch assignment plan.
+	Assigner = assign.Assigner
+)
+
+// Workload generation.
+type (
+	// WorkloadKind selects the synthetic workload family.
+	WorkloadKind = dataset.Kind
+	// WorkloadParams configures workload generation.
+	WorkloadParams = dataset.Params
+	// Workload is a generated experimental workload.
+	Workload = dataset.Workload
+	// WorkloadWorker is one synthetic crowd worker with daily routines.
+	WorkloadWorker = dataset.Worker
+)
+
+// The two synthetic workload families of the evaluation.
+const (
+	// Workload1 mirrors Porto taxi workers + Didi ride-hailing tasks.
+	Workload1 = dataset.Workload1
+	// Workload2 mirrors Gowalla check-in workers + Foursquare venue tasks.
+	Workload2 = dataset.Workload2
+)
+
+// Prediction stage.
+type (
+	// TrainOptions configures offline mobility prediction training.
+	TrainOptions = predict.Options
+	// Predictors is the trained prediction stage.
+	Predictors = predict.Result
+	// WorkerModel is one worker's personalized mobility predictor.
+	WorkerModel = predict.WorkerModel
+	// PredEval aggregates RMSE / MAE / matching rate.
+	PredEval = predict.EvalResult
+)
+
+// Simulation stage.
+type (
+	// Metrics aggregates a simulation run: completion, rejection, cost,
+	// and assignment running time.
+	Metrics = platform.Metrics
+	// Simulation configures a platform run.
+	Simulation = platform.Run
+)
+
+// Meta-learning algorithm names accepted by TrainOptions.Algorithm.
+const (
+	AlgMAML     = "MAML"
+	AlgCTML     = "CTML"
+	AlgGTTAMLGT = "GTTAML-GT"
+	AlgGTTAML   = "GTTAML"
+)
+
+// DefaultWorkloadParams returns the paper's default experimental setting
+// (Table III) at laptop scale for the given workload family.
+func DefaultWorkloadParams(kind WorkloadKind) WorkloadParams {
+	return dataset.Defaults(kind)
+}
+
+// GenerateWorkload deterministically builds a workload from its parameters.
+func GenerateWorkload(p WorkloadParams) *Workload { return dataset.Generate(p) }
+
+// TrainPredictors runs the offline stage: meta-train mobility models for
+// every worker (cold-start workers adapt through learning-task-tree
+// placement) and measure per-worker matching rates.
+func TrainPredictors(w *Workload, opts TrainOptions) (*Predictors, error) {
+	return predict.Train(w, opts)
+}
+
+// Simulate runs the online batch assignment stage over the workload's test
+// horizon with the given assigner and trained predictors.
+func Simulate(w *Workload, pred *Predictors, a Assigner) Metrics {
+	run := platform.Run{Workload: w, Models: pred.Models, Assigner: a}
+	return run.Simulate()
+}
+
+// NewPPI returns the paper's Prediction Performance-Involved assignment
+// algorithm (Algorithm 4) with default parameters.
+func NewPPI() Assigner { return assign.PPI{A: predict.DefaultMatchRadius} }
+
+// NewKM returns the plain prediction-based KM matching baseline.
+func NewKM() Assigner { return assign.KM{} }
+
+// NewUB returns the oracle upper bound (assigns on true trajectories).
+func NewUB() Assigner { return assign.UB{} }
+
+// NewLB returns the lower bound (assigns on current locations only).
+func NewLB() Assigner { return assign.LB{} }
+
+// NewGGPSO returns the genetic assignment baseline of [11].
+func NewGGPSO(seed int64) Assigner { return assign.GGPSO{Seed: seed} }
+
+// LoadModels reads per-worker predictors previously written with
+// Predictors.SaveModels, so the offline stage can train once and the online
+// platform can start without retraining.
+func LoadModels(r io.Reader) (map[int]*WorkerModel, error) { return predict.LoadModels(r) }
+
+// KMToCells converts kilometres to grid cells.
+func KMToCells(km float64) float64 { return geo.KMToCells(km) }
+
+// CellsToKM converts grid cells to kilometres.
+func CellsToKM(cells float64) float64 { return geo.CellsToKM(cells) }

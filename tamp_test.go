@@ -1,0 +1,87 @@
+package tamp
+
+import (
+	"testing"
+)
+
+func quickParams(kind WorkloadKind) WorkloadParams {
+	p := DefaultWorkloadParams(kind)
+	p.NumWorkers = 8
+	p.NewWorkers = 1
+	p.TrainDays = 2
+	p.TestDays = 1
+	p.TicksPerDay = 50
+	p.NumTestTasks = 120
+	p.NumPOIs = 60
+	return p
+}
+
+func quickTrain() TrainOptions {
+	return TrainOptions{SeqIn: 3, SeqOut: 1, Hidden: 6, MetaIters: 4, Seed: 3}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	w := GenerateWorkload(quickParams(Workload1))
+	pred, err := TrainPredictors(w, quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Models) != len(w.Workers) {
+		t.Fatalf("models = %d, want %d", len(pred.Models), len(w.Workers))
+	}
+	m := Simulate(w, pred, NewPPI())
+	if m.TotalTasks != len(w.TestTasks) {
+		t.Errorf("total tasks = %d", m.TotalTasks)
+	}
+	if m.Accepted == 0 {
+		t.Error("end-to-end run completed nothing")
+	}
+	if m.CompletionRate() < 0 || m.CompletionRate() > 1 {
+		t.Errorf("completion = %v", m.CompletionRate())
+	}
+}
+
+func TestAllAssignersRun(t *testing.T) {
+	w := GenerateWorkload(quickParams(Workload1))
+	pred, err := TrainPredictors(w, quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Assigner{NewPPI(), NewKM(), NewUB(), NewLB(), NewGGPSO(1)} {
+		m := Simulate(w, pred, a)
+		if m.Accepted > m.Assigned {
+			t.Errorf("%s: accepted > assigned", a.Name())
+		}
+	}
+}
+
+func TestTrainAlgorithmsViaFacade(t *testing.T) {
+	w := GenerateWorkload(quickParams(Workload2))
+	for _, alg := range []string{AlgMAML, AlgCTML, AlgGTTAMLGT, AlgGTTAML} {
+		opts := quickTrain()
+		opts.Algorithm = alg
+		pred, err := TrainPredictors(w, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if pred.Trained.Algorithm != alg {
+			t.Errorf("algorithm = %q, want %q", pred.Trained.Algorithm, alg)
+		}
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if KMToCells(1) != 5 {
+		t.Errorf("KMToCells(1) = %v", KMToCells(1))
+	}
+	if CellsToKM(5) != 1 {
+		t.Errorf("CellsToKM(5) = %v", CellsToKM(5))
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	p := DefaultWorkloadParams(Workload1)
+	if p.Kind != Workload1 || p.NumWorkers == 0 || p.NumTestTasks == 0 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
