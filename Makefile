@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet bench fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; the concurrency core (internal/par)
+# and everything layered on it must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Quick-scale benchmarks, including the parallel-vs-sequential speedup
+# benches (BenchmarkTrainParallel / BenchmarkSimulateParallel).
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+fmt:
+	gofmt -l -w .

@@ -7,8 +7,11 @@ package tamp
 // cmd/tampbench -scale full for paper-shaped runs.
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
 	"github.com/spatialcrowd/tamp/internal/dataset"
@@ -24,7 +27,9 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	for i := 0; i < b.N; i++ {
-		e.Run(experiments.Quick, io.Discard)
+		if err := e.Run(context.Background(), experiments.Quick, io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -71,7 +76,7 @@ func benchSetup(b *testing.B, weighted bool) (*dataset.Workload, *predict.Result
 	p.NumTestTasks = 300
 	p.NumPOIs = 80
 	w := dataset.Generate(p)
-	res, err := predict.Train(w, predict.Options{
+	res, err := predict.Train(context.Background(), w, predict.Options{
 		WeightedLoss: weighted, Hidden: 8, MetaIters: 8, Seed: 1,
 	})
 	if err != nil {
@@ -82,7 +87,81 @@ func benchSetup(b *testing.B, weighted bool) (*dataset.Workload, *predict.Result
 
 func simulateOnce(w *dataset.Workload, res *predict.Result, a assign.Assigner) platform.Metrics {
 	run := platform.Run{Workload: w, Models: res.Models, Assigner: a}
-	return run.Simulate()
+	m, err := run.Simulate(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// benchPair runs the same closure at Parallelism=1 and Parallelism=0 (all
+// cores) as sub-benchmarks and reports the parallel run's speedup over the
+// sequential one plus the core count it had available. On a single-core
+// machine the speedup hovers around 1; the determinism contract guarantees
+// both runs produce identical results regardless.
+func benchPair(b *testing.B, run func(parallelism int)) {
+	b.Helper()
+	var seqNs float64
+	b.Run("par=1", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			run(1)
+		}
+		seqNs = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	})
+	b.Run("par=all", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			run(0)
+		}
+		parNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		if seqNs > 0 && parNs > 0 {
+			b.ReportMetric(seqNs/parNs, "speedup")
+		}
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+	})
+}
+
+// BenchmarkTrainParallel measures the offline stage (meta-training +
+// per-worker adaptation + evaluation) sequentially vs on every core.
+func BenchmarkTrainParallel(b *testing.B) {
+	p := dataset.Defaults(dataset.Workload1)
+	p.NumWorkers = 12
+	p.NewWorkers = 2
+	p.TrainDays = 2
+	p.TestDays = 1
+	p.TicksPerDay = 60
+	p.NumTestTasks = 300
+	p.NumPOIs = 80
+	w := dataset.Generate(p)
+	benchPair(b, func(parallelism int) {
+		_, err := predict.Train(context.Background(), w, predict.Options{
+			WeightedLoss: true, Hidden: 8, MetaIters: 8, Seed: 1,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkSimulateParallel measures the online stage (per-batch worker-view
+// construction, PPI candidate graphs, daily continual adaptation)
+// sequentially vs on every core.
+func BenchmarkSimulateParallel(b *testing.B) {
+	w, res := benchSetup(b, true)
+	benchPair(b, func(parallelism int) {
+		run := platform.Run{
+			Workload:        w,
+			Models:          res.Models,
+			Assigner:        assign.PPI{A: predict.DefaultMatchRadius, Parallelism: parallelism},
+			DailyAdaptSteps: 2,
+			Parallelism:     parallelism,
+		}
+		if _, err := run.Simulate(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkAblationRadius sweeps the matching-rate radius a of Def. 7,
@@ -194,7 +273,7 @@ func BenchmarkAblationGame(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var mr float64
 			for i := 0; i < b.N; i++ {
-				res, err := predict.Train(w, predict.Options{
+				res, err := predict.Train(context.Background(), w, predict.Options{
 					Algorithm: tc.alg, Hidden: 8, MetaIters: 8, Seed: 1,
 				})
 				if err != nil {

@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/experiments"
@@ -32,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override the workload seed (0 keeps the scale default)")
 		csvDir  = flag.String("csv", "", "also write <dir>/<exp>.csv with machine-readable rows")
 		seeds   = flag.Int("seeds", 1, "run each experiment over this many seeds and report mean ± std")
+		par     = flag.Int("par", 0, "worker pool size for training, simulation, and multi-seed fan-out (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -57,6 +62,17 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Parallelism = *par
+	effective := *par
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("parallelism: %d goroutines (GOMAXPROCS %d)\n", effective, runtime.GOMAXPROCS(0))
+
+	// Ctrl-C abandons the current experiment cleanly instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var ids []string
 	if *expFlag == "all" {
@@ -83,7 +99,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
 				os.Exit(1)
 			}
-			if err := e.RunCSV(sc, f); err != nil {
+			if err := e.RunCSV(ctx, sc, f); err != nil {
 				f.Close()
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
 				os.Exit(1)
@@ -95,9 +111,15 @@ func main() {
 			for i := range list {
 				list[i] = sc.Seed + int64(i)
 			}
-			e.RunSeeds(sc, list, os.Stdout)
+			if err := e.RunSeeds(ctx, sc, list, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
 		} else {
-			e.Run(sc, os.Stdout)
+			if err := e.Run(ctx, sc, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}

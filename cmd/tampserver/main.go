@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
@@ -33,15 +37,16 @@ func main() {
 		assigner = flag.String("assigner", "PPI", "assignment algorithm: PPI, KM, LB, GGPSO")
 		tick     = flag.Duration("tick", 2*time.Second, "wall-clock duration of one platform tick")
 		manual   = flag.Bool("manual", false, "disable the background ticker; advance via POST /api/tick and /api/batch")
+		par      = flag.Int("par", 0, "worker pool size for batch prediction and matching (0 = all cores)")
 	)
 	flag.Parse()
 
-	cfg := server.Config{Grid: geo.DefaultGrid}
+	cfg := server.Config{Grid: geo.DefaultGrid, Parallelism: *par}
 	switch *assigner {
 	case "PPI":
-		cfg.Assigner = assign.PPI{A: predict.DefaultMatchRadius}
+		cfg.Assigner = assign.PPI{A: predict.DefaultMatchRadius, Parallelism: *par}
 	case "KM":
-		cfg.Assigner = assign.KM{}
+		cfg.Assigner = assign.KM{Parallelism: *par}
 	case "LB":
 		cfg.Assigner = assign.LB{}
 	case "GGPSO":
@@ -65,19 +70,18 @@ func main() {
 	}
 
 	s := server.New(cfg)
-	if !*manual {
-		go func() {
-			ticker := time.NewTicker(*tick)
-			defer ticker.Stop()
-			for range ticker.C {
-				s.AdvanceTick()
-				s.RunBatch()
-			}
-		}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	interval := *tick
+	if *manual {
+		interval = 0
+	} else {
 		log.Printf("background ticker: 1 tick per %v", *tick)
 	}
 	log.Printf("platform listening on %s (assigner %s)", *addr, *assigner)
-	if err := http.ListenAndServe(*addr, s); err != nil {
+	err := s.ListenAndServe(ctx, *addr, interval)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tampserver: %v", err)
 	}
+	log.Printf("shut down cleanly")
 }

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/spatialcrowd/tamp"
 	"github.com/spatialcrowd/tamp/internal/ingest"
@@ -34,8 +37,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload and training seed")
 		wcsv     = flag.String("workers-csv", "", "load worker trajectories from a tampgen-format CSV instead of generating")
 		tcsv     = flag.String("tasks-csv", "", "load tasks from a tampgen-format CSV (requires -workers-csv)")
+		par      = flag.Int("par", 0, "worker pool size for training and simulation (0 = all cores)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	kind := tamp.Workload1
 	if *workload == 2 {
@@ -70,11 +77,12 @@ func main() {
 	}
 
 	fmt.Printf("training %s predictors (%s loss, %d iters)...\n", *alg, *loss, *iters)
-	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+	pred, err := tamp.TrainPredictors(ctx, w, tamp.TrainOptions{
 		Algorithm:    *alg,
 		WeightedLoss: *loss == "weighted",
 		MetaIters:    *iters,
 		Seed:         *seed,
+		Parallelism:  *par,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tampsim:", err)
@@ -101,7 +109,11 @@ func main() {
 	}
 
 	fmt.Printf("simulating online assignment with %s...\n", a.Name())
-	m := tamp.Simulate(w, pred, a)
+	m, err := tamp.Simulate(ctx, w, pred, a)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tampsim:", err)
+		os.Exit(1)
+	}
 	fmt.Println()
 	fmt.Printf("tasks arrived:     %d\n", m.TotalTasks)
 	fmt.Printf("assignments |M|:   %d\n", m.Assigned)

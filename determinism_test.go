@@ -1,0 +1,149 @@
+package tamp
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestParallelismDeterminism is the regression contract of the concurrency
+// core: the same seed must produce bit-identical training results and
+// simulation metrics whether the pipeline runs sequentially or on eight
+// goroutines. Every reduction in the pipeline is index-addressed and merged
+// in a fixed order precisely so this holds.
+func TestParallelismDeterminism(t *testing.T) {
+	ctx := context.Background()
+	p := quickParams(Workload1)
+	p.Seed = 9
+
+	type outcome struct {
+		eval PredEval
+		mrs  map[int]float64
+		m    Metrics
+	}
+	runAt := func(parallelism int) outcome {
+		t.Helper()
+		w := GenerateWorkload(p)
+		opts := quickTrain()
+		opts.Parallelism = parallelism
+		pred, err := TrainPredictors(ctx, w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrs := make(map[int]float64, len(pred.Models))
+		for id, wm := range pred.Models {
+			mrs[id] = wm.MR
+		}
+		sim := Simulation{
+			Workload:        w,
+			Models:          pred.Models,
+			Assigner:        NewPPI(),
+			DailyAdaptSteps: 2, // exercise the parallel continual-adaptation pass
+			Parallelism:     parallelism,
+		}
+		m, err := sim.Simulate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{eval: pred.Eval, mrs: mrs, m: m}
+	}
+
+	serial := runAt(1)
+	parallel := runAt(8)
+
+	if serial.eval != parallel.eval {
+		t.Errorf("training eval differs across parallelism:\n  par=1: %+v\n  par=8: %+v",
+			serial.eval, parallel.eval)
+	}
+	if len(serial.mrs) != len(parallel.mrs) {
+		t.Fatalf("model count differs: %d vs %d", len(serial.mrs), len(parallel.mrs))
+	}
+	for id, mr := range serial.mrs {
+		if pmr, ok := parallel.mrs[id]; !ok || pmr != mr {
+			t.Errorf("worker %d matching rate differs: par=1 %v, par=8 %v", id, mr, pmr)
+		}
+	}
+	// AssignTime is wall-clock and legitimately varies; everything else is
+	// the deterministic outcome of the run.
+	serial.m.AssignTime, parallel.m.AssignTime = 0, 0
+	if serial.m != parallel.m {
+		t.Errorf("simulation metrics differ across parallelism:\n  par=1: %+v\n  par=8: %+v",
+			serial.m, parallel.m)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to the baseline
+// (pool workers observed mid-teardown need a moment to exit).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// TestTrainCancellation checks that cancelling the context aborts training
+// promptly — even with an effectively unbounded iteration budget — and that
+// the worker pool fully joins (no goroutine leaks).
+func TestTrainCancellation(t *testing.T) {
+	w := GenerateWorkload(quickParams(Workload1))
+	opts := quickTrain()
+	opts.MetaIters = 1 << 30 // would run forever without cancellation
+	opts.Parallelism = 4
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := TrainPredictors(ctx, w, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("TrainPredictors error = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("TrainPredictors did not return after cancellation")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestSimulateCancellation checks that cancelling the context stops the
+// platform simulation at a tick boundary, returning ctx.Err() without
+// leaking pool goroutines.
+func TestSimulateCancellation(t *testing.T) {
+	ctx := context.Background()
+	w := GenerateWorkload(quickParams(Workload1))
+	pred, err := TrainPredictors(ctx, w, quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		sim := Simulation{Workload: w, Models: pred.Models, Assigner: NewPPI(), Parallelism: 4}
+		_, err := sim.Simulate(cctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Simulate error = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Simulate did not return after cancellation")
+	}
+	waitGoroutines(t, base)
+}

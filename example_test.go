@@ -1,6 +1,7 @@
 package tamp_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/spatialcrowd/tamp"
@@ -19,12 +20,17 @@ func Example() {
 	p.NumTestTasks = 60
 	w := tamp.GenerateWorkload(p)
 
-	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{MetaIters: 2, Hidden: 4, Seed: 1})
+	ctx := context.Background()
+	pred, err := tamp.TrainPredictors(ctx, w, tamp.TrainOptions{MetaIters: 2, Hidden: 4, Seed: 1})
 	if err != nil {
 		fmt.Println("train failed:", err)
 		return
 	}
-	m := tamp.Simulate(w, pred, tamp.NewPPI())
+	m, err := tamp.Simulate(ctx, w, pred, tamp.NewPPI())
+	if err != nil {
+		fmt.Println("simulate failed:", err)
+		return
+	}
 	fmt.Println("models:", len(pred.Models))
 	fmt.Println("tasks:", m.TotalTasks)
 	fmt.Println("accounting ok:", m.Accepted <= m.Assigned && m.Accepted <= m.TotalTasks)

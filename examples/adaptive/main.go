@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -22,10 +23,11 @@ func main() {
 	p.NumTestTasks = 500
 	p.Seed = 21
 	w := tamp.GenerateWorkload(p)
+	ctx := context.Background()
 
 	// --- Offline: train once and persist the predictor bundle. ---
 	fmt.Println("offline: training predictors...")
-	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+	pred, err := tamp.TrainPredictors(ctx, w, tamp.TrainOptions{
 		WeightedLoss: true, MetaIters: 12, Seed: 21,
 	})
 	if err != nil {
@@ -58,7 +60,11 @@ func main() {
 			Assigner:        tamp.NewPPI(),
 			DailyAdaptSteps: adaptSteps,
 		}
-		return sim.Simulate()
+		m, err := sim.Simulate(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
 	}
 
 	static := run(0)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,9 +23,10 @@ func main() {
 	p.NumTestTasks = 200
 	p.Seed = 5
 	w := tamp.GenerateWorkload(p)
+	ctx := context.Background()
 
 	fmt.Println("meta-training on 20 established workers (GTTAML)...")
-	withTree, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+	withTree, err := tamp.TrainPredictors(ctx, w, tamp.TrainOptions{
 		MetaIters: 15,
 		Seed:      5,
 	})
@@ -36,7 +38,7 @@ func main() {
 	// so newcomers adapt from a generic shared start.
 	opts := tamp.TrainOptions{MetaIters: 15, Seed: 5}
 	opts.Algorithm = tamp.AlgMAML
-	mamlPred, err := tamp.TrainPredictors(w, opts)
+	mamlPred, err := tamp.TrainPredictors(ctx, w, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,12 +15,16 @@ import (
 	"github.com/spatialcrowd/tamp"
 )
 
-func run(validUnits int, pred *tamp.Predictors, seed int64) tamp.Metrics {
+func run(ctx context.Context, validUnits int, pred *tamp.Predictors, seed int64) tamp.Metrics {
 	p := baseParams(seed)
 	p.ValidMin = validUnits
 	p.ValidMax = validUnits + 1
 	w := tamp.GenerateWorkload(p)
-	return tamp.Simulate(w, pred, tamp.NewPPI())
+	m, err := tamp.Simulate(ctx, w, pred, tamp.NewPPI())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
 }
 
 func baseParams(seed int64) tamp.WorkloadParams {
@@ -37,9 +42,10 @@ func main() {
 	const seed = 11
 	// Train once (offline stage); the deadline sweep only changes the
 	// online task stream, not the workers' mobility.
+	ctx := context.Background()
 	train := tamp.GenerateWorkload(baseParams(seed))
 	fmt.Println("training courier mobility models...")
-	pred, err := tamp.TrainPredictors(train, tamp.TrainOptions{
+	pred, err := tamp.TrainPredictors(ctx, train, tamp.TrainOptions{
 		WeightedLoss: true,
 		MetaIters:    12,
 		Seed:         seed,
@@ -52,7 +58,7 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "valid time\tcompletion\trejection\tcost(km)\tassignments |M|")
 	for _, valid := range []int{1, 3, 5} {
-		m := run(valid, pred, seed)
+		m := run(ctx, valid, pred, seed)
 		fmt.Fprintf(tw, "[%d,%d] units\t%.3f\t%.3f\t%.3f\t%d\n",
 			valid, valid+1, m.CompletionRate(), m.RejectionRate(), m.AvgCostKM(), m.Assigned)
 	}

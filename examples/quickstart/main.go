@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,8 @@ func main() {
 
 	// Offline stage: GTTAML meta-training with the task-assignment-
 	// oriented loss.
-	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+	ctx := context.Background()
+	pred, err := tamp.TrainPredictors(ctx, w, tamp.TrainOptions{
 		WeightedLoss: true,
 		MetaIters:    10,
 		Seed:         42,
@@ -37,7 +39,10 @@ func main() {
 		pred.Eval.RMSE, pred.Eval.MAE, pred.Eval.MR)
 
 	// Online stage: batch assignment with PPI.
-	m := tamp.Simulate(w, pred, tamp.NewPPI())
+	m, err := tamp.Simulate(ctx, w, pred, tamp.NewPPI())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("assignment: completed %d/%d (%.1f%%), rejection %.1f%%, avg detour %.2f km\n",
 		m.Accepted, m.TotalTasks, 100*m.CompletionRate(),
 		100*m.RejectionRate(), m.AvgCostKM())

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,8 +26,9 @@ func main() {
 	p.Seed = 7
 	w := tamp.GenerateWorkload(p)
 
+	ctx := context.Background()
 	fmt.Println("training GTTAML predictors (task-assignment-oriented loss)...")
-	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{
+	pred, err := tamp.TrainPredictors(ctx, w, tamp.TrainOptions{
 		WeightedLoss: true,
 		MetaIters:    15,
 		Seed:         7,
@@ -42,7 +44,10 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "algorithm\tcompletion\trejection\tcost(km)\ttime")
 	for _, a := range assigners {
-		m := tamp.Simulate(w, pred, a)
+		m, err := tamp.Simulate(ctx, w, pred, a)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%v\n",
 			a.Name(), m.CompletionRate(), m.RejectionRate(), m.AvgCostKM(),
 			m.AssignTime.Round(1e6))

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -9,47 +10,67 @@ import (
 // way PPI's third stage does (every pair whose predicted-trajectory minimum
 // distance satisfies the detour and deadline caps) and solve one global
 // maximum-weight matching.
-type KM struct{}
+type KM struct {
+	// Parallelism bounds the edge-construction pool used by AssignContext
+	// (0 = GOMAXPROCS).
+	Parallelism int
+}
 
 // Name implements Assigner.
 func (KM) Name() string { return "KM" }
 
 // Assign implements Assigner.
-func (KM) Assign(tasks []Task, workers []Worker, tick int) []Pair {
-	return matchByPath(tasks, workers, tick)
+func (k KM) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	return k.AssignContext(context.Background(), tasks, workers, tick)
+}
+
+// AssignContext implements ContextAssigner: candidate edges are generated
+// one task row per pool goroutine; the matching is sequential.
+func (k KM) AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair {
+	return matchByPath(ctx, tasks, workers, tick, k.Parallelism)
 }
 
 // UB is the oracle upper bound: it checks the exact acceptance predicate
 // (ServeDist) against the workers' true timed trajectories, so every
 // assignment it makes is accepted and its rejection rate is 0 by
 // construction.
-type UB struct{}
+type UB struct {
+	// Parallelism bounds the edge-construction pool used by AssignContext
+	// (0 = GOMAXPROCS).
+	Parallelism int
+}
 
 // Name implements Assigner.
 func (UB) Name() string { return "UB" }
 
 // Assign implements Assigner.
-func (UB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
-	var edges []Edge
-	for ti := range tasks {
+func (u UB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	return u.AssignContext(context.Background(), tasks, workers, tick)
+}
+
+// AssignContext implements ContextAssigner.
+func (u UB) AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair {
+	edges := edgeRows(ctx, len(tasks), u.Parallelism, func(ti int) []Edge {
+		var row []Edge
 		for wi := range workers {
 			if tasks[ti].ExcludedWorker(workers[wi].ID) {
 				continue
 			}
 			d := ServeDist(&workers[wi], &tasks[ti], tick)
 			if d >= 0 {
-				edges = append(edges, Edge{Task: ti, Worker: wi, Weight: pairWeight(2 * d)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(2 * d)})
 			}
 		}
-	}
+		return row
+	})
 	return MaxWeightMatching(edges)
 }
 
 // matchByPath builds edges from predicted-trajectory-to-task distances
 // under the Theorem-2 feasibility cap and solves one KM matching.
-func matchByPath(tasks []Task, workers []Worker, tick int) []Pair {
-	var edges []Edge
-	for ti := range tasks {
+func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, parallelism int) []Pair {
+	edges := edgeRows(ctx, len(tasks), parallelism, func(ti int) []Edge {
+		var row []Edge
 		for wi := range workers {
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
@@ -60,10 +81,11 @@ func matchByPath(tasks []Task, workers []Worker, tick int) []Pair {
 				continue
 			}
 			if dmin <= reachCap(w, &tasks[ti], tick) {
-				edges = append(edges, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
 			}
 		}
-	}
+		return row
+	})
 	return MaxWeightMatching(edges)
 }
 

@@ -1,7 +1,10 @@
 package assign
 
 import (
+	"context"
 	"sort"
+
+	"github.com/spatialcrowd/tamp/internal/par"
 )
 
 // PPI is the Prediction Performance-Involved task assignment algorithm
@@ -20,6 +23,11 @@ type PPI struct {
 	// Epsilon is ε, the KM batch size of the second stage. Values ≤ 0
 	// default to 8.
 	Epsilon int
+	// Parallelism bounds the pool used by AssignContext to build the
+	// candidate graphs of stages 1 and 3 (0 = GOMAXPROCS). The staged KM
+	// matching itself stays sequential; the plan is identical at every
+	// parallelism level.
+	Parallelism int
 }
 
 // Name implements Assigner.
@@ -34,6 +42,15 @@ type candidate struct {
 
 // Assign implements Assigner.
 func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	return p.AssignContext(context.Background(), tasks, workers, tick)
+}
+
+// AssignContext implements ContextAssigner: the candidate scans of stages 1
+// and 3 fan out one task row per pool goroutine, each row writing only its
+// own slot; rows merge in task order so the staged matching sees the same
+// graph — and returns the same plan — at every parallelism level. A
+// cancelled ctx yields a partial plan the caller should discard.
+func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair {
 	eps := p.Epsilon
 	if eps <= 0 {
 		eps = 8
@@ -41,9 +58,13 @@ func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 
 	// Stage 1 (lines 1–12): collect B for every combination; pairs with
 	// |B|·MR ≥ 1 go straight to the first KM; the rest are kept in 𝓑.
-	var confident []Edge
-	var pending []candidate
-	for ti := range tasks {
+	type row struct {
+		confident []Edge
+		pending   []candidate
+	}
+	rows := make([]row, len(tasks))
+	par.ForEach(ctx, len(tasks), p.Parallelism, func(ti int) error {
+		r := &rows[ti]
 		for wi := range workers {
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
@@ -66,11 +87,18 @@ func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 			}
 			conf := float64(bCount) * w.MR
 			if conf >= 1 {
-				confident = append(confident, Edge{Task: ti, Worker: wi, Weight: pairWeight(minB)})
+				r.confident = append(r.confident, Edge{Task: ti, Worker: wi, Weight: pairWeight(minB)})
 			} else {
-				pending = append(pending, candidate{task: ti, worker: wi, minB: minB, conf: conf})
+				r.pending = append(r.pending, candidate{task: ti, worker: wi, minB: minB, conf: conf})
 			}
 		}
+		return nil
+	})
+	var confident []Edge
+	var pending []candidate
+	for i := range rows {
+		confident = append(confident, rows[i].confident...)
+		pending = append(pending, rows[i].pending...)
 	}
 	result := MaxWeightMatching(confident)
 	assignedT := map[int]bool{}
@@ -109,12 +137,13 @@ func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 	flush()
 
 	// Stage 3 (lines 28–34): remaining tasks and workers matched on the
-	// plain prediction-feasibility graph.
-	var rest []Edge
-	for ti := range tasks {
+	// plain prediction-feasibility graph. The pool callbacks only read
+	// assignedT/assignedW (all writes happened before the fan-out).
+	rest := edgeRows(ctx, len(tasks), p.Parallelism, func(ti int) []Edge {
 		if assignedT[ti] {
-			continue
+			return nil
 		}
+		var row []Edge
 		for wi := range workers {
 			if assignedW[wi] {
 				continue
@@ -128,10 +157,11 @@ func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 				continue
 			}
 			if dmin <= reachCap(w, &tasks[ti], tick) {
-				rest = append(rest, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
 			}
 		}
-	}
+		return row
+	})
 	for _, m := range MaxWeightMatching(rest) {
 		result = append(result, m)
 	}

@@ -1,7 +1,10 @@
 package assign
 
 import (
+	"context"
+
 	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/par"
 )
 
 // Task is a spatial task τ = (l, t) (Def. 1): check in at Loc before the
@@ -48,6 +51,44 @@ type Worker struct {
 type Assigner interface {
 	Name() string
 	Assign(tasks []Task, workers []Worker, tick int) []Pair
+}
+
+// ContextAssigner is implemented by assigners whose bipartite-graph
+// construction runs on a cancellable worker pool (PPI, KM, UB). The matching
+// itself stays sequential — KM's augmenting paths are inherently ordered —
+// so parallelism only accelerates the O(|tasks|·|workers|·|path|) edge
+// generation that dominates large batches.
+type ContextAssigner interface {
+	Assigner
+	AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair
+}
+
+// Do runs the assigner on one batch, routing through AssignContext when the
+// assigner supports it. A cancelled ctx yields a partial (possibly empty)
+// plan; callers are expected to check ctx and discard it.
+func Do(ctx context.Context, a Assigner, tasks []Task, workers []Worker, tick int) []Pair {
+	if ca, ok := a.(ContextAssigner); ok {
+		return ca.AssignContext(ctx, tasks, workers, tick)
+	}
+	return a.Assign(tasks, workers, tick)
+}
+
+// edgeRows builds the bipartite graph with one candidate row per task,
+// computed concurrently: fn must return the edges for task ti touching no
+// shared state. Rows are index-addressed and concatenated in task order, so
+// the edge list — and therefore the matching — is identical at every
+// parallelism level.
+func edgeRows(ctx context.Context, nTasks, parallelism int, fn func(ti int) []Edge) []Edge {
+	rows := make([][]Edge, nTasks)
+	par.ForEach(ctx, nTasks, parallelism, func(ti int) error {
+		rows[ti] = fn(ti)
+		return nil
+	})
+	var edges []Edge
+	for _, r := range rows {
+		edges = append(edges, r...)
+	}
+	return edges
 }
 
 // reachCap returns min(d/2, d^t) of Theorem 2 for a (worker, task) pair:

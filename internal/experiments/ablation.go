@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -28,24 +29,26 @@ type AblationRow struct {
 // all at the Table III default point: the task-assignment-oriented loss vs
 // MSE, PPI's staged matching vs one global KM, the matching radius a, the
 // stage-2 batch size ε, and game-theoretic clustering vs k-means.
-func RunDesignAblations(kind dataset.Kind, sc Scale) []AblationRow {
+func RunDesignAblations(ctx context.Context, kind dataset.Kind, sc Scale) ([]AblationRow, error) {
 	w := dataset.Generate(sc.params(kind))
-	weighted, err := predict.Train(w, predict.Options{
+	weighted, err := predict.Train(ctx, w, predict.Options{
 		WeightedLoss: true, Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+		Parallelism: sc.Parallelism,
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	mse, err := predict.Train(w, predict.Options{
+	mse, err := predict.Train(ctx, w, predict.Options{
 		WeightedLoss: false, Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+		Parallelism: sc.Parallelism,
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 
-	simulate := func(models map[int]*predict.WorkerModel, a assign.Assigner) platform.Metrics {
-		run := platform.Run{Workload: w, Models: models, Assigner: a}
-		return run.Simulate()
+	simulate := func(models map[int]*predict.WorkerModel, a assign.Assigner) (platform.Metrics, error) {
+		run := platform.Run{Workload: w, Models: models, Assigner: a, Parallelism: sc.Parallelism}
+		return run.Simulate(ctx)
 	}
 	row := func(group, variant string, m platform.Metrics, mr float64) AblationRow {
 		return AblationRow{
@@ -56,42 +59,59 @@ func RunDesignAblations(kind dataset.Kind, sc Scale) []AblationRow {
 	}
 
 	var rows []AblationRow
-	ppi := assign.PPI{A: predict.DefaultMatchRadius}
+	ppi := assign.PPI{A: predict.DefaultMatchRadius, Parallelism: sc.Parallelism}
+	add := func(group, variant string, models map[int]*predict.WorkerModel, a assign.Assigner, mr float64) error {
+		m, err := simulate(models, a)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row(group, variant, m, mr))
+		return nil
+	}
 
 	// Loss function (PPI vs PPI-loss).
-	rows = append(rows,
-		row("loss", "task-oriented (Eq. 6-7)", simulate(weighted.Models, ppi), weighted.Eval.MR),
-		row("loss", "plain MSE", simulate(mse.Models, ppi), mse.Eval.MR),
-	)
+	if err := add("loss", "task-oriented (Eq. 6-7)", weighted.Models, ppi, weighted.Eval.MR); err != nil {
+		return nil, err
+	}
+	if err := add("loss", "plain MSE", mse.Models, ppi, mse.Eval.MR); err != nil {
+		return nil, err
+	}
 	// Staged confidence matching vs one global KM.
-	rows = append(rows,
-		row("staging", "staged PPI", simulate(weighted.Models, ppi), 0),
-		row("staging", "single global KM", simulate(weighted.Models, assign.KM{}), 0),
-	)
+	if err := add("staging", "staged PPI", weighted.Models, ppi, 0); err != nil {
+		return nil, err
+	}
+	if err := add("staging", "single global KM", weighted.Models, assign.KM{Parallelism: sc.Parallelism}, 0); err != nil {
+		return nil, err
+	}
 	// Matching radius a.
 	for _, a := range []float64{0.5, 1.5, 3.0} {
-		rows = append(rows, row("radius", fmt.Sprintf("a=%.1f cells", a),
-			simulate(weighted.Models, assign.PPI{A: a}), 0))
+		if err := add("radius", fmt.Sprintf("a=%.1f cells", a), weighted.Models,
+			assign.PPI{A: a, Parallelism: sc.Parallelism}, 0); err != nil {
+			return nil, err
+		}
 	}
 	// Stage-2 batch size ε.
 	for _, eps := range []int{1, 8, 64} {
-		rows = append(rows, row("epsilon", fmt.Sprintf("eps=%d", eps),
-			simulate(weighted.Models, assign.PPI{A: predict.DefaultMatchRadius, Epsilon: eps}), 0))
+		if err := add("epsilon", fmt.Sprintf("eps=%d", eps), weighted.Models,
+			assign.PPI{A: predict.DefaultMatchRadius, Epsilon: eps, Parallelism: sc.Parallelism}, 0); err != nil {
+			return nil, err
+		}
 	}
 	// Game-theoretic clustering vs plain multi-level k-means (MR only; the
 	// weighted run above is GTTAML already).
-	gt, err := predict.Train(w, predict.Options{
+	gt, err := predict.Train(ctx, w, predict.Options{
 		Algorithm: meta.AlgGTTAMLGT, WeightedLoss: true,
 		Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+		Parallelism: sc.Parallelism,
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	rows = append(rows,
 		AblationRow{Group: "clustering", Variant: "GTMC (game)", MR: weighted.Eval.MR},
 		AblationRow{Group: "clustering", Variant: "k-means", MR: gt.Eval.MR},
 	)
-	return rows
+	return rows, nil
 }
 
 // WriteAblationTable renders ablation rows grouped by design choice.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -57,22 +58,24 @@ var assignAlgos = []string{"UB", "PPI", "PPI-loss", "GGPSO", "KM", "KM-loss", "L
 // (workload 2). Mobility models are trained once on the default setting —
 // the paper's offline stage — and the online assignment is simulated per
 // sweep point.
-func RunAssignmentSweep(kind dataset.Kind, sweep SweepKind, sc Scale) []AssignRow {
+func RunAssignmentSweep(ctx context.Context, kind dataset.Kind, sweep SweepKind, sc Scale) ([]AssignRow, error) {
 	base := sc.params(kind)
 
 	// Offline stage: two model sets, one per loss function.
 	trainW := dataset.Generate(base)
-	weighted, err := predict.Train(trainW, predict.Options{
+	weighted, err := predict.Train(ctx, trainW, predict.Options{
 		WeightedLoss: true, Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+		Parallelism: sc.Parallelism,
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	mse, err := predict.Train(trainW, predict.Options{
+	mse, err := predict.Train(ctx, trainW, predict.Options{
 		WeightedLoss: false, Hidden: sc.Hidden, MetaIters: sc.MetaIters, Seed: sc.Seed,
+		Parallelism: sc.Parallelism,
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 
 	var rows []AssignRow
@@ -98,11 +101,15 @@ func RunAssignmentSweep(kind dataset.Kind, sweep SweepKind, sc Scale) []AssignRo
 				models = mse.Models
 			}
 			run := platform.Run{
-				Workload: w,
-				Models:   models,
-				Assigner: makeAssigner(algo, sc),
+				Workload:    w,
+				Models:      models,
+				Assigner:    makeAssigner(algo, sc),
+				Parallelism: sc.Parallelism,
 			}
-			m := run.Simulate()
+			m, err := run.Simulate(ctx)
+			if err != nil {
+				return nil, err
+			}
 			rows = append(rows, AssignRow{
 				Sweep: label, X: x, Algo: algo,
 				Completion: m.CompletionRate(),
@@ -112,7 +119,7 @@ func RunAssignmentSweep(kind dataset.Kind, sweep SweepKind, sc Scale) []AssignRo
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 func sweepValues(sweep SweepKind, sc Scale) []float64 {
@@ -132,13 +139,13 @@ func sweepValues(sweep SweepKind, sc Scale) []float64 {
 func makeAssigner(algo string, sc Scale) assign.Assigner {
 	switch algo {
 	case "UB":
-		return assign.UB{}
+		return assign.UB{Parallelism: sc.Parallelism}
 	case "LB":
 		return assign.LB{}
 	case "PPI", "PPI-loss":
-		return assign.PPI{A: predict.DefaultMatchRadius}
+		return assign.PPI{A: predict.DefaultMatchRadius, Parallelism: sc.Parallelism}
 	case "KM", "KM-loss":
-		return assign.KM{}
+		return assign.KM{Parallelism: sc.Parallelism}
 	case "GGPSO":
 		return assign.GGPSO{Population: sc.Population, Generations: sc.Generations, Seed: sc.Seed}
 	default:

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -27,7 +28,10 @@ func microScale() Scale {
 }
 
 func TestRunClusterAblationRows(t *testing.T) {
-	rows := RunClusterAblation(dataset.Workload1, microScale())
+	rows, err := RunClusterAblation(context.Background(), dataset.Workload1, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 10 {
 		t.Fatalf("rows = %d, want 10 (2 algorithms × 5 factor sets)", len(rows))
 	}
@@ -55,7 +59,10 @@ func TestRunClusterAblationRows(t *testing.T) {
 }
 
 func TestRunSeqSweepRows(t *testing.T) {
-	rows := RunSeqSweep(dataset.Workload1, microScale())
+	rows, err := RunSeqSweep(context.Background(), dataset.Workload1, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 3 seq_in values + 2 extra seq_out values, × 4 algorithms.
 	if len(rows) != 20 {
 		t.Fatalf("rows = %d, want 20", len(rows))
@@ -72,7 +79,10 @@ func TestRunSeqSweepRows(t *testing.T) {
 }
 
 func TestRunAssignmentSweepRows(t *testing.T) {
-	rows := RunAssignmentSweep(dataset.Workload1, SweepDetour, microScale())
+	rows, err := RunAssignmentSweep(context.Background(), dataset.Workload1, SweepDetour, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 35 {
 		t.Fatalf("rows = %d, want 35 (5 points × 7 algorithms)", len(rows))
 	}
@@ -177,7 +187,7 @@ func TestWriters(t *testing.T) {
 // micro scale to catch wiring regressions.
 func TestRegistrySmokeQuickExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	Registry["fig6"].Run(microScale(), &buf)
+	Registry["fig6"].Run(context.Background(), microScale(), &buf)
 	if !strings.Contains(buf.String(), "Fig. 6") {
 		t.Errorf("fig6 output:\n%s", buf.String())
 	}
@@ -206,14 +216,14 @@ func TestCSVWriters(t *testing.T) {
 
 func TestRunCSVSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Registry["fig6"].RunCSV(microScale(), &buf); err != nil {
+	if err := Registry["fig6"].RunCSV(context.Background(), microScale(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "PPI") {
 		t.Error("fig6 CSV missing algorithms")
 	}
 	var empty Experiment
-	if err := empty.RunCSV(microScale(), &buf); err == nil {
+	if err := empty.RunCSV(context.Background(), microScale(), &buf); err == nil {
 		t.Error("empty experiment should error")
 	}
 }
@@ -268,7 +278,7 @@ func TestAggregateAssign(t *testing.T) {
 
 func TestRunSeedsMultiSeedSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	Registry["fig6"].RunSeeds(microScale(), []int64{1, 2}, &buf)
+	Registry["fig6"].RunSeeds(context.Background(), microScale(), []int64{1, 2}, &buf)
 	if !strings.Contains(buf.String(), "mean ± std over 2 seeds") {
 		t.Errorf("multi-seed output:\n%s", buf.String())
 	}
@@ -276,14 +286,17 @@ func TestRunSeedsMultiSeedSmoke(t *testing.T) {
 		t.Error("no ± markers in aggregated output")
 	}
 	buf.Reset()
-	Registry["fig6"].RunSeeds(microScale(), []int64{7}, &buf)
+	Registry["fig6"].RunSeeds(context.Background(), microScale(), []int64{7}, &buf)
 	if !strings.Contains(buf.String(), "Fig. 6") {
 		t.Error("single-seed fallback broken")
 	}
 }
 
 func TestRunDesignAblations(t *testing.T) {
-	rows := RunDesignAblations(dataset.Workload1, microScale())
+	rows, err := RunDesignAblations(context.Background(), dataset.Workload1, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
 	groups := map[string]int{}
 	for _, r := range rows {
 		groups[r.Group]++
@@ -305,11 +318,11 @@ func TestRunDesignAblations(t *testing.T) {
 
 func TestAblationsViaRegistry(t *testing.T) {
 	var buf bytes.Buffer
-	Registry["ablations"].Run(microScale(), &buf)
+	Registry["ablations"].Run(context.Background(), microScale(), &buf)
 	if !strings.Contains(buf.String(), "epsilon") {
 		t.Errorf("ablations output:\n%s", buf.String())
 	}
-	if err := Registry["ablations"].RunCSV(microScale(), &buf); err == nil {
+	if err := Registry["ablations"].RunCSV(context.Background(), microScale(), &buf); err == nil {
 		t.Log("ablations CSV unexpectedly supported (fine if implemented)")
 	}
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"text/tabwriter"
 
+	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/stats"
 )
 
@@ -99,32 +101,41 @@ func AggregateAssign(runs [][]AssignRow) []AssignAggRow {
 // RunSeeds executes the experiment once per seed (replacing the scale's
 // seed) and writes mean ± std rows. Single-seed calls fall back to the
 // plain rendering.
-func (e Experiment) RunSeeds(sc Scale, seeds []int64, w io.Writer) {
+//
+// Seed runs are independent end to end (each generates its own workload),
+// so they fan out on a pool of sc.Parallelism goroutines via par.Map; the
+// per-seed row slices come back in seed order, keeping the aggregation —
+// and its floating-point reduction — identical at every parallelism level.
+func (e Experiment) RunSeeds(ctx context.Context, sc Scale, seeds []int64, w io.Writer) error {
 	if len(seeds) <= 1 {
 		if len(seeds) == 1 {
 			sc.Seed = seeds[0]
 		}
-		e.Run(sc, w)
-		return
+		return e.Run(ctx, sc, w)
 	}
 	switch {
 	case e.predRows != nil:
-		runs := make([][]PredRow, 0, len(seeds))
-		for _, s := range seeds {
+		runs, err := par.Map(ctx, len(seeds), sc.Parallelism, func(i int) ([]PredRow, error) {
 			scs := sc
-			scs.Seed = s
-			runs = append(runs, e.predRows(scs))
+			scs.Seed = seeds[i]
+			return e.predRows(ctx, scs)
+		})
+		if err != nil {
+			return err
 		}
 		writePredAgg(w, fmt.Sprintf("%s (mean ± std over %d seeds)", e.Title, len(seeds)), AggregatePred(runs))
 	case e.assignRows != nil:
-		runs := make([][]AssignRow, 0, len(seeds))
-		for _, s := range seeds {
+		runs, err := par.Map(ctx, len(seeds), sc.Parallelism, func(i int) ([]AssignRow, error) {
 			scs := sc
-			scs.Seed = s
-			runs = append(runs, e.assignRows(scs))
+			scs.Seed = seeds[i]
+			return e.assignRows(ctx, scs)
+		})
+		if err != nil {
+			return err
 		}
 		writeAssignAgg(w, fmt.Sprintf("%s (mean ± std over %d seeds)", e.Title, len(seeds)), AggregateAssign(runs))
 	}
+	return nil
 }
 
 func writePredAgg(w io.Writer, title string, rows []PredAggRow) {

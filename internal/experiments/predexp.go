@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -42,7 +43,7 @@ var factorSets = []factorSet{
 // (workload 2): the {GTMC, k-means} × clustering-factor grid, reporting
 // prediction quality and training time. The loss used for evaluation is the
 // plain MSE, as in the paper.
-func RunClusterAblation(kind dataset.Kind, sc Scale) []PredRow {
+func RunClusterAblation(ctx context.Context, kind dataset.Kind, sc Scale) ([]PredRow, error) {
 	w := dataset.Generate(sc.params(kind))
 	var rows []PredRow
 	for _, alg := range []string{meta.AlgGTTAML, meta.AlgGTTAMLGT} {
@@ -51,15 +52,16 @@ func RunClusterAblation(kind dataset.Kind, sc Scale) []PredRow {
 			algLabel = "k-means"
 		}
 		for _, fs := range factorSets {
-			res, err := predict.Train(w, predict.Options{
-				Algorithm: alg,
-				Hidden:    sc.Hidden,
-				MetaIters: sc.MetaIters,
-				Metrics:   fs.metrics,
-				Seed:      sc.Seed,
+			res, err := predict.Train(ctx, w, predict.Options{
+				Algorithm:   alg,
+				Hidden:      sc.Hidden,
+				MetaIters:   sc.MetaIters,
+				Metrics:     fs.metrics,
+				Seed:        sc.Seed,
+				Parallelism: sc.Parallelism,
 			})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			rows = append(rows, PredRow{
 				Label: algLabel + " / " + fs.label,
@@ -69,7 +71,7 @@ func RunClusterAblation(kind dataset.Kind, sc Scale) []PredRow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // seqAlgorithms is the comparison set of Tables V/VII.
@@ -78,21 +80,22 @@ var seqAlgorithms = []string{meta.AlgMAML, meta.AlgCTML, meta.AlgGTTAMLGT, meta.
 // RunSeqSweep reproduces Table V (workload 1) / Table VII (workload 2):
 // vary seq_in ∈ {1,5,10} at seq_out=1 and seq_out ∈ {1,2,3} at seq_in=5
 // for MAML, CTML, GTTAML-GT, and GTTAML.
-func RunSeqSweep(kind dataset.Kind, sc Scale) []PredRow {
+func RunSeqSweep(ctx context.Context, kind dataset.Kind, sc Scale) ([]PredRow, error) {
 	w := dataset.Generate(sc.params(kind))
 	var rows []PredRow
-	run := func(seqIn, seqOut int) {
+	run := func(seqIn, seqOut int) error {
 		for _, alg := range seqAlgorithms {
-			res, err := predict.Train(w, predict.Options{
-				Algorithm: alg,
-				SeqIn:     seqIn,
-				SeqOut:    seqOut,
-				Hidden:    sc.Hidden,
-				MetaIters: sc.MetaIters,
-				Seed:      sc.Seed,
+			res, err := predict.Train(ctx, w, predict.Options{
+				Algorithm:   alg,
+				SeqIn:       seqIn,
+				SeqOut:      seqOut,
+				Hidden:      sc.Hidden,
+				MetaIters:   sc.MetaIters,
+				Seed:        sc.Seed,
+				Parallelism: sc.Parallelism,
 			})
 			if err != nil {
-				panic(err)
+				return err
 			}
 			rows = append(rows, PredRow{
 				Label: alg, SeqIn: seqIn, SeqOut: seqOut,
@@ -100,14 +103,19 @@ func RunSeqSweep(kind dataset.Kind, sc Scale) []PredRow {
 				TTSec: res.TrainTime.Seconds(),
 			})
 		}
+		return nil
 	}
 	for _, seqIn := range []int{1, 5, 10} {
-		run(seqIn, 1)
+		if err := run(seqIn, 1); err != nil {
+			return nil, err
+		}
 	}
 	for _, seqOut := range []int{2, 3} { // seq_out=1 covered by seq_in=5 above
-		run(5, seqOut)
+		if err := run(5, seqOut); err != nil {
+			return nil, err
+		}
 	}
-	return rows
+	return rows, nil
 }
 
 // WritePredTable renders prediction rows in the paper's table layout.

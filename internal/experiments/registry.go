@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,42 +17,66 @@ type Experiment struct {
 	ID    string
 	Title string
 
-	predRows     func(sc Scale) []PredRow
-	assignRows   func(sc Scale) []AssignRow
-	ablationRows func(sc Scale) []AblationRow
+	predRows     func(ctx context.Context, sc Scale) ([]PredRow, error)
+	assignRows   func(ctx context.Context, sc Scale) ([]AssignRow, error)
+	ablationRows func(ctx context.Context, sc Scale) ([]AblationRow, error)
 }
 
 // Run executes the experiment and writes the paper-style text rendering.
-func (e Experiment) Run(sc Scale, w io.Writer) {
+// Cancelling ctx abandons the run and returns ctx.Err().
+func (e Experiment) Run(ctx context.Context, sc Scale, w io.Writer) error {
 	switch {
 	case e.predRows != nil:
-		WritePredTable(w, e.Title, e.predRows(sc))
+		rows, err := e.predRows(ctx, sc)
+		if err != nil {
+			return err
+		}
+		WritePredTable(w, e.Title, rows)
 	case e.assignRows != nil:
-		WriteAssignSeries(w, e.Title, e.assignRows(sc))
+		rows, err := e.assignRows(ctx, sc)
+		if err != nil {
+			return err
+		}
+		WriteAssignSeries(w, e.Title, rows)
 	case e.ablationRows != nil:
-		WriteAblationTable(w, e.Title, e.ablationRows(sc))
+		rows, err := e.ablationRows(ctx, sc)
+		if err != nil {
+			return err
+		}
+		WriteAblationTable(w, e.Title, rows)
 	}
+	return nil
 }
 
 // RunCSV executes the experiment and writes machine-readable CSV.
-func (e Experiment) RunCSV(sc Scale, w io.Writer) error {
+func (e Experiment) RunCSV(ctx context.Context, sc Scale, w io.Writer) error {
 	switch {
 	case e.predRows != nil:
-		return WritePredCSV(w, e.predRows(sc))
+		rows, err := e.predRows(ctx, sc)
+		if err != nil {
+			return err
+		}
+		return WritePredCSV(w, rows)
 	case e.assignRows != nil:
-		return WriteAssignCSV(w, e.assignRows(sc))
+		rows, err := e.assignRows(ctx, sc)
+		if err != nil {
+			return err
+		}
+		return WriteAssignCSV(w, rows)
 	}
 	return fmt.Errorf("experiments: %s has no runner", e.ID)
 }
 
-func predExp(id, title string, kind dataset.Kind, run func(dataset.Kind, Scale) []PredRow) Experiment {
+func predExp(id, title string, kind dataset.Kind, run func(context.Context, dataset.Kind, Scale) ([]PredRow, error)) Experiment {
 	return Experiment{ID: id, Title: title,
-		predRows: func(sc Scale) []PredRow { return run(kind, sc) }}
+		predRows: func(ctx context.Context, sc Scale) ([]PredRow, error) { return run(ctx, kind, sc) }}
 }
 
 func assignExp(id, title string, kind dataset.Kind, sweep SweepKind) Experiment {
 	return Experiment{ID: id, Title: title,
-		assignRows: func(sc Scale) []AssignRow { return RunAssignmentSweep(kind, sweep, sc) }}
+		assignRows: func(ctx context.Context, sc Scale) ([]AssignRow, error) {
+			return RunAssignmentSweep(ctx, kind, sweep, sc)
+		}}
 }
 
 // Registry maps experiment ids (table4, fig6, …) to their runners, covering
@@ -90,8 +115,8 @@ var Registry = map[string]Experiment{
 	"ablations": {
 		ID:    "ablations",
 		Title: "Design-choice ablations at the default setting (workload 1)",
-		ablationRows: func(sc Scale) []AblationRow {
-			return RunDesignAblations(dataset.Workload1, sc)
+		ablationRows: func(ctx context.Context, sc Scale) ([]AblationRow, error) {
+			return RunDesignAblations(ctx, dataset.Workload1, sc)
 		},
 	},
 }

@@ -28,6 +28,11 @@ type Scale struct {
 	// GGPSO search effort.
 	Population, Generations int
 	Seed                    int64
+	// Parallelism bounds every worker pool the experiment spawns: meta
+	// training batches, per-worker adaptation, simulation prediction, PPI/KM
+	// edge construction, and multi-seed fan-out (0 = GOMAXPROCS). Rows are
+	// bit-identical at every level.
+	Parallelism int
 }
 
 // Quick is the smoke-test scale: seconds per experiment.

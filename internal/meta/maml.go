@@ -1,11 +1,12 @@
 package meta
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"math/rand"
 
 	"github.com/spatialcrowd/tamp/internal/cluster"
 	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/par"
 )
 
 // MetaTrain is Algorithm 3 (Meta-Training) run on one learning-task cluster:
@@ -19,7 +20,20 @@ import (
 // initialization, omitting the second-order term (see DESIGN.md). theta is
 // updated in place; the mean query loss across all iterations is returned
 // (Algorithm 3, lines 10–11).
-func MetaTrain(theta nn.Vector, tasks []*LearningTask, cfg Config) float64 {
+//
+// Batch tasks are independent given the shared initialization, so they
+// adapt concurrently on a par pool of cfg.Parallelism shards, each owning a
+// private model and gradient buffer. Determinism contract: task sampling
+// happens on the caller's goroutine, per-task query gradients land in an
+// index-addressed slice, and the meta update reduces that slice
+// sequentially in sample order — so theta is bit-identical at every
+// parallelism level. Shard models are built from a detached RNG (their
+// random initialization is overwritten before use), keeping cfg.Rng's
+// stream independent of the shard count.
+//
+// Cancelling ctx stops the loop at the next iteration boundary; theta keeps
+// the last completed update.
+func MetaTrain(ctx context.Context, theta nn.Vector, tasks []*LearningTask, cfg Config) float64 {
 	if len(tasks) == 0 || cfg.MetaIters <= 0 {
 		return 0
 	}
@@ -27,67 +41,57 @@ func MetaTrain(theta nn.Vector, tasks []*LearningTask, cfg Config) float64 {
 	if batch <= 0 || batch > len(tasks) {
 		batch = len(tasks)
 	}
-	// One worker (model + gradient buffer) per concurrent slot; the batch
-	// tasks are independent given the shared initialization, so they adapt
-	// in parallel. Results are reduced in slot order, keeping the update
-	// bit-for-bit deterministic regardless of scheduling.
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = defaultParallelism()
-	}
-	if par > batch {
-		par = batch
-	}
-	type slot struct {
+	shards := par.Workers(cfg.Parallelism, batch)
+	type shard struct {
 		model nn.Model
-		grad  nn.Vector // mean query grad of this slot's tasks
-		loss  float64
-		count int
 	}
-	slots := make([]slot, par)
-	for i := range slots {
-		slots[i].model = cfg.NewModel()
-		slots[i].grad = nn.NewVector(slots[i].model.NumParams())
+	slots := make([]shard, shards)
+	{
+		// Shard models never contribute their random initialization (every
+		// use starts with SetWeights), so draw them from a throwaway RNG:
+		// consuming cfg.Rng here would make the sampling stream — and hence
+		// the result — depend on the shard count.
+		mcfg := cfg
+		mcfg.Rng = rand.New(rand.NewSource(1))
+		template := mcfg.NewModel()
+		slots[0].model = template
+		for i := 1; i < shards; i++ {
+			slots[i].model = template.CloneModel()
+		}
 	}
-	queryGrads := make([]nn.Vector, par)
-	for i := range queryGrads {
-		queryGrads[i] = nn.NewVector(slots[i].model.NumParams())
+	// Index-addressed per-task results, reduced in sample order below.
+	taskGrads := make([]nn.Vector, batch)
+	for i := range taskGrads {
+		taskGrads[i] = nn.NewVector(slots[0].model.NumParams())
 	}
+	taskLoss := make([]float64, batch)
 
 	meanGrad := nn.NewVector(len(theta))
 	var totalLoss float64
 	var lossCount int
 	for iter := 0; iter < cfg.MetaIters; iter++ {
-		// Sample a batch of m learning tasks from T^t.G (line 2).
+		// Sample a batch of m learning tasks from T^t.G (line 2) on the
+		// caller's goroutine: cfg.Rng is never touched inside the pool.
 		idx := cfg.Rng.Perm(len(tasks))[:batch]
-		var wg sync.WaitGroup
-		for s := 0; s < par; s++ {
-			slots[s].grad.Zero()
-			slots[s].loss = 0
-			slots[s].count = 0
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				sl := &slots[s]
-				for k := s; k < len(idx); k += par {
-					task := tasks[idx[k]]
-					// Adapt k steps on Γ_i from the shared initialization
-					// (lines 4–7).
-					sl.model.SetWeights(theta)
-					Adapt(sl.model, task, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm)
-					// Query loss and gradient at the adapted weights (line 8).
-					sl.loss += sl.model.BatchGrad(task.Query, cfg.Loss, queryGrads[s])
-					sl.count++
-					sl.grad.Axpy(1, queryGrads[s])
-				}
-			}(s)
+		err := par.ForEachShard(ctx, len(idx), cfg.Parallelism, func(s, k int) error {
+			sl := &slots[s]
+			task := tasks[idx[k]]
+			// Adapt k steps on Γ_i from the shared initialization
+			// (lines 4–7).
+			sl.model.SetWeights(theta)
+			Adapt(sl.model, task, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm)
+			// Query loss and gradient at the adapted weights (line 8).
+			taskLoss[k] = sl.model.BatchGrad(task.Query, cfg.Loss, taskGrads[k])
+			return nil
+		})
+		if err != nil {
+			break
 		}
-		wg.Wait()
 		meanGrad.Zero()
-		for s := range slots {
-			meanGrad.Axpy(1/float64(batch), slots[s].grad)
-			totalLoss += slots[s].loss
-			lossCount += slots[s].count
+		for k := range idx {
+			meanGrad.Axpy(1/float64(batch), taskGrads[k])
+			totalLoss += taskLoss[k]
+			lossCount++
 		}
 		// Meta update (line 9).
 		if cfg.ClipNorm > 0 {
@@ -101,14 +105,6 @@ func MetaTrain(theta nn.Vector, tasks []*LearningTask, cfg Config) float64 {
 	return totalLoss / float64(lossCount)
 }
 
-func defaultParallelism() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		return 1
-	}
-	return n
-}
-
 // TAML is Algorithm 2 (Task Adaptive Meta-learning): train the learning
 // task tree bottom-up. Leaves run MetaTrain on their cluster; an interior
 // node then moves its initialization toward the mean of its children's
@@ -118,8 +114,10 @@ func defaultParallelism() int {
 //
 // tasks indexes the global learning-task list that node.Members refers to.
 // Every node's Theta is (re)initialized from its parent's before training,
-// mirroring Algorithm 1's inheritance T^t_new.θ = T^t.θ.
-func TAML(node *cluster.TreeNode, tasks []*LearningTask, cfg Config, rootInit nn.Vector) float64 {
+// mirroring Algorithm 1's inheritance T^t_new.θ = T^t.θ. The recursion
+// itself stays sequential (children inherit the parent's refined θ);
+// parallelism lives inside each MetaTrain batch.
+func TAML(ctx context.Context, node *cluster.TreeNode, tasks []*LearningTask, cfg Config, rootInit nn.Vector) float64 {
 	if node.Theta == nil {
 		if node.Parent != nil && node.Parent.Theta != nil {
 			node.Theta = node.Parent.Theta.Clone()
@@ -132,7 +130,7 @@ func TAML(node *cluster.TreeNode, tasks []*LearningTask, cfg Config, rootInit nn
 		members = append(members, tasks[i])
 	}
 	if node.IsLeaf() {
-		return MetaTrain(node.Theta, members, cfg)
+		return MetaTrain(ctx, node.Theta, members, cfg)
 	}
 	// Coarse-to-fine refinement: meta-train this node's initialization on
 	// its whole cluster before the children specialize from it, so deeper
@@ -141,13 +139,13 @@ func TAML(node *cluster.TreeNode, tasks []*LearningTask, cfg Config, rootInit nn
 	// number of clustering factors, as Table IV reports.)
 	warm := cfg
 	warm.MetaIters = (cfg.MetaIters + 1) / 2
-	MetaTrain(node.Theta, members, warm)
+	MetaTrain(ctx, node.Theta, members, warm)
 
 	var lossSum float64
 	delta := nn.NewVector(len(node.Theta))
 	for _, child := range node.Children {
 		child.Theta = node.Theta.Clone()
-		lossSum += TAML(child, tasks, cfg, rootInit)
+		lossSum += TAML(ctx, child, tasks, cfg, rootInit)
 		diff := child.Theta.Clone()
 		diff.Axpy(-1, node.Theta)
 		delta.Axpy(1/float64(len(node.Children)), diff)

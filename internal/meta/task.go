@@ -8,9 +8,11 @@
 package meta
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/sim"
 )
 
@@ -50,9 +52,10 @@ type Config struct {
 	Loss nn.Loss
 	// ClipNorm bounds gradient norms (0 disables).
 	ClipNorm float64
-	// Parallelism is the number of goroutines adapting batch tasks
-	// concurrently inside MetaTrain (0 = GOMAXPROCS). Results are
-	// deterministic for a fixed parallelism level.
+	// Parallelism bounds the par pool used by MetaTrain batches, learning
+	// paths, similarity matrices, and CTML embeddings (0 = GOMAXPROCS).
+	// Results are bit-identical at every parallelism level: work is
+	// index-addressed and reduced in index order (see internal/par).
 	Parallelism int
 	// Rng seeds model initialization and task sampling. Required.
 	Rng *rand.Rand
@@ -102,13 +105,22 @@ func Adapt(m nn.Model, task *LearningTask, steps int, lr float64, loss nn.Loss, 
 
 // ComputeLearningPaths fills task.Features.Path for every task by adapting
 // a model initialized at the shared weights init. Sharing the starting point
-// is what makes gradient paths comparable across tasks (Eq. 2).
-func ComputeLearningPaths(tasks []*LearningTask, cfg Config, init nn.Vector) {
-	m := cfg.NewModel()
-	for _, t := range tasks {
-		m.SetWeights(init)
-		t.Features.Path = Adapt(m, t, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm)
+// is what makes gradient paths comparable across tasks (Eq. 2). Tasks are
+// processed concurrently with one model clone per pool shard; each task
+// writes only its own Features.Path, and every path is a pure function of
+// (init, task), so the result is parallelism-independent.
+func ComputeLearningPaths(ctx context.Context, tasks []*LearningTask, cfg Config, init nn.Vector) error {
+	models := make([]nn.Model, par.Workers(cfg.Parallelism, len(tasks)))
+	models[0] = cfg.NewModel()
+	for i := 1; i < len(models); i++ {
+		models[i] = models[0].CloneModel()
 	}
+	return par.ForEachShard(ctx, len(tasks), cfg.Parallelism, func(shard, i int) error {
+		m := models[shard]
+		m.SetWeights(init)
+		tasks[i].Features.Path = Adapt(m, tasks[i], cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm)
+		return nil
+	})
 }
 
 // QueryLoss evaluates the model (already adapted) on the task's query set.

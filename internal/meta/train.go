@@ -1,10 +1,14 @@
 package meta
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
+	"sync"
 
 	"github.com/spatialcrowd/tamp/internal/cluster"
 	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/sim"
 )
 
@@ -33,19 +37,22 @@ type Trained struct {
 	// MeanLoss is the average query loss reported by the final TAML pass.
 	MeanLoss float64
 
-	leafOf map[int]*cluster.TreeNode
+	leafOnce sync.Once
+	leafOf   map[int]*cluster.TreeNode
 }
 
-// LeafFor returns the tree leaf whose cluster contains the given task index.
+// LeafFor returns the tree leaf whose cluster contains the given task
+// index. The lazy leaf index is built under a sync.Once so concurrent
+// per-worker adaptation can share one Trained.
 func (t *Trained) LeafFor(taskIdx int) *cluster.TreeNode {
-	if t.leafOf == nil {
+	t.leafOnce.Do(func() {
 		t.leafOf = map[int]*cluster.TreeNode{}
 		for _, leaf := range t.Tree.Leaves() {
 			for _, m := range leaf.Members {
 				t.leafOf[m] = leaf
 			}
 		}
-	}
+	})
 	return t.leafOf[taskIdx]
 }
 
@@ -62,17 +69,37 @@ func (t *Trained) InitFor(taskIdx int) nn.Vector {
 // and adapts it on the task's support set, returning the personalized
 // mobility model for the worker.
 func (t *Trained) AdaptedModel(taskIdx int) nn.Model {
-	m := t.Cfg.NewModel()
+	return t.AdaptedModelRNG(taskIdx, nil)
+}
+
+// AdaptedModelRNG is AdaptedModel with an explicit RNG for the transient
+// weight initialization (nil falls back to Cfg.Rng). The fresh model's
+// random weights are overwritten by the trained initialization before any
+// use, so the choice of RNG never changes the result — but passing a
+// private RNG makes the call safe to run concurrently for many workers
+// (the shared Cfg.Rng is not a synchronized source).
+func (t *Trained) AdaptedModelRNG(taskIdx int, rng *rand.Rand) nn.Model {
+	m := t.newModel(rng)
 	m.SetWeights(t.InitFor(taskIdx))
 	Adapt(m, t.Tasks[taskIdx], t.Cfg.AdaptSteps, t.Cfg.AdaptLR, t.Cfg.Loss, t.Cfg.ClipNorm)
 	return m
+}
+
+// newModel builds a fresh network, drawing initialization noise from rng
+// when given so concurrent callers never contend on Cfg.Rng.
+func (t *Trained) newModel(rng *rand.Rand) nn.Model {
+	cfg := t.Cfg
+	if rng != nil {
+		cfg.Rng = rng
+	}
+	return cfg.NewModel()
 }
 
 // TrainGTTAML runs the full pipeline of §III-B: compute learning paths,
 // build the three similarity matrices, cluster with GTMC (Algorithm 1), and
 // meta-train the tree with TAML (Algorithm 2). With ccfg.UseGame=false this
 // is the GTTAML-GT ablation variant.
-func TrainGTTAML(tasks []*LearningTask, cfg Config, ccfg cluster.Config) (*Trained, error) {
+func TrainGTTAML(ctx context.Context, tasks []*LearningTask, cfg Config, ccfg cluster.Config) (*Trained, error) {
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("meta: no learning tasks")
 	}
@@ -84,16 +111,24 @@ func TrainGTTAML(tasks []*LearningTask, cfg Config, ccfg cluster.Config) (*Train
 	model := cfg.NewModel()
 	init := model.Weights().Clone()
 	if metricsInclude(ccfg.Metrics, sim.LearningPath) {
-		ComputeLearningPaths(tasks, cfg, init)
+		if err := ComputeLearningPaths(ctx, tasks, cfg, init); err != nil {
+			return nil, err
+		}
 	}
 	matrices := make([]*sim.Matrix, len(ccfg.Metrics))
 	for mi, metric := range ccfg.Metrics {
-		matrices[mi] = sim.NewMatrix(len(tasks), func(i, j int) float64 {
+		matrices[mi] = sim.NewMatrixCtx(ctx, len(tasks), cfg.Parallelism, func(i, j int) float64 {
 			return sim.Similarity(metric, &tasks[i].Features, &tasks[j].Features)
 		})
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tree := cluster.BuildTree(matrices, ccfg)
-	loss := TAML(tree, tasks, cfg, init)
+	loss := TAML(ctx, tree, tasks, cfg, init)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	name := AlgGTTAML
 	if !ccfg.UseGame {
@@ -112,7 +147,7 @@ func TrainGTTAML(tasks []*LearningTask, cfg Config, ccfg cluster.Config) (*Train
 
 // TrainMAML is the plain MAML baseline [15]: no clustering, one shared
 // initialization meta-trained over every learning task.
-func TrainMAML(tasks []*LearningTask, cfg Config) (*Trained, error) {
+func TrainMAML(ctx context.Context, tasks []*LearningTask, cfg Config) (*Trained, error) {
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("meta: no learning tasks")
 	}
@@ -122,7 +157,10 @@ func TrainMAML(tasks []*LearningTask, cfg Config) (*Trained, error) {
 	}
 	model := cfg.NewModel()
 	init := model.Weights().Clone()
-	loss := TAML(root, tasks, cfg, init)
+	loss := TAML(ctx, root, tasks, cfg, init)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &Trained{
 		Algorithm: AlgMAML,
 		Tree:      root,
@@ -141,16 +179,26 @@ const CTMLClusters = 4
 // learning path (the adapted parameter snapshots, not gradients), clustered
 // by soft k-means, and each cluster is meta-trained independently under a
 // single-level tree.
-func TrainCTML(tasks []*LearningTask, cfg Config) (*Trained, error) {
+func TrainCTML(ctx context.Context, tasks []*LearningTask, cfg Config) (*Trained, error) {
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("meta: no learning tasks")
 	}
 	model := cfg.NewModel()
 	init := model.Weights().Clone()
 
+	// Embeddings are independent per task: fan out on the pool with one
+	// private model clone per shard (ctmlEmbedding mutates its model).
 	embed := make([]nn.Vector, len(tasks))
-	for i, t := range tasks {
-		embed[i] = ctmlEmbedding(model, init, t, cfg)
+	shardModels := make([]nn.Model, par.Workers(cfg.Parallelism, len(tasks)))
+	shardModels[0] = model
+	for i := 1; i < len(shardModels); i++ {
+		shardModels[i] = model.CloneModel()
+	}
+	if err := par.ForEachShard(ctx, len(tasks), cfg.Parallelism, func(shard, i int) error {
+		embed[i] = ctmlEmbedding(shardModels[shard], init, tasks[i], cfg)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	assign, _ := cluster.SoftKMeans(embed, CTMLClusters, 2, 30, cfg.Rng)
 	groups := cluster.Groups(assign, CTMLClusters)
@@ -162,7 +210,10 @@ func TrainCTML(tasks []*LearningTask, cfg Config) (*Trained, error) {
 	for _, g := range groups {
 		root.Children = append(root.Children, &cluster.TreeNode{Members: g, Parent: root, Level: 0})
 	}
-	loss := TAML(root, tasks, cfg, init)
+	loss := TAML(ctx, root, tasks, cfg, init)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &Trained{
 		Algorithm: AlgCTML,
 		Tree:      root,
@@ -248,8 +299,18 @@ func (t *Trained) PlaceNew(f *sim.Features) *cluster.TreeNode {
 // tree, initialize from the chosen node, adapt on the new task's support
 // set.
 func (t *Trained) AdaptNew(task *LearningTask) nn.Model {
+	return t.AdaptNewRNG(task, nil)
+}
+
+// AdaptNewRNG is AdaptNew with an explicit RNG for the fresh model (nil
+// falls back to Cfg.Rng). Tree placement only reads the trained tree, so
+// with a private RNG the whole call is safe to run concurrently for many
+// cold-start workers, and — because any placement node carries a trained
+// θ that overwrites the random initialization — deterministic at every
+// parallelism level.
+func (t *Trained) AdaptNewRNG(task *LearningTask, rng *rand.Rand) nn.Model {
 	node := t.PlaceNew(&task.Features)
-	m := t.Cfg.NewModel()
+	m := t.newModel(rng)
 	if node != nil && node.Theta != nil {
 		m.SetWeights(node.Theta)
 	}

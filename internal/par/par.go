@@ -1,0 +1,146 @@
+// Package par is the shared concurrency core of the TAMP pipeline: a
+// bounded worker pool over an index space with context cancellation and
+// deterministic first-error propagation, built on the stdlib only.
+//
+// Every parallel hot loop in the repo (meta-training batches, per-worker
+// adaptation, per-tick trajectory forecasting, assignment edge-matrix
+// construction, multi-seed experiment fan-out) runs through this package so
+// the determinism contract lives in one place:
+//
+//   - Work is addressed by index; callers write results into
+//     index-addressed slices, never into shared accumulators, so the output
+//     is independent of goroutine scheduling.
+//   - Any reduction over those slices happens sequentially in index order
+//     after the pool drains, keeping floating-point results bit-identical
+//     at every parallelism level.
+//   - Randomness must not be drawn inside pool callbacks from a shared
+//     source; callers derive per-index RNGs instead.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob against n work items: values ≤ 0 mean
+// GOMAXPROCS, and the result is clamped to [1, n]. An explicit positive
+// request is honored even beyond GOMAXPROCS (useful for tests that exercise
+// scheduling on small machines).
+func Workers(parallelism, n int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEachShard runs fn(shard, i) for every i in [0, n) on a pool of at most
+// Workers(parallelism, n) goroutines. shard identifies the executing pool
+// slot in [0, workers), letting callers reuse per-slot scratch state (a
+// model, a gradient buffer) without locking: a slot never runs two
+// callbacks concurrently.
+//
+// The pool stops issuing new indices as soon as ctx is cancelled or a
+// callback returns an error; in-flight callbacks run to completion and the
+// call always joins every goroutine before returning (no leaks). When
+// several callbacks fail, the error of the lowest index wins, so the
+// reported failure does not depend on scheduling. Callback errors take
+// precedence over ctx.Err().
+func ForEachShard(ctx context.Context, n, parallelism int, fn func(shard, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := Workers(parallelism, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		poolErr error
+	)
+	next.Store(-1)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, poolErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	done := ctx.Done()
+	for shard := 0; shard < workers; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				select {
+				case <-done:
+					stop.Store(true)
+					return
+				default:
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(shard, i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	if poolErr != nil {
+		return poolErr
+	}
+	return ctx.Err()
+}
+
+// ForEach is ForEachShard without the shard identifier.
+func ForEach(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	return ForEachShard(ctx, n, parallelism, func(_, i int) error { return fn(i) })
+}
+
+// Map runs fn over [0, n) on the pool and returns the results as an
+// index-addressed slice, so out[i] corresponds to input i regardless of
+// scheduling. On error or cancellation the partial results are discarded.
+func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, parallelism, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(4, 2); got != 2 {
+		t.Errorf("Workers(4, 2) = %d, want 2 (clamped to n)", got)
+	}
+	if got := Workers(16, 100); got != 16 {
+		t.Errorf("Workers(16, 100) = %d, want 16 (explicit request honored)", got)
+	}
+	if got := Workers(-3, 0); got != 1 {
+		t.Errorf("Workers(-3, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		n := 257
+		counts := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), n, par, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("par=%d: index %d ran %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachShardNeverRunsOneShardConcurrently(t *testing.T) {
+	const par = 8
+	var busy [par]atomic.Bool
+	err := ForEachShard(context.Background(), 500, par, func(shard, i int) error {
+		if !busy[shard].CompareAndSwap(false, true) {
+			return fmt.Errorf("shard %d entered twice", shard)
+		}
+		defer busy[shard].Store(false)
+		if shard < 0 || shard >= par {
+			return fmt.Errorf("shard %d out of range", shard)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapIndexAddressed(t *testing.T) {
+	got, err := Map(context.Background(), 100, 8, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestFirstErrorWinsByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Index 3 fails fast, index 10 fails slow; the lowest failing index must
+	// be reported regardless of which callback finishes first.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(context.Background(), 64, 8, func(i int) error {
+			switch i {
+			case 3:
+				time.Sleep(2 * time.Millisecond)
+				return errA
+			case 10:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errA)
+		}
+	}
+}
+
+func TestCancellationStopsPromptlyWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var ran atomic.Int32
+	go func() {
+		<-started
+		cancel()
+	}()
+	start := time.Now()
+	err := ForEach(ctx, 1_000_000, 4, func(i int) error {
+		ran.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if n := ran.Load(); n == 1_000_000 {
+		t.Error("cancellation did not stop index issuance early")
+	}
+	// ForEach joins its goroutines before returning.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 100, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallbackErrorBeatsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEach(ctx, 10, 4, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want callback error to win", err)
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(i int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	out, err := Map(context.Background(), 0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map n=0: %v %v", out, err)
+	}
+}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"testing"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
@@ -19,7 +20,7 @@ func twoDayWorkload(t *testing.T) (*dataset.Workload, map[int]*predict.WorkerMod
 	p.NumTestTasks = 160
 	p.NumPOIs = 50
 	w := dataset.Generate(p)
-	res, err := predict.Train(w, predict.Options{SeqIn: 3, SeqOut: 1, Hidden: 6, MetaIters: 5, Seed: 4})
+	res, err := predict.Train(context.Background(), w, predict.Options{SeqIn: 3, SeqOut: 1, Hidden: 6, MetaIters: 5, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSimulateWithDailyAdaptation(t *testing.T) {
 		Assigner:        assign.PPI{A: predict.DefaultMatchRadius},
 		DailyAdaptSteps: 3,
 	}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.Accepted == 0 {
 		t.Error("adaptive run completed nothing")
 	}

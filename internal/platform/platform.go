@@ -10,12 +10,14 @@
 package platform
 
 import (
+	"context"
 	"math"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
 	"github.com/spatialcrowd/tamp/internal/dataset"
 	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/predict"
 	"github.com/spatialcrowd/tamp/internal/traj"
 )
@@ -79,6 +81,14 @@ type Run struct {
 	// DailyAdaptLR is the learning rate of the continual updates
 	// (default 0.002).
 	DailyAdaptLR float64
+	// Parallelism bounds the pool used for per-batch worker-view
+	// construction (the autoregressive PredictFuture rollouts dominate each
+	// tick) and for the daily continual-adaptation pass (0 = GOMAXPROCS).
+	// Each worker owns its model exclusively, and every result is
+	// index-addressed, so Metrics (AssignTime aside) are bit-identical at
+	// every parallelism level. Models must not alias: two worker IDs mapping
+	// to the same *WorkerModel would race.
+	Parallelism int
 }
 
 // pendingTask tracks a task waiting in the pool.
@@ -88,7 +98,10 @@ type pendingTask struct {
 }
 
 // Simulate runs the full test horizon and returns the aggregated metrics.
-func (r *Run) Simulate() Metrics {
+// Cancelling ctx stops the simulation at the next tick boundary (or between
+// a batch's prediction and matching phases) and returns the partial metrics
+// alongside ctx.Err().
+func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	p := r.Workload.Params
 	horizonTicks := p.TestDays * p.TicksPerDay
 	lookahead := r.Horizon
@@ -119,15 +132,22 @@ func (r *Run) Simulate() Metrics {
 		adaptLR = 0.002
 	}
 	for tick := 0; tick < horizonTicks; tick++ {
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
 		// Continual prediction: at a day boundary, fine-tune every model on
-		// the trace observed during the previous day.
+		// the trace observed during the previous day. Each worker adapts its
+		// own model on its own trace, so the pass fans out on the pool.
 		if r.DailyAdaptSteps > 0 && tick > 0 && tick%p.TicksPerDay == 0 {
 			prevDay := tick/p.TicksPerDay - 1
-			for i := range r.Workload.Workers {
+			if err := par.ForEach(ctx, len(r.Workload.Workers), r.Parallelism, func(i int) error {
 				wk := &r.Workload.Workers[i]
 				if model := r.Models[wk.ID]; model != nil && prevDay < len(wk.TestDays) {
 					model.AdaptOn(wk.TestDays[prevDay], r.DailyAdaptSteps, adaptLR)
 				}
+				return nil
+			}); err != nil {
+				return m, err
 			}
 		}
 		// Task arrivals.
@@ -151,8 +171,12 @@ func (r *Run) Simulate() Metrics {
 		day := tick / p.TicksPerDay
 		tickInDay := tick % p.TicksPerDay
 
-		// Build the worker views for this batch.
-		var workers []assign.Worker
+		// Build the worker views for this batch. Eligibility is a cheap
+		// sequential pass; the per-worker view construction — dominated by
+		// the autoregressive PredictFuture rollout — fans out on the pool,
+		// each eligible worker filling its own index-addressed slot so the
+		// batch order is parallelism-independent.
+		var eligible []int
 		for i := range r.Workload.Workers {
 			wk := &r.Workload.Workers[i]
 			if busyUntil[wk.ID] > tick {
@@ -161,6 +185,14 @@ func (r *Run) Simulate() Metrics {
 			if day >= len(wk.TestDays) {
 				continue
 			}
+			eligible = append(eligible, i)
+		}
+		if len(eligible) == 0 {
+			continue
+		}
+		workers := make([]assign.Worker, len(eligible))
+		if err := par.ForEach(ctx, len(eligible), r.Parallelism, func(j int) error {
+			wk := &r.Workload.Workers[eligible[j]]
 			actualDay := wk.TestDays[day]
 			cur := actualDay.At(tickInDay)
 			w := assign.Worker{
@@ -184,10 +216,10 @@ func (r *Run) Simulate() Metrics {
 					w.Predicted = append(w.Predicted, cur)
 				}
 			}
-			workers = append(workers, w)
-		}
-		if len(workers) == 0 {
-			continue
+			workers[j] = w
+			return nil
+		}); err != nil {
+			return m, err
 		}
 
 		// One batch of tasks.
@@ -197,8 +229,13 @@ func (r *Run) Simulate() Metrics {
 		}
 
 		start := time.Now()
-		pairs := r.Assigner.Assign(batchTasks, workers, tick)
+		pairs := assign.Do(ctx, r.Assigner, batchTasks, workers, tick)
 		m.AssignTime += time.Since(start)
+		if err := ctx.Err(); err != nil {
+			// A cancelled matching may be partial; drop it rather than
+			// account a truncated plan.
+			return m, err
+		}
 
 		// Workers accept or reject against their true itineraries.
 		for _, pr := range pairs {
@@ -219,7 +256,7 @@ func (r *Run) Simulate() Metrics {
 			busyUntil[w.ID] = tick + busy
 		}
 	}
-	return m
+	return m, nil
 }
 
 // recentPoints returns the up-to-n most recent true locations the platform

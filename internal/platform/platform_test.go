@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"testing"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
@@ -9,6 +10,17 @@ import (
 	"github.com/spatialcrowd/tamp/internal/predict"
 	"github.com/spatialcrowd/tamp/internal/traj"
 )
+
+// mustSimulate runs the simulation under a background context, failing the
+// test on an unexpected cancellation error.
+func mustSimulate(t *testing.T, r *Run) Metrics {
+	t.Helper()
+	m, err := r.Simulate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 func pt(x, y float64) geo.Point { return geo.Pt(x, y) }
 
@@ -39,7 +51,7 @@ func simWorkload(t *testing.T) (*dataset.Workload, map[int]*predict.WorkerModel)
 	p.NumTestTasks = 150
 	p.NumPOIs = 60
 	w := dataset.Generate(p)
-	res, err := predict.Train(w, predict.Options{SeqIn: 3, SeqOut: 1, Hidden: 6, MetaIters: 6, Seed: 2})
+	res, err := predict.Train(context.Background(), w, predict.Options{SeqIn: 3, SeqOut: 1, Hidden: 6, MetaIters: 6, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +78,7 @@ func TestMetricsArithmetic(t *testing.T) {
 func TestSimulateBasicInvariants(t *testing.T) {
 	w, models := simWorkload(t)
 	run := Run{Workload: w, Models: models, Assigner: assign.PPI{A: predict.DefaultMatchRadius}}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.TotalTasks != len(w.TestTasks) {
 		t.Errorf("total = %d", m.TotalTasks)
 	}
@@ -90,7 +102,7 @@ func TestSimulateBasicInvariants(t *testing.T) {
 func TestSimulateUBNeverRejected(t *testing.T) {
 	w, models := simWorkload(t)
 	run := Run{Workload: w, Models: models, Assigner: assign.UB{}}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.RejectionRate() != 0 {
 		t.Errorf("UB rejection rate = %v, want 0", m.RejectionRate())
 	}
@@ -101,9 +113,9 @@ func TestSimulateUBNeverRejected(t *testing.T) {
 
 func TestSimulateUBIsUpperBound(t *testing.T) {
 	w, models := simWorkload(t)
-	ub := (&Run{Workload: w, Models: models, Assigner: assign.UB{}}).Simulate()
-	lb := (&Run{Workload: w, Models: models, Assigner: assign.LB{}}).Simulate()
-	ppi := (&Run{Workload: w, Models: models, Assigner: assign.PPI{A: predict.DefaultMatchRadius}}).Simulate()
+	ub := mustSimulate(t, &Run{Workload: w, Models: models, Assigner: assign.UB{}})
+	lb := mustSimulate(t, &Run{Workload: w, Models: models, Assigner: assign.LB{}})
+	ppi := mustSimulate(t, &Run{Workload: w, Models: models, Assigner: assign.PPI{A: predict.DefaultMatchRadius}})
 	if ub.Accepted < ppi.Accepted {
 		t.Errorf("UB completed %d < PPI %d", ub.Accepted, ppi.Accepted)
 	}
@@ -120,7 +132,7 @@ func TestSimulateUBIsUpperBound(t *testing.T) {
 func TestSimulateWithoutModelsStandsStill(t *testing.T) {
 	w, _ := simWorkload(t)
 	run := Run{Workload: w, Models: map[int]*predict.WorkerModel{}, Assigner: assign.KM{}}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	// Standing-still predictions still allow assignments near workers.
 	if m.Assigned == 0 {
 		t.Error("no assignments with stand-still predictions")
@@ -133,7 +145,7 @@ func TestSimulateTaskCarryOver(t *testing.T) {
 	// far corner) and confirm assignments repeat across batches.
 	w, models := simWorkload(t)
 	run := Run{Workload: w, Models: models, Assigner: assign.KM{}}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.Assigned < m.Accepted {
 		t.Fatal("impossible accounting")
 	}
@@ -201,8 +213,8 @@ func TestRecentPoints(t *testing.T) {
 
 func TestSimulateAssignTimeScalesWithAlgorithm(t *testing.T) {
 	w, models := simWorkload(t)
-	km := (&Run{Workload: w, Models: models, Assigner: assign.KM{}}).Simulate()
-	gg := (&Run{Workload: w, Models: models, Assigner: assign.GGPSO{Population: 30, Generations: 40}}).Simulate()
+	km := mustSimulate(t, &Run{Workload: w, Models: models, Assigner: assign.KM{}})
+	gg := mustSimulate(t, &Run{Workload: w, Models: models, Assigner: assign.GGPSO{Population: 30, Generations: 40}})
 	if gg.AssignTime < km.AssignTime {
 		t.Errorf("GGPSO time %v < KM time %v; expected genetic search to dominate", gg.AssignTime, km.AssignTime)
 	}

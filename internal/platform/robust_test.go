@@ -43,7 +43,7 @@ func TestSimulateMalformedTasks(t *testing.T) {
 	}
 	w := handWorkload(tasks)
 	run := Run{Workload: w, Models: map[int]*predict.WorkerModel{}, Assigner: assign.UB{}}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.TotalTasks != 4 {
 		t.Errorf("total = %d", m.TotalTasks)
 	}
@@ -60,7 +60,7 @@ func TestSimulateNoWorkers(t *testing.T) {
 	w := handWorkload([]assign.Task{{ID: 0, Loc: geo.Pt(1, 0), Deadline: 10}})
 	w.Workers = nil
 	run := Run{Workload: w, Models: map[int]*predict.WorkerModel{}, Assigner: assign.KM{}}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.Assigned != 0 || m.Accepted != 0 {
 		t.Errorf("assignments with no workers: %+v", m)
 	}
@@ -69,7 +69,7 @@ func TestSimulateNoWorkers(t *testing.T) {
 func TestSimulateNoTasks(t *testing.T) {
 	w := handWorkload(nil)
 	run := Run{Workload: w, Models: map[int]*predict.WorkerModel{}, Assigner: assign.KM{}}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.TotalTasks != 0 || m.Assigned != 0 {
 		t.Errorf("metrics for empty task stream: %+v", m)
 	}
@@ -89,7 +89,7 @@ func TestSimulateBusyWorkerUnavailable(t *testing.T) {
 		Assigner:     assign.UB{},
 		ServiceTicks: 50, // busy for the rest of the horizon after one task
 	}
-	m := run.Simulate()
+	m := mustSimulate(t, &run)
 	if m.Accepted != 1 {
 		t.Errorf("accepted = %d, want exactly 1 under a long service time", m.Accepted)
 	}

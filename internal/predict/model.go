@@ -131,6 +131,17 @@ func (a *evalAccum) add(actual, predicted geo.Point, radius float64) {
 	a.n++
 }
 
+// merge folds another accumulator into a. Callers that evaluate workers
+// concurrently give each worker its own accumulator and merge them in worker
+// order, so the floating-point reduction is the same at every parallelism
+// level.
+func (a *evalAccum) merge(b *evalAccum) {
+	a.se += b.se
+	a.ae += b.ae
+	a.matched += b.matched
+	a.n += b.n
+}
+
 func (a *evalAccum) result() EvalResult {
 	if a.n == 0 {
 		return EvalResult{}

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/meta"
 	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/sim"
 	"github.com/spatialcrowd/tamp/internal/traj"
 )
@@ -43,6 +45,10 @@ type Options struct {
 	Metrics []sim.Metric
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism bounds the worker pool used by meta-training batches,
+	// per-worker adaptation, and evaluation (0 = GOMAXPROCS). Results are
+	// bit-identical at every parallelism level; see internal/par.
+	Parallelism int
 }
 
 // DefaultMatchRadius is a of Def. 7 in grid cells (0.3 km).
@@ -103,7 +109,11 @@ type Result struct {
 // with the chosen algorithm, adapt per-worker models (placing cold-start
 // workers on the tree), measure each worker's matching rate on held-out
 // query data, and evaluate on the test-day routines.
-func Train(w *dataset.Workload, opts Options) (*Result, error) {
+//
+// Meta-training batches, per-worker adaptation, and evaluation fan out on a
+// pool of opts.Parallelism goroutines; cancelling ctx abandons the stage and
+// returns ctx.Err().
+func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, error) {
 	opts.fill()
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
 
@@ -112,6 +122,7 @@ func Train(w *dataset.Workload, opts Options) (*Result, error) {
 	cfg.InDim = InputDims
 	cfg.Hidden = opts.Hidden
 	cfg.MetaIters = opts.MetaIters
+	cfg.Parallelism = opts.Parallelism
 	if opts.MetaLR > 0 {
 		cfg.MetaLR = opts.MetaLR
 	}
@@ -144,9 +155,9 @@ func Train(w *dataset.Workload, opts Options) (*Result, error) {
 	var err error
 	switch opts.Algorithm {
 	case meta.AlgMAML:
-		trained, err = meta.TrainMAML(tasks, cfg)
+		trained, err = meta.TrainMAML(ctx, tasks, cfg)
 	case meta.AlgCTML:
-		trained, err = meta.TrainCTML(tasks, cfg)
+		trained, err = meta.TrainCTML(ctx, tasks, cfg)
 	case meta.AlgGTTAML, meta.AlgGTTAMLGT:
 		ccfg := cluster.DefaultConfig(rng)
 		ccfg.Metrics = opts.Metrics
@@ -155,7 +166,7 @@ func Train(w *dataset.Workload, opts Options) (*Result, error) {
 			ccfg.Thresholds[i] = clusterThreshold
 		}
 		ccfg.UseGame = opts.Algorithm == meta.AlgGTTAML
-		trained, err = meta.TrainGTTAML(tasks, cfg, ccfg)
+		trained, err = meta.TrainGTTAML(ctx, tasks, cfg, ccfg)
 	default:
 		return nil, fmt.Errorf("predict: unknown algorithm %q", opts.Algorithm)
 	}
@@ -172,38 +183,59 @@ func Train(w *dataset.Workload, opts Options) (*Result, error) {
 		TrainTime: trainTime,
 	}
 
-	// Established workers: adapt from their leaf initialization.
+	// Per-worker adaptation: established workers adapt from their leaf
+	// initialization, cold-start workers are placed on the tree. Workers are
+	// independent given the trained tree, so adaptation fans out on the pool.
+	// Each index writes one slot of an index-addressed slice and derives a
+	// private RNG (the transient model initialization it feeds is always
+	// overwritten by trained weights, so the seed only needs to be private,
+	// not coordinated) — the result is identical at every parallelism level.
 	taskByWorker := map[int]int{}
 	for i, t := range tasks {
 		taskByWorker[t.WorkerID] = i
 	}
-	for i := range w.Workers {
+	models := make([]*WorkerModel, len(w.Workers))
+	if err := par.ForEach(ctx, len(w.Workers), opts.Parallelism, func(i int) error {
 		wk := &w.Workers[i]
-		var model *WorkerModel
+		wrng := rand.New(rand.NewSource(opts.Seed + 1031*int64(i)))
 		if ti, ok := taskByWorker[wk.ID]; ok {
-			model = res.newWorkerModel(wk.ID, trained.AdaptedModel(ti), tasks[ti])
+			models[i] = res.newWorkerModel(wk.ID, trained.AdaptedModelRNG(ti, wrng), tasks[ti])
 		} else {
 			// Cold-start worker: build its short task, place it on the
 			// tree, adapt from the most similar node's initialization.
 			task, _ := BuildTaskFor(w, wk, opts.SeqIn, opts.SeqOut)
-			model = res.newWorkerModel(wk.ID, trained.AdaptNew(task), task)
+			models[i] = res.newWorkerModel(wk.ID, trained.AdaptNewRNG(task, wrng), task)
 		}
-		res.Models[wk.ID] = model
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i := range w.Workers {
+		res.Models[w.Workers[i].ID] = models[i]
 	}
 
 	// Aggregate evaluation over test-day routines (established workers,
 	// matching the paper's protocol of scoring the prediction stage on the
-	// test split).
-	var acc evalAccum
-	for i := range w.Workers {
+	// test split). Each worker scores into its own accumulator; the merge
+	// runs sequentially in worker order so the floating-point reduction is
+	// parallelism-independent.
+	accs := make([]evalAccum, len(w.Workers))
+	if err := par.ForEach(ctx, len(w.Workers), opts.Parallelism, func(i int) error {
 		wk := &w.Workers[i]
 		if wk.New {
-			continue
+			return nil
 		}
-		model := res.Models[wk.ID]
+		model := models[i]
 		for _, day := range wk.TestDays {
-			model.accumulateRoutine(day, opts.MatchRadius, &acc)
+			model.accumulateRoutine(day, opts.MatchRadius, &accs[i])
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var acc evalAccum
+	for i := range accs {
+		acc.merge(&accs[i])
 	}
 	res.Eval = acc.result()
 	return res, nil

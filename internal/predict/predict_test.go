@@ -2,6 +2,7 @@ package predict
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -124,7 +125,7 @@ func TestTaskOrientedWeight(t *testing.T) {
 
 func TestTrainPipelineGTTAML(t *testing.T) {
 	w := tinyWorkload(dataset.Workload1)
-	res, err := Train(w, tinyOptions())
+	res, err := Train(context.Background(), w, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestTrainPipelineAllAlgorithms(t *testing.T) {
 	for _, alg := range []string{meta.AlgMAML, meta.AlgCTML, meta.AlgGTTAMLGT, meta.AlgGTTAML} {
 		opts := tinyOptions()
 		opts.Algorithm = alg
-		res, err := Train(w, opts)
+		res, err := Train(context.Background(), w, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -172,7 +173,7 @@ func TestTrainPipelineUnknownAlgorithm(t *testing.T) {
 	w := tinyWorkload(dataset.Workload1)
 	opts := tinyOptions()
 	opts.Algorithm = "nope"
-	if _, err := Train(w, opts); err == nil {
+	if _, err := Train(context.Background(), w, opts); err == nil {
 		t.Error("expected error")
 	}
 }
@@ -181,7 +182,7 @@ func TestTrainPipelineWeightedLoss(t *testing.T) {
 	w := tinyWorkload(dataset.Workload1)
 	opts := tinyOptions()
 	opts.WeightedLoss = true
-	res, err := Train(w, opts)
+	res, err := Train(context.Background(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestTrainPipelineWeightedLoss(t *testing.T) {
 
 func TestPredictFutureShape(t *testing.T) {
 	w := tinyWorkload(dataset.Workload1)
-	res, err := Train(w, tinyOptions())
+	res, err := Train(context.Background(), w, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestPredictFutureShape(t *testing.T) {
 
 func TestEvaluateOnRoutine(t *testing.T) {
 	w := tinyWorkload(dataset.Workload1)
-	res, err := Train(w, tinyOptions())
+	res, err := Train(context.Background(), w, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestPredictionBeatsStandingStill(t *testing.T) {
 	opts := tinyOptions()
 	opts.Hidden = 8
 	opts.MetaIters = 60
-	res, err := Train(w, opts)
+	res, err := Train(context.Background(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestTrainPipelineGRUArch(t *testing.T) {
 	w := tinyWorkload(dataset.Workload1)
 	opts := tinyOptions()
 	opts.Arch = "gru"
-	res, err := Train(w, opts)
+	res, err := Train(context.Background(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package predict
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestSaveLoadModelsRoundTrip(t *testing.T) {
 	w := tinyWorkload(dataset.Workload1)
-	res, err := Train(w, tinyOptions())
+	res, err := Train(context.Background(), w, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

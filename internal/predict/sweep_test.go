@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestHyperparameterSweep(t *testing.T) {
 	}
 	w := tinyWorkload(dataset.Workload1)
 	evalMSE := func(opts Options) (model, still float64) {
-		res, err := Train(w, opts)
+		res, err := Train(context.Background(), w, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,15 +14,20 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
 	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/predict"
 )
 
@@ -52,6 +57,10 @@ type Config struct {
 	// their own values.
 	DefaultDetourKM float64
 	DefaultSpeed    float64
+	// Parallelism bounds the pool used for per-batch trajectory prediction
+	// and, when the default PPI assigner is constructed, its edge-building
+	// pool (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 type workerState struct {
@@ -101,7 +110,7 @@ func New(cfg Config) *Server {
 		cfg.Grid = geo.DefaultGrid
 	}
 	if cfg.Assigner == nil {
-		cfg.Assigner = assign.PPI{A: predict.DefaultMatchRadius}
+		cfg.Assigner = assign.PPI{A: predict.DefaultMatchRadius, Parallelism: cfg.Parallelism}
 	}
 	if cfg.PredHorizon <= 0 {
 		cfg.PredHorizon = 8
@@ -436,7 +445,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	made := s.runBatchLocked()
+	made := s.runBatchLocked(r.Context())
 	open := 0
 	for _, t := range s.tasks {
 		if t.Status == TaskOpen {
@@ -491,8 +500,11 @@ func findOfferLocked(s *Server, taskID int) int {
 
 // runBatchLocked builds the assignment input from open tasks and online,
 // offer-free workers, runs the configured assigner, and converts the plan
-// into pending offers. It returns the number of offers made.
-func (s *Server) runBatchLocked() int {
+// into pending offers. It returns the number of offers made. The per-worker
+// trajectory rollouts — the expensive part of a batch — fan out on the
+// pool; a cancelled ctx (e.g. the requester of POST /api/batch hung up)
+// abandons the batch without making offers.
+func (s *Server) runBatchLocked(ctx context.Context) int {
 	var tasks []assign.Task
 	var taskIDs []int
 	for id, t := range s.tasks {
@@ -501,12 +513,23 @@ func (s *Server) runBatchLocked() int {
 			taskIDs = append(taskIDs, id)
 		}
 	}
-	var workers []assign.Worker
+	// Candidate workers first (sorted so the batch order is stable across
+	// map iteration), then the model rollouts concurrently.
 	var workerIDs []int
 	for id, ws := range s.workers {
 		if !ws.Online || ws.OfferID != 0 || len(ws.Trace) == 0 {
 			continue
 		}
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Ints(workerIDs)
+	if len(tasks) == 0 || len(workerIDs) == 0 {
+		return 0
+	}
+	workers := make([]assign.Worker, len(workerIDs))
+	if err := par.ForEach(ctx, len(workerIDs), s.cfg.Parallelism, func(i int) error {
+		id := workerIDs[i]
+		ws := s.workers[id]
 		cur := ws.Trace[len(ws.Trace)-1]
 		aw := assign.Worker{
 			ID: id, Loc: cur, Detour: ws.Detour, Speed: ws.Speed, MR: ws.MR,
@@ -514,20 +537,23 @@ func (s *Server) runBatchLocked() int {
 		if m := s.cfg.Models[id]; m != nil {
 			aw.Predicted = m.PredictFuture(ws.Trace, s.cfg.PredHorizon)
 		} else {
-			for i := 0; i < s.cfg.PredHorizon; i++ {
+			for j := 0; j < s.cfg.PredHorizon; j++ {
 				aw.Predicted = append(aw.Predicted, cur)
 			}
 		}
-		workers = append(workers, aw)
-		workerIDs = append(workerIDs, id)
-	}
-	if len(tasks) == 0 || len(workers) == 0 {
+		workers[i] = aw
+		return nil
+	}); err != nil {
 		return 0
 	}
-	pairs := s.cfg.Assigner.Assign(tasks, workers, s.tick)
+	pairs := assign.Do(ctx, s.cfg.Assigner, tasks, workers, s.tick)
+	if ctx.Err() != nil {
+		// The matching may be partial; make no offers from it.
+		return 0
+	}
 	for _, pr := range pairs {
 		tid := taskIDs[pr.Task]
-		wid := workerIDs[pr.Worker]
+		wid := workers[pr.Worker].ID
 		off := &offer{ID: s.nextOff, TaskID: tid, Worker: wid}
 		s.nextOff++
 		s.offers[off.ID] = off
@@ -553,9 +579,56 @@ func (s *Server) AdvanceTick() int {
 // RunBatch executes one assignment batch programmatically, returning the
 // number of offers made.
 func (s *Server) RunBatch() int {
+	return s.RunBatchContext(context.Background())
+}
+
+// RunBatchContext is RunBatch under an explicit context; cancellation
+// abandons the batch without making offers.
+func (s *Server) RunBatchContext(ctx context.Context) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.runBatchLocked()
+	return s.runBatchLocked(ctx)
+}
+
+// ListenAndServe serves the platform API on addr until ctx is cancelled,
+// then drains in-flight requests through http.Server.Shutdown. When tick is
+// positive a background ticker advances the platform clock and runs one
+// assignment batch per interval (the batch-mode loop of Fig. 1); the ticker
+// stops with ctx. Request handlers inherit ctx as their base context, so
+// cancelling it also cancels in-flight batch pools.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, tick time.Duration) error {
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     s,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	if tick > 0 {
+		go func() {
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s.AdvanceTick()
+					s.RunBatchContext(ctx)
+				}
+			}
+		}()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		<-errc // joins the serve goroutine (ErrServerClosed after Shutdown)
+		return err
+	case err := <-errc:
+		return err
+	}
 }
 
 // --- metrics ---

@@ -1,5 +1,11 @@
 package sim
 
+import (
+	"context"
+
+	"github.com/spatialcrowd/tamp/internal/par"
+)
+
 // Matrix is a symmetric pairwise-similarity matrix over n items, stored as
 // the full square for O(1) access. Diagonal entries are 1.
 type Matrix struct {
@@ -10,13 +16,28 @@ type Matrix struct {
 // NewMatrix computes the symmetric similarity matrix for n items from f,
 // evaluating f only on the upper triangle.
 func NewMatrix(n int, f func(i, j int) float64) *Matrix {
+	return NewMatrixCtx(context.Background(), n, 1, f)
+}
+
+// NewMatrixCtx builds the similarity matrix with the upper triangle's rows
+// computed concurrently on a par pool (parallelism ≤ 0 means GOMAXPROCS).
+// f must be a pure function of (i, j); each row writes a disjoint slice
+// segment and the symmetric mirror runs sequentially afterwards, so the
+// result is identical at every parallelism level. Cancelling ctx abandons
+// the remaining rows (the caller is expected to check ctx and discard the
+// partial matrix).
+func NewMatrixCtx(ctx context.Context, n, parallelism int, f func(i, j int) float64) *Matrix {
 	m := &Matrix{N: n, v: make([]float64, n*n)}
-	for i := 0; i < n; i++ {
+	par.ForEach(ctx, n, parallelism, func(i int) error {
 		m.v[i*n+i] = 1
 		for j := i + 1; j < n; j++ {
-			s := f(i, j)
-			m.v[i*n+j] = s
-			m.v[j*n+i] = s
+			m.v[i*n+j] = f(i, j)
+		}
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.v[j*n+i] = m.v[i*n+j]
 		}
 	}
 	return m

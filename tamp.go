@@ -20,17 +20,25 @@
 //
 // # Quick start
 //
+//	ctx := context.Background()
 //	w := tamp.GenerateWorkload(tamp.DefaultWorkloadParams(tamp.Workload1))
-//	pred, err := tamp.TrainPredictors(w, tamp.TrainOptions{WeightedLoss: true})
+//	pred, err := tamp.TrainPredictors(ctx, w, tamp.TrainOptions{WeightedLoss: true})
 //	if err != nil { ... }
-//	metrics := tamp.Simulate(w, pred, tamp.NewPPI())
+//	metrics, err := tamp.Simulate(ctx, w, pred, tamp.NewPPI())
+//	if err != nil { ... }
 //	fmt.Println(metrics.CompletionRate(), metrics.RejectionRate())
+//
+// Training and simulation are internally parallel (see TrainOptions.
+// Parallelism and Simulation.Parallelism; 0 uses every core) and
+// deterministic: a fixed seed produces bit-identical results at any
+// parallelism level. Cancelling ctx stops either stage promptly.
 //
 // The cmd/tampbench binary regenerates every table and figure of the
 // paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
 package tamp
 
 import (
+	"context"
 	"io"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
@@ -125,16 +133,19 @@ func GenerateWorkload(p WorkloadParams) *Workload { return dataset.Generate(p) }
 
 // TrainPredictors runs the offline stage: meta-train mobility models for
 // every worker (cold-start workers adapt through learning-task-tree
-// placement) and measure per-worker matching rates.
-func TrainPredictors(w *Workload, opts TrainOptions) (*Predictors, error) {
-	return predict.Train(w, opts)
+// placement) and measure per-worker matching rates. Cancelling ctx abandons
+// training and returns ctx.Err().
+func TrainPredictors(ctx context.Context, w *Workload, opts TrainOptions) (*Predictors, error) {
+	return predict.Train(ctx, w, opts)
 }
 
 // Simulate runs the online batch assignment stage over the workload's test
-// horizon with the given assigner and trained predictors.
-func Simulate(w *Workload, pred *Predictors, a Assigner) Metrics {
+// horizon with the given assigner and trained predictors. Cancelling ctx
+// stops the simulation at the next tick boundary, returning the partial
+// metrics alongside ctx.Err().
+func Simulate(ctx context.Context, w *Workload, pred *Predictors, a Assigner) (Metrics, error) {
 	run := platform.Run{Workload: w, Models: pred.Models, Assigner: a}
-	return run.Simulate()
+	return run.Simulate(ctx)
 }
 
 // NewPPI returns the paper's Prediction Performance-Involved assignment

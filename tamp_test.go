@@ -1,6 +1,7 @@
 package tamp
 
 import (
+	"context"
 	"testing"
 )
 
@@ -21,15 +22,19 @@ func quickTrain() TrainOptions {
 }
 
 func TestEndToEndPipeline(t *testing.T) {
+	ctx := context.Background()
 	w := GenerateWorkload(quickParams(Workload1))
-	pred, err := TrainPredictors(w, quickTrain())
+	pred, err := TrainPredictors(ctx, w, quickTrain())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pred.Models) != len(w.Workers) {
 		t.Fatalf("models = %d, want %d", len(pred.Models), len(w.Workers))
 	}
-	m := Simulate(w, pred, NewPPI())
+	m, err := Simulate(ctx, w, pred, NewPPI())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.TotalTasks != len(w.TestTasks) {
 		t.Errorf("total tasks = %d", m.TotalTasks)
 	}
@@ -42,13 +47,17 @@ func TestEndToEndPipeline(t *testing.T) {
 }
 
 func TestAllAssignersRun(t *testing.T) {
+	ctx := context.Background()
 	w := GenerateWorkload(quickParams(Workload1))
-	pred, err := TrainPredictors(w, quickTrain())
+	pred, err := TrainPredictors(ctx, w, quickTrain())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, a := range []Assigner{NewPPI(), NewKM(), NewUB(), NewLB(), NewGGPSO(1)} {
-		m := Simulate(w, pred, a)
+		m, err := Simulate(ctx, w, pred, a)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if m.Accepted > m.Assigned {
 			t.Errorf("%s: accepted > assigned", a.Name())
 		}
@@ -60,7 +69,7 @@ func TestTrainAlgorithmsViaFacade(t *testing.T) {
 	for _, alg := range []string{AlgMAML, AlgCTML, AlgGTTAMLGT, AlgGTTAML} {
 		opts := quickTrain()
 		opts.Algorithm = alg
-		pred, err := TrainPredictors(w, opts)
+		pred, err := TrainPredictors(context.Background(), w, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
