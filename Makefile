@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt
+.PHONY: all build test race vet bench perfcheck fmt
 
 all: build test
 
@@ -19,9 +19,16 @@ vet:
 	$(GO) vet ./...
 
 # Quick-scale benchmarks, including the parallel-vs-sequential speedup
-# benches (BenchmarkTrainParallel / BenchmarkSimulateParallel).
+# benches (BenchmarkTrainParallel / BenchmarkSimulateParallel), then refresh
+# the NN kernel before/after record (baseline is preserved across runs).
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
+	$(GO) run ./cmd/tampbench -json BENCH_nn.json
+
+# Allocation-regression gate: the warmed NN hot path (Predict/Grad/BatchGrad
+# on both architectures, plus Adam.Step) must stay at 0 allocs/op.
+perfcheck:
+	$(GO) test ./internal/nn -run 'AllocFree' -v
 
 fmt:
 	gofmt -l -w .

@@ -7,6 +7,7 @@
 //	tampbench -exp table4 -scale quick
 //	tampbench -exp fig6,fig7 -scale full
 //	tampbench -exp all -scale quick
+//	tampbench -json BENCH_nn.json
 //
 // Scale "quick" finishes in seconds per experiment; "full" takes minutes
 // per experiment and produces the paper-shaped trends recorded in
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/experiments"
+	"github.com/spatialcrowd/tamp/internal/perf"
 )
 
 func main() {
@@ -37,11 +39,22 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write <dir>/<exp>.csv with machine-readable rows")
 		seeds   = flag.Int("seeds", 1, "run each experiment over this many seeds and report mean ± std")
 		par     = flag.Int("par", 0, "worker pool size for training, simulation, and multi-seed fan-out (0 = all cores)")
+		jsonOut = flag.String("json", "", "run the NN kernel benchmarks and write before/after results to this file")
 	)
 	flag.Parse()
 
 	if *list {
 		experiments.Describe(os.Stdout)
+		return
+	}
+	if *jsonOut != "" {
+		f, err := perf.WriteJSON(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(perf.Format(f))
+		fmt.Printf("wrote %s\n", *jsonOut)
 		return
 	}
 	if *expFlag == "" {

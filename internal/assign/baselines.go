@@ -98,8 +98,8 @@ func (LB) Name() string { return "LB" }
 
 // Assign implements Assigner.
 func (LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
-	var edges []Edge
-	for ti := range tasks {
+	edges := edgeRows(context.Background(), len(tasks), 1, func(ti int) []Edge {
+		var row []Edge
 		for wi := range workers {
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
@@ -107,10 +107,11 @@ func (LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 			}
 			d := w.Loc.Dist(tasks[ti].Loc)
 			if d <= reachCap(w, &tasks[ti], tick) {
-				edges = append(edges, Edge{Task: ti, Worker: wi, Weight: pairWeight(d)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(d)})
 			}
 		}
-	}
+		return row
+	})
 	return MaxWeightMatching(edges)
 }
 
@@ -169,9 +170,16 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 		}
 	}
 
-	newChrom := func() chromosome {
-		c := make(chromosome, len(tasks))
-		used := make([]bool, len(workers))
+	// One shared occupancy scratch serves newChrom and repair: zeroed on
+	// entry instead of reallocated, without touching the rng call sequence.
+	used := make([]bool, len(workers))
+	clearUsed := func() {
+		for i := range used {
+			used[i] = false
+		}
+	}
+	newChrom := func(c chromosome) {
+		clearUsed()
 		for _, ti := range rng.Perm(len(tasks)) {
 			c[ti] = -1
 			if len(cands[ti]) == 0 {
@@ -183,7 +191,6 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 				used[e.Worker] = true
 			}
 		}
-		return c
 	}
 	fitness := func(c chromosome) float64 {
 		var f float64
@@ -201,7 +208,7 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 		return f
 	}
 	repair := func(c chromosome) {
-		used := make([]bool, len(workers))
+		clearUsed()
 		for ti, wi := range c {
 			if wi < 0 {
 				continue
@@ -214,22 +221,26 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 		}
 	}
 
+	// Two generation buffers, swapped each round: the search runs without
+	// per-generation chromosome allocations.
 	popn := make([]chromosome, pop)
+	next := make([]chromosome, pop)
 	fits := make([]float64, pop)
 	for i := range popn {
-		popn[i] = newChrom()
+		popn[i] = make(chromosome, len(tasks))
+		next[i] = make(chromosome, len(tasks))
+		newChrom(popn[i])
 		fits[i] = fitness(popn[i])
 	}
 	best := append(chromosome(nil), popn[0]...)
 	bestFit := fits[0]
 
 	for gen := 0; gen < gens; gen++ {
-		next := make([]chromosome, 0, pop)
-		for len(next) < pop {
+		for ci := 0; ci < pop; ci++ {
 			// Tournament selection of two parents.
 			pa := tournament(rng, fits)
 			pb := tournament(rng, fits)
-			child := make(chromosome, len(tasks))
+			child := next[ci]
 			for ti := range child {
 				if rng.Intn(2) == 0 {
 					child[ti] = popn[pa][ti]
@@ -246,9 +257,8 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 				}
 			}
 			repair(child)
-			next = append(next, child)
 		}
-		popn = next
+		popn, next = next, popn
 		for i := range popn {
 			fits[i] = fitness(popn[i])
 			if fits[i] > bestFit {

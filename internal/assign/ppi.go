@@ -94,15 +94,22 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		}
 		return nil
 	})
-	var confident []Edge
-	var pending []candidate
+	var nConf, nPend int
+	for i := range rows {
+		nConf += len(rows[i].confident)
+		nPend += len(rows[i].pending)
+	}
+	confident := make([]Edge, 0, nConf)
+	pending := make([]candidate, 0, nPend)
 	for i := range rows {
 		confident = append(confident, rows[i].confident...)
 		pending = append(pending, rows[i].pending...)
 	}
 	result := MaxWeightMatching(confident)
-	assignedT := map[int]bool{}
-	assignedW := map[int]bool{}
+	// Dense index sets: both sides are small integer ranges, so []bool beats
+	// a map on lookup cost and avoids per-entry allocation.
+	assignedT := make([]bool, len(tasks))
+	assignedW := make([]bool, len(workers))
 	for _, m := range result {
 		assignedT[m.Task] = true
 		assignedW[m.Worker] = true
@@ -112,7 +119,7 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 	// candidates per KM call; after each call, drop everything touching the
 	// matched tasks and workers.
 	sort.Slice(pending, func(a, b int) bool { return pending[a].conf > pending[b].conf })
-	var batch []Edge
+	batch := make([]Edge, 0, eps)
 	flush := func() {
 		if len(batch) == 0 {
 			return

@@ -84,7 +84,11 @@ func edgeRows(ctx context.Context, nTasks, parallelism int, fn func(ti int) []Ed
 		rows[ti] = fn(ti)
 		return nil
 	})
-	var edges []Edge
+	var n int
+	for _, r := range rows {
+		n += len(r)
+	}
+	edges := make([]Edge, 0, n)
 	for _, r := range rows {
 		edges = append(edges, r...)
 	}

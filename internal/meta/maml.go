@@ -44,6 +44,9 @@ func MetaTrain(ctx context.Context, theta nn.Vector, tasks []*LearningTask, cfg 
 	shards := par.Workers(cfg.Parallelism, batch)
 	type shard struct {
 		model nn.Model
+		// adaptGrad is the shard's reusable inner-loop gradient buffer:
+		// adaptation runs every iteration, so it must not allocate per task.
+		adaptGrad nn.Vector
 	}
 	slots := make([]shard, shards)
 	{
@@ -57,6 +60,9 @@ func MetaTrain(ctx context.Context, theta nn.Vector, tasks []*LearningTask, cfg 
 		slots[0].model = template
 		for i := 1; i < shards; i++ {
 			slots[i].model = template.CloneModel()
+		}
+		for i := range slots {
+			slots[i].adaptGrad = nn.NewVector(template.NumParams())
 		}
 	}
 	// Index-addressed per-task results, reduced in sample order below.
@@ -79,7 +85,7 @@ func MetaTrain(ctx context.Context, theta nn.Vector, tasks []*LearningTask, cfg 
 			// Adapt k steps on Γ_i from the shared initialization
 			// (lines 4–7).
 			sl.model.SetWeights(theta)
-			Adapt(sl.model, task, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm)
+			AdaptInPlace(sl.model, task, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm, sl.adaptGrad)
 			// Query loss and gradient at the adapted weights (line 8).
 			taskLoss[k] = sl.model.BatchGrad(task.Query, cfg.Loss, taskGrads[k])
 			return nil

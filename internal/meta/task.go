@@ -94,13 +94,27 @@ func (c Config) NewModel() nn.Model {
 func Adapt(m nn.Model, task *LearningTask, steps int, lr float64, loss nn.Loss, clipNorm float64) []nn.Vector {
 	path := make([]nn.Vector, 0, steps)
 	grad := nn.NewVector(m.NumParams())
+	adaptSteps(m, task, steps, lr, loss, clipNorm, grad, &path)
+	return path
+}
+
+// AdaptInPlace is Adapt for callers that do not need the learning path: the
+// k SGD steps run entirely in the caller-provided gradient buffer, so hot
+// loops (MetaTrain's batch adaptation, online worker updates) adapt without
+// allocating. grad must hold m.NumParams() elements.
+func AdaptInPlace(m nn.Model, task *LearningTask, steps int, lr float64, loss nn.Loss, clipNorm float64, grad nn.Vector) {
+	adaptSteps(m, task, steps, lr, loss, clipNorm, grad, nil)
+}
+
+func adaptSteps(m nn.Model, task *LearningTask, steps int, lr float64, loss nn.Loss, clipNorm float64, grad nn.Vector, path *[]nn.Vector) {
 	opt := nn.SGD{LR: lr, ClipNorm: clipNorm}
 	for s := 0; s < steps; s++ {
 		m.BatchGrad(task.Support, loss, grad)
-		path = append(path, grad.Clone())
+		if path != nil {
+			*path = append(*path, grad.Clone())
+		}
 		opt.Step(m.Weights(), grad)
 	}
-	return path
 }
 
 // ComputeLearningPaths fills task.Features.Path for every task by adapting

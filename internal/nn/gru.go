@@ -14,6 +14,11 @@ import (
 //	r = σ(W_r·[x; hPrev] + b_r)
 //	h̃ = tanh(W_h·[x; r⊙hPrev] + b_h)
 //	h = (1−z)⊙hPrev + z⊙h̃
+//
+// Like lstmCell, the kernels are allocation-free: forward and backward write
+// into caller-provided step/scratch buffers, sweeping each weight row once
+// over a packed input ([x; hPrev] for the gate blocks, [x; r⊙hPrev] for the
+// candidate) with hoisted slices.
 type gruCell struct {
 	in, hidden int
 }
@@ -21,120 +26,141 @@ type gruCell struct {
 func (c gruCell) numParams() int { return 3 * c.hidden * (c.in + c.hidden + 1) }
 func (c gruCell) cols() int      { return c.in + c.hidden + 1 }
 
+// gruStep caches one time step for BPTT. Buffers are workspace-owned.
 type gruStep struct {
-	x     []float64
-	hPrev []float64
+	xh    []float64 // packed [x; hPrev]
+	xrh   []float64 // packed [x; r⊙hPrev], the candidate's input
 	z, r  []float64
 	hCand []float64
-	rh    []float64 // r ⊙ hPrev, the recurrent input of the candidate
 	h     []float64
 }
 
-func (c gruCell) forward(w Vector, x, hPrev []float64) gruStep {
-	h := c.hidden
-	cols := c.cols()
-	st := gruStep{
-		x: x, hPrev: hPrev,
-		z: make([]float64, h), r: make([]float64, h),
-		hCand: make([]float64, h), rh: make([]float64, h), h: make([]float64, h),
+// gruRowDot returns row r's pre-activation over the packed input in:
+// bias + Σ_j W[r][j]·in[j], with in covering x and the recurrent part.
+func gruRowDot(w Vector, r, cols, nin int, in []float64) float64 {
+	base := r * cols
+	row := w[base : base+cols]
+	s := row[nin]
+	row = row[:nin]
+	for j, rv := range row {
+		s += rv * in[j]
 	}
-	rowDot := func(r int, rec []float64) float64 {
-		row := w[r*cols : (r+1)*cols]
-		s := row[c.in+h]
-		for j, xv := range x {
-			s += row[j] * xv
-		}
-		for j, hv := range rec {
-			s += row[c.in+j] * hv
-		}
-		return s
-	}
-	for k := 0; k < h; k++ {
-		st.z[k] = sigmoid(rowDot(k, hPrev))
-		st.r[k] = sigmoid(rowDot(h+k, hPrev))
-	}
-	for k := 0; k < h; k++ {
-		st.rh[k] = st.r[k] * hPrev[k]
-	}
-	for k := 0; k < h; k++ {
-		st.hCand[k] = math.Tanh(rowDot(2*h+k, st.rh))
-		st.h[k] = (1-st.z[k])*hPrev[k] + st.z[k]*st.hCand[k]
-	}
-	return st
+	return s
 }
 
-func (c gruCell) backward(w, grad Vector, st gruStep, dh []float64) (dhPrev, dx []float64) {
+// forward computes one GRU step into the caller's step record.
+func (c gruCell) forward(w Vector, x, hPrev []float64, st *gruStep) {
 	h := c.hidden
 	cols := c.cols()
-	dhPrev = make([]float64, h)
-	dx = make([]float64, c.in)
-
-	dzPre := make([]float64, h) // pre-activation grad of z
-	drPre := make([]float64, h) // pre-activation grad of r
-	dcPre := make([]float64, h) // pre-activation grad of h̃
-	drh := make([]float64, h)   // grad of r⊙hPrev
-
+	nin := c.in + h
+	xh := st.xh[:nin]
+	copy(xh, x)
+	copy(xh[c.in:], hPrev)
 	for k := 0; k < h; k++ {
-		dz := dh[k] * (st.hCand[k] - st.hPrev[k])
-		dc := dh[k] * st.z[k]
-		dhPrev[k] += dh[k] * (1 - st.z[k])
-		dzPre[k] = dz * st.z[k] * (1 - st.z[k])
-		dcPre[k] = dc * (1 - st.hCand[k]*st.hCand[k])
+		st.z[k] = sigmoid(gruRowDot(w, k, cols, nin, xh))
+		st.r[k] = sigmoid(gruRowDot(w, h+k, cols, nin, xh))
 	}
-	// Candidate block: inputs [x; rh].
+	xrh := st.xrh[:nin]
+	copy(xrh, x)
 	for k := 0; k < h; k++ {
-		d := dcPre[k]
+		xrh[c.in+k] = st.r[k] * hPrev[k]
+	}
+	for k := 0; k < h; k++ {
+		st.hCand[k] = math.Tanh(gruRowDot(w, 2*h+k, cols, nin, xrh))
+		st.h[k] = (1-st.z[k])*hPrev[k] + st.z[k]*st.hCand[k]
+	}
+}
+
+// blockBackward accumulates one gate block's gradients for rows with inputs
+// [x; hPrev]: parameter gradients from the packed xh, and the downstream
+// gradients directly into dx and dhPrev (which already carry contributions
+// from earlier blocks, so the accumulation order of the reference kernel is
+// preserved exactly).
+func (c gruCell) blockBackward(w, grad Vector, block int, dPre, xh, dx, dhPrev []float64) {
+	h := c.hidden
+	cols := c.cols()
+	nin := c.in + h
+	for k := 0; k < h; k++ {
+		d := dPre[k]
 		if d == 0 {
 			continue
 		}
-		r := 2*h + k
-		row := w[r*cols : (r+1)*cols]
-		grow := grad[r*cols : (r+1)*cols]
-		for j, xv := range st.x {
-			grow[j] += d * xv
-			dx[j] += d * row[j]
+		base := (block*h + k) * cols
+		grow := grad[base : base+cols]
+		growv := grow[:nin]
+		row := w[base : base+nin]
+		rowX := row[:c.in]
+		for j, rv := range rowX {
+			growv[j] += d * xh[j]
+			dx[j] += d * rv
 		}
-		for j, hv := range st.rh {
-			grow[c.in+j] += d * hv
-			drh[j] += d * row[c.in+j]
+		rowH := row[c.in:]
+		xhH := xh[c.in:nin]
+		growH := growv[c.in:]
+		for j, rv := range rowH {
+			growH[j] += d * xhH[j]
+			dhPrev[j] += d * rv
 		}
-		grow[c.in+h] += d
+		grow[nin] += d
 	}
+}
+
+// backward accumulates gradients for one step given dh, writing the
+// propagated gradients into the caller's dhPrev (hidden) and dx (in)
+// buffers. sc holds the reusable intermediates.
+func (c gruCell) backward(w, grad Vector, st *gruStep, dh, dhPrev, dx []float64, sc *gruScratch) {
+	h := c.hidden
+	cols := c.cols()
+	nin := c.in + h
+	hPrev := st.xh[c.in:nin]
+	zeroFloats(dx)
+
 	for k := 0; k < h; k++ {
-		dr := drh[k] * st.hPrev[k]
+		dz := dh[k] * (st.hCand[k] - hPrev[k])
+		dc := dh[k] * st.z[k]
+		dhPrev[k] = dh[k] * (1 - st.z[k])
+		sc.dzPre[k] = dz * st.z[k] * (1 - st.z[k])
+		sc.dcPre[k] = dc * (1 - st.hCand[k]*st.hCand[k])
+	}
+	// Candidate block: inputs [x; r⊙hPrev]. dx and d(r⊙hPrev) both start at
+	// zero here, so accumulating them in the packed buffer and splitting
+	// afterwards reproduces the reference kernel's op order bit for bit.
+	dxrh := sc.dxrh[:nin]
+	zeroFloats(dxrh)
+	xrh := st.xrh[:nin]
+	for k := 0; k < h; k++ {
+		d := sc.dcPre[k]
+		if d == 0 {
+			continue
+		}
+		base := (2*h + k) * cols
+		grow := grad[base : base+cols]
+		growv := grow[:nin]
+		row := w[base : base+nin]
+		for j, rv := range row {
+			growv[j] += d * xrh[j]
+			dxrh[j] += d * rv
+		}
+		grow[nin] += d
+	}
+	copy(dx, dxrh[:c.in])
+	drh := sc.drh
+	copy(drh, dxrh[c.in:])
+	for k := 0; k < h; k++ {
+		dr := drh[k] * hPrev[k]
 		dhPrev[k] += drh[k] * st.r[k]
-		drPre[k] = dr * st.r[k] * (1 - st.r[k])
+		sc.drPre[k] = dr * st.r[k] * (1 - st.r[k])
 	}
 	// Update and reset blocks: inputs [x; hPrev].
-	apply := func(block int, dPre []float64) {
-		for k := 0; k < h; k++ {
-			d := dPre[k]
-			if d == 0 {
-				continue
-			}
-			r := block*h + k
-			row := w[r*cols : (r+1)*cols]
-			grow := grad[r*cols : (r+1)*cols]
-			for j, xv := range st.x {
-				grow[j] += d * xv
-				dx[j] += d * row[j]
-			}
-			for j, hv := range st.hPrev {
-				grow[c.in+j] += d * hv
-				dhPrev[j] += d * row[c.in+j]
-			}
-			grow[c.in+h] += d
-		}
-	}
-	apply(0, dzPre)
-	apply(1, drPre)
-	return dhPrev, dx
+	c.blockBackward(w, grad, 0, sc.dzPre, st.xh[:nin], dx, dhPrev)
+	c.blockBackward(w, grad, 1, sc.drPre, st.xh[:nin], dx, dhPrev)
 }
 
 // GRUSeq2Seq is the GRU variant of the encoder–decoder mobility model,
 // matching the RNN encoder–decoder of Cho et al. [27] that the paper cites.
 // Structure mirrors Seq2Seq: encoder GRU, decoder GRU seeded by the encoder
-// state, and a residual displacement head.
+// state, and a residual displacement head. Like Seq2Seq, a model owns a
+// reusable workspace and is not safe for concurrent use.
 type GRUSeq2Seq struct {
 	InDim  int
 	OutDim int
@@ -147,6 +173,8 @@ type GRUSeq2Seq struct {
 	w Vector
 
 	encOff, decOff, outOff int
+
+	ws *gruWS // lazily built scratch arena; nil after CloneModel
 }
 
 // NewGRUSeq2Seq constructs a GRU encoder–decoder with small random weights
@@ -186,10 +214,12 @@ func (m *GRUSeq2Seq) SetWeights(w Vector) {
 	copy(m.w, w)
 }
 
-// CloneModel implements Model.
+// CloneModel implements Model. The clone builds its own workspace on first
+// use.
 func (m *GRUSeq2Seq) CloneModel() Model {
 	cp := *m
 	cp.w = m.w.Clone()
+	cp.ws = nil
 	return &cp
 }
 
@@ -200,41 +230,44 @@ func (m *GRUSeq2Seq) encW() Vector { return m.w[m.encOff:m.decOff] }
 func (m *GRUSeq2Seq) decW() Vector { return m.w[m.decOff:m.outOff] }
 func (m *GRUSeq2Seq) outW() Vector { return m.w[m.outOff:] }
 
-type gruTrace struct {
-	encSteps []gruStep
-	decSteps []gruStep
-	preds    [][]float64
-}
-
-func (m *GRUSeq2Seq) forward(in [][]float64, seqOut int) *gruTrace {
-	h := make([]float64, m.Hidden)
-	tr := &gruTrace{}
-	for _, x := range in {
-		st := m.enc.forward(m.encW(), x, h)
-		tr.encSteps = append(tr.encSteps, st)
+// forward runs the encoder–decoder, recording the step tape in the
+// workspace, and returns the workspace-owned prediction rows.
+func (m *GRUSeq2Seq) forward(in [][]float64, seqOut int) [][]float64 {
+	ws := m.workspace()
+	ws.encTape = growGRUTape(ws.encTape, len(in), m.enc)
+	ws.decTape = growGRUTape(ws.decTape, seqOut, m.dec)
+	ws.preds = growRows(ws.preds, seqOut, m.OutDim)
+	zeroFloats(ws.h0)
+	h := ws.h0
+	for t := range in {
+		st := &ws.encTape[t]
+		m.enc.forward(m.encW(), in[t], h, st)
 		h = st.h
 	}
-	prev := make([]float64, m.OutDim)
+	prev := ws.dec0
+	zeroFloats(prev)
 	if len(in) > 0 {
 		copy(prev, in[len(in)-1])
 	}
 	for t := 0; t < seqOut; t++ {
-		st := m.dec.forward(m.decW(), prev, h)
-		tr.decSteps = append(tr.decSteps, st)
+		st := &ws.decTape[t]
+		m.dec.forward(m.decW(), prev, h, st)
 		h = st.h
-		y := m.out.forward(m.outW(), st.h)
+		y := ws.preds[t]
+		m.out.forward(m.outW(), st.h, y)
 		for d := range y {
 			y[d] += prev[d]
 		}
-		tr.preds = append(tr.preds, y)
 		prev = y
 	}
-	return tr
+	return ws.preds[:seqOut]
 }
 
-// Predict implements Model.
+// Predict implements Model. The returned rows are owned by the model's
+// workspace: they stay valid until the next Predict/Grad/BatchLoss/BatchGrad
+// call on this model, so copy them if you need to retain them.
 func (m *GRUSeq2Seq) Predict(in [][]float64, seqOut int) [][]float64 {
-	return m.forward(in, seqOut).preds
+	return m.forward(in, seqOut)
 }
 
 // Grad implements Model.
@@ -242,40 +275,41 @@ func (m *GRUSeq2Seq) Grad(in, target [][]float64, loss Loss, grad Vector) float6
 	if len(grad) != len(m.w) {
 		panic(fmt.Sprintf("nn: Grad vector length %d != %d", len(grad), len(m.w)))
 	}
-	tr := m.forward(in, len(target))
-	dPreds := make([][]float64, len(tr.preds))
-	for i := range dPreds {
-		dPreds[i] = make([]float64, m.OutDim)
-	}
-	lossVal := loss.LossGrad(tr.preds, target, dPreds)
+	seqOut := len(target)
+	preds := m.forward(in, seqOut)
+	ws := m.ws
+	ws.dPreds = growRows(ws.dPreds, seqOut, m.OutDim)
+	dPreds := ws.dPreds[:seqOut]
+	lossVal := loss.LossGrad(preds, target, dPreds)
 
 	encG := grad[m.encOff:m.decOff]
 	decG := grad[m.decOff:m.outOff]
 	outG := grad[m.outOff:]
 
-	dh := make([]float64, m.Hidden)
-	var dNextIn []float64
-	for t := len(tr.decSteps) - 1; t >= 0; t-- {
-		dy := make([]float64, m.OutDim)
+	zeroFloats(ws.dh)
+	dh, dhPrev := ws.dh, ws.dhPrev
+	for t := seqOut - 1; t >= 0; t-- {
+		st := &ws.decTape[t]
+		dy := ws.dy
 		copy(dy, dPreds[t])
-		if dNextIn != nil {
+		if t < seqOut-1 {
 			for i := range dy {
-				dy[i] += dNextIn[i]
+				dy[i] += ws.dNext[i]
 			}
 		}
-		dhOut := m.out.backward(m.outW(), outG, tr.decSteps[t].h, dy)
+		m.out.backward(m.outW(), outG, st.h, dy, ws.dhOut)
 		for i := range dh {
-			dh[i] += dhOut[i]
+			dh[i] += ws.dhOut[i]
 		}
-		var dx []float64
-		dh, dx = m.dec.backward(m.decW(), decG, tr.decSteps[t], dh)
-		for i := range dx {
-			dx[i] += dy[i] // residual path
+		m.dec.backward(m.decW(), decG, st, dh, dhPrev, ws.dxDec, &ws.sc)
+		for i := range ws.dNext {
+			ws.dNext[i] = ws.dxDec[i] + dy[i] // residual path
 		}
-		dNextIn = dx
+		dh, dhPrev = dhPrev, dh
 	}
-	for t := len(tr.encSteps) - 1; t >= 0; t-- {
-		dh, _ = m.enc.backward(m.encW(), encG, tr.encSteps[t], dh)
+	for t := len(in) - 1; t >= 0; t-- {
+		m.enc.backward(m.encW(), encG, &ws.encTape[t], dh, dhPrev, ws.dxEnc, &ws.sc)
+		dh, dhPrev = dhPrev, dh
 	}
 	return lossVal
 }
@@ -286,13 +320,12 @@ func (m *GRUSeq2Seq) BatchLoss(batch []Sample, loss Loss) float64 {
 		return 0
 	}
 	var sum float64
-	for _, s := range batch {
-		preds := m.Predict(s.In, len(s.Out))
-		d := make([][]float64, len(preds))
-		for i := range d {
-			d[i] = make([]float64, m.OutDim)
-		}
-		sum += loss.LossGrad(preds, s.Out, d)
+	for i := range batch {
+		s := &batch[i]
+		preds := m.forward(s.In, len(s.Out))
+		ws := m.ws
+		ws.dPreds = growRows(ws.dPreds, len(s.Out), m.OutDim)
+		sum += loss.LossGrad(preds, s.Out, ws.dPreds[:len(s.Out)])
 	}
 	return sum / float64(len(batch))
 }
@@ -304,8 +337,8 @@ func (m *GRUSeq2Seq) BatchGrad(batch []Sample, loss Loss, grad Vector) float64 {
 		return 0
 	}
 	var sum float64
-	for _, s := range batch {
-		sum += m.Grad(s.In, s.Out, loss, grad)
+	for i := range batch {
+		sum += m.Grad(batch[i].In, batch[i].Out, loss, grad)
 	}
 	grad.Scale(1 / float64(len(batch)))
 	return sum / float64(len(batch))

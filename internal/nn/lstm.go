@@ -12,6 +12,11 @@ import "math"
 //
 // The cell does not own parameter storage: weights are a view into the
 // model's flat Vector so meta-learning can manipulate all parameters at once.
+//
+// Kernels are allocation-free: forward and backward write into
+// caller-provided step/scratch buffers (see workspace.go), and both fuse the
+// x and hPrev passes into a single loop over a packed [x; hPrev] row so each
+// weight row is swept once with hoisted, bounds-check-free slices.
 type lstmCell struct {
 	in, hidden int
 }
@@ -20,46 +25,52 @@ func (c lstmCell) numParams() int { return 4 * c.hidden * (c.in + c.hidden + 1) 
 
 func (c lstmCell) cols() int { return c.in + c.hidden + 1 }
 
-// lstmStep caches everything the backward pass needs for one time step.
+// lstmStep caches everything the backward pass needs for one time step. Its
+// buffers are owned by the model workspace and reused across samples.
 type lstmStep struct {
-	x          []float64 // input at this step
-	hPrev      []float64
-	cPrev      []float64
+	xh         []float64 // packed input [x; hPrev], copied at forward time
+	cPrev      []float64 // reference to the previous step's cNew (or c0)
 	i, f, g, o []float64 // gate activations
 	cNew       []float64
 	tanhC      []float64
 	h          []float64
 }
 
-// forward computes one LSTM step, returning the cached step record.
-func (c lstmCell) forward(w Vector, x, hPrev, cPrev []float64) lstmStep {
+// forward computes one LSTM step into the caller's step record. st's buffers
+// must be sized for this cell (growLSTMTape).
+func (c lstmCell) forward(w Vector, x, hPrev, cPrev []float64, st *lstmStep) {
 	h := c.hidden
 	cols := c.cols()
-	st := lstmStep{
-		x: x, hPrev: hPrev, cPrev: cPrev,
-		i: make([]float64, h), f: make([]float64, h),
-		g: make([]float64, h), o: make([]float64, h),
-		cNew: make([]float64, h), tanhC: make([]float64, h), h: make([]float64, h),
-	}
-	for r := 0; r < 4*h; r++ {
-		row := w[r*cols : (r+1)*cols]
-		z := row[c.in+h] // bias
-		for j, xv := range x {
-			z += row[j] * xv
-		}
-		for j, hv := range hPrev {
-			z += row[c.in+j] * hv
-		}
-		gate, idx := r/h, r%h
+	nin := c.in + h
+	xh := st.xh[:nin]
+	copy(xh, x)
+	copy(xh[c.in:], hPrev)
+	st.cPrev = cPrev
+	for gate := 0; gate < 4; gate++ {
+		var dst []float64
 		switch gate {
 		case 0:
-			st.i[idx] = sigmoid(z)
+			dst = st.i
 		case 1:
-			st.f[idx] = sigmoid(z)
+			dst = st.f
 		case 2:
-			st.g[idx] = math.Tanh(z)
-		case 3:
-			st.o[idx] = sigmoid(z)
+			dst = st.g
+		default:
+			dst = st.o
+		}
+		for k := 0; k < h; k++ {
+			base := (gate*h + k) * cols
+			row := w[base : base+cols]
+			z := row[nin] // bias
+			row = row[:nin]
+			for j, rv := range row {
+				z += rv * xh[j]
+			}
+			if gate == 2 {
+				dst[k] = math.Tanh(z)
+			} else {
+				dst[k] = sigmoid(z)
+			}
 		}
 	}
 	for k := 0; k < h; k++ {
@@ -67,21 +78,21 @@ func (c lstmCell) forward(w Vector, x, hPrev, cPrev []float64) lstmStep {
 		st.tanhC[k] = math.Tanh(st.cNew[k])
 		st.h[k] = st.o[k] * st.tanhC[k]
 	}
-	return st
 }
 
 // backward accumulates gradients for one step. dh and dc are the gradients
-// flowing into this step's h and c outputs; it returns the gradients to
-// propagate to hPrev, cPrev, and the step's input x. grad views the cell's
-// slice of the flat gradient vector.
-func (c lstmCell) backward(w, grad Vector, st lstmStep, dh, dc []float64) (dhPrev, dcPrev, dx []float64) {
+// flowing into this step's h and c outputs. The gradients to propagate are
+// written into caller buffers: dcPrev (length hidden) and the packed dxh
+// (length in+hidden, holding [dx; dhPrev]). dz is 4*hidden scratch. grad
+// views the cell's slice of the flat gradient vector.
+//
+// dx and dhPrev both start from zero and receive their row contributions in
+// the same order as the pre-workspace scalar kernel, so accumulating them in
+// the packed buffer is bit-identical to the reference implementation.
+func (c lstmCell) backward(w, grad Vector, st *lstmStep, dh, dc, dcPrev, dxh, dz []float64) {
 	h := c.hidden
 	cols := c.cols()
-	dhPrev = make([]float64, h)
-	dcPrev = make([]float64, h)
-	dx = make([]float64, c.in)
-
-	dz := make([]float64, 4*h)
+	nin := c.in + h
 	for k := 0; k < h; k++ {
 		do := dh[k] * st.tanhC[k]
 		dcT := dh[k]*st.o[k]*(1-st.tanhC[k]*st.tanhC[k]) + dc[k]
@@ -95,24 +106,24 @@ func (c lstmCell) backward(w, grad Vector, st lstmStep, dh, dc []float64) (dhPre
 		dz[2*h+k] = dg * (1 - st.g[k]*st.g[k])
 		dz[3*h+k] = do * st.o[k] * (1 - st.o[k])
 	}
+	dxh = dxh[:nin]
+	zeroFloats(dxh)
+	xh := st.xh[:nin]
 	for r := 0; r < 4*h; r++ {
 		d := dz[r]
 		if d == 0 {
 			continue
 		}
-		row := w[r*cols : (r+1)*cols]
-		grow := grad[r*cols : (r+1)*cols]
-		for j, xv := range st.x {
-			grow[j] += d * xv
-			dx[j] += d * row[j]
+		base := r * cols
+		grow := grad[base : base+cols]
+		growv := grow[:nin]
+		row := w[base : base+nin]
+		for j, rv := range row {
+			growv[j] += d * xh[j]
+			dxh[j] += d * rv
 		}
-		for j, hv := range st.hPrev {
-			grow[c.in+j] += d * hv
-			dhPrev[j] += d * row[c.in+j]
-		}
-		grow[c.in+h] += d
+		grow[nin] += d
 	}
-	return dhPrev, dcPrev, dx
 }
 
 // linear is a dense layer y = W·x + b with packed layout rows = out,
@@ -123,36 +134,42 @@ type linear struct {
 
 func (l linear) numParams() int { return l.out * (l.in + 1) }
 
-func (l linear) forward(w Vector, x []float64) []float64 {
-	y := make([]float64, l.out)
+// forward writes W·x + b into the caller's y (length out).
+func (l linear) forward(w Vector, x, y []float64) {
 	cols := l.in + 1
+	x = x[:l.in]
 	for r := 0; r < l.out; r++ {
-		row := w[r*cols : (r+1)*cols]
+		base := r * cols
+		row := w[base : base+cols]
 		z := row[l.in]
-		for j, xv := range x {
-			z += row[j] * xv
+		row = row[:l.in]
+		for j, rv := range row {
+			z += rv * x[j]
 		}
 		y[r] = z
 	}
-	return y
 }
 
-// backward accumulates parameter gradients and returns dL/dx given dL/dy.
-func (l linear) backward(w, grad Vector, x, dy []float64) (dx []float64) {
-	dx = make([]float64, l.in)
+// backward accumulates parameter gradients and writes dL/dx into the
+// caller's dx (length in) given dL/dy.
+func (l linear) backward(w, grad Vector, x, dy, dx []float64) {
+	zeroFloats(dx)
 	cols := l.in + 1
+	x = x[:l.in]
+	dx = dx[:l.in]
 	for r := 0; r < l.out; r++ {
 		d := dy[r]
 		if d == 0 {
 			continue
 		}
-		row := w[r*cols : (r+1)*cols]
-		grow := grad[r*cols : (r+1)*cols]
-		for j, xv := range x {
-			grow[j] += d * xv
-			dx[j] += d * row[j]
+		base := r * cols
+		grow := grad[base : base+cols]
+		growv := grow[:l.in]
+		row := w[base : base+l.in]
+		for j, rv := range row {
+			growv[j] += d * x[j]
+			dx[j] += d * rv
 		}
 		grow[l.in] += d
 	}
-	return dx
 }

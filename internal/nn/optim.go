@@ -61,11 +61,17 @@ func (o *Adam) Step(w, grad Vector) {
 	o.t++
 	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
 	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
+	// First moment via the fused AddScaled kernel; the per-element values are
+	// identical to the classic interleaved loop.
+	o.m.AddScaled(o.Beta1, 1-o.Beta1, grad)
+	mv := o.m[:len(w)]
+	vv := o.v[:len(w)]
+	g := grad[:len(w)]
 	for i := range w {
-		o.m[i] = o.Beta1*o.m[i] + (1-o.Beta1)*grad[i]
-		o.v[i] = o.Beta2*o.v[i] + (1-o.Beta2)*grad[i]*grad[i]
-		mHat := o.m[i] / b1c
-		vHat := o.v[i] / b2c
+		gi := g[i]
+		vv[i] = o.Beta2*vv[i] + (1-o.Beta2)*gi*gi
+		mHat := mv[i] / b1c
+		vHat := vv[i] / b2c
 		w[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
 	}
 }

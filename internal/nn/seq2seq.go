@@ -27,6 +27,11 @@ type Sample struct {
 //
 // All parameters live in a single flat Vector (Weights), enabling the
 // meta-learning machinery to treat the model as a point in parameter space.
+//
+// A model owns a reusable scratch workspace (see workspace.go), so Predict,
+// Grad, BatchLoss, and BatchGrad are steady-state allocation-free — and a
+// model must not be shared between goroutines without external
+// synchronization. Clones get independent workspaces.
 type Seq2Seq struct {
 	InDim  int // input feature size per step (2: x, y)
 	OutDim int // output feature size per step (2: x, y)
@@ -39,6 +44,8 @@ type Seq2Seq struct {
 	w Vector
 
 	encOff, decOff, outOff int
+
+	ws *lstmWS // lazily built scratch arena; nil after Clone
 }
 
 // NewSeq2Seq constructs a model with small random weights drawn from rng.
@@ -80,10 +87,12 @@ func (m *Seq2Seq) SetWeights(w Vector) {
 	copy(m.w, w)
 }
 
-// Clone returns a structurally identical model with copied weights.
+// Clone returns a structurally identical model with copied weights and a
+// private (lazily built) workspace.
 func (m *Seq2Seq) Clone() *Seq2Seq {
 	cp := *m
 	cp.w = m.w.Clone()
+	cp.ws = nil
 	return &cp
 }
 
@@ -92,47 +101,47 @@ func (m *Seq2Seq) decW() Vector { return m.w[m.decOff:m.outOff] }
 func (m *Seq2Seq) outW() Vector { return m.w[m.outOff:] }
 
 // Predict runs the model on one input sequence and returns seqOut predicted
-// steps of OutDim values each.
+// steps of OutDim values each. The returned rows are owned by the model's
+// workspace: they stay valid until the next Predict/Grad/BatchLoss/BatchGrad
+// call on this model, so copy them if you need to retain them.
 func (m *Seq2Seq) Predict(in [][]float64, seqOut int) [][]float64 {
-	preds, _, _ := m.forward(in, seqOut)
-	return preds
+	return m.forward(in, seqOut)
 }
 
-type seq2seqTrace struct {
-	encSteps []lstmStep
-	decSteps []lstmStep
-	decIn    [][]float64 // decoder inputs per step
-	preds    [][]float64
-}
-
-func (m *Seq2Seq) forward(in [][]float64, seqOut int) ([][]float64, []float64, *seq2seqTrace) {
-	h := make([]float64, m.Hidden)
-	c := make([]float64, m.Hidden)
-	tr := &seq2seqTrace{}
-	for _, x := range in {
-		st := m.enc.forward(m.encW(), x, h, c)
-		tr.encSteps = append(tr.encSteps, st)
+// forward runs the encoder–decoder, recording the step tape in the
+// workspace, and returns the workspace-owned prediction rows.
+func (m *Seq2Seq) forward(in [][]float64, seqOut int) [][]float64 {
+	ws := m.workspace()
+	ws.encTape = growLSTMTape(ws.encTape, len(in), m.enc)
+	ws.decTape = growLSTMTape(ws.decTape, seqOut, m.dec)
+	ws.preds = growRows(ws.preds, seqOut, m.OutDim)
+	zeroFloats(ws.h0)
+	zeroFloats(ws.c0)
+	h, c := ws.h0, ws.c0
+	for t := range in {
+		st := &ws.encTape[t]
+		m.enc.forward(m.encW(), in[t], h, c, st)
 		h, c = st.h, st.cNew
 	}
 	// The decoder's first input is the last observed point (projected to
 	// OutDim); afterwards it consumes its own previous prediction.
-	prev := make([]float64, m.OutDim)
+	prev := ws.dec0
+	zeroFloats(prev)
 	if len(in) > 0 {
 		copy(prev, in[len(in)-1])
 	}
 	for t := 0; t < seqOut; t++ {
-		tr.decIn = append(tr.decIn, prev)
-		st := m.dec.forward(m.decW(), prev, h, c)
-		tr.decSteps = append(tr.decSteps, st)
+		st := &ws.decTape[t]
+		m.dec.forward(m.decW(), prev, h, c, st)
 		h, c = st.h, st.cNew
-		y := m.out.forward(m.outW(), st.h)
+		y := ws.preds[t]
+		m.out.forward(m.outW(), st.h, y)
 		for d := range y {
 			y[d] += prev[d] // residual: displacement from previous position
 		}
-		tr.preds = append(tr.preds, y)
 		prev = y
 	}
-	return tr.preds, h, tr
+	return ws.preds[:seqOut]
 }
 
 // Grad computes the loss of the model on (in, target) under loss and
@@ -143,47 +152,51 @@ func (m *Seq2Seq) Grad(in, target [][]float64, loss Loss, grad Vector) float64 {
 	if len(grad) != len(m.w) {
 		panic(fmt.Sprintf("nn: Grad vector length %d != %d", len(grad), len(m.w)))
 	}
-	preds, _, tr := m.forward(in, len(target))
-	dPreds := make([][]float64, len(preds))
-	for i := range dPreds {
-		dPreds[i] = make([]float64, m.OutDim)
-	}
+	seqOut := len(target)
+	preds := m.forward(in, seqOut)
+	ws := m.ws
+	ws.dPreds = growRows(ws.dPreds, seqOut, m.OutDim)
+	dPreds := ws.dPreds[:seqOut]
 	lossVal := loss.LossGrad(preds, target, dPreds)
 
 	encG := grad[m.encOff:m.decOff]
 	decG := grad[m.decOff:m.outOff]
 	outG := grad[m.outOff:]
 
-	dh := make([]float64, m.Hidden)
-	dc := make([]float64, m.Hidden)
-	// dNextIn carries the gradient of the next step's decoder input, which
+	zeroFloats(ws.dh)
+	zeroFloats(ws.dc)
+	dh, dc, dcPrev := ws.dh, ws.dc, ws.dcPrev
+	// ws.dNext carries the gradient of the next step's decoder input, which
 	// is this step's prediction.
-	var dNextIn []float64
-	for t := len(tr.decSteps) - 1; t >= 0; t-- {
-		dy := make([]float64, m.OutDim)
+	for t := seqOut - 1; t >= 0; t-- {
+		st := &ws.decTape[t]
+		dy := ws.dy
 		copy(dy, dPreds[t])
-		if dNextIn != nil {
+		if t < seqOut-1 {
 			for i := range dy {
-				dy[i] += dNextIn[i]
+				dy[i] += ws.dNext[i]
 			}
 		}
-		dhOut := m.out.backward(m.outW(), outG, tr.decSteps[t].h, dy)
+		m.out.backward(m.outW(), outG, st.h, dy, ws.dhOut)
 		for i := range dh {
-			dh[i] += dhOut[i]
+			dh[i] += ws.dhOut[i]
 		}
-		var dx []float64
-		dh, dc, dx = m.dec.backward(m.decW(), decG, tr.decSteps[t], dh, dc)
+		m.dec.backward(m.decW(), decG, st, dh, dc, dcPrev, ws.dxhDec, ws.dz)
 		// The previous prediction feeds step t twice: as the decoder input
-		// (dx) and through the residual head (dy).
-		for i := range dx {
-			dx[i] += dy[i]
+		// (dx, the first OutDim entries of the packed dxh) and through the
+		// residual head (dy).
+		for i := range ws.dNext {
+			ws.dNext[i] = ws.dxhDec[i] + dy[i]
 		}
-		dNextIn = dx
+		copy(dh, ws.dxhDec[m.dec.in:])
+		dc, dcPrev = dcPrev, dc
 	}
-	// The first decoder input is the last encoder input (data), so dNextIn
-	// stops here. Continue BPTT through the encoder.
-	for t := len(tr.encSteps) - 1; t >= 0; t-- {
-		dh, dc, _ = m.enc.backward(m.encW(), encG, tr.encSteps[t], dh, dc)
+	// The first decoder input is the last encoder input (data), so the input
+	// gradient stops here. Continue BPTT through the encoder.
+	for t := len(in) - 1; t >= 0; t-- {
+		m.enc.backward(m.encW(), encG, &ws.encTape[t], dh, dc, dcPrev, ws.dxhEnc, ws.dz)
+		copy(dh, ws.dxhEnc[m.enc.in:])
+		dc, dcPrev = dcPrev, dc
 	}
 	return lossVal
 }
@@ -195,13 +208,12 @@ func (m *Seq2Seq) BatchLoss(batch []Sample, loss Loss) float64 {
 		return 0
 	}
 	var sum float64
-	for _, s := range batch {
-		preds := m.Predict(s.In, len(s.Out))
-		d := make([][]float64, len(preds))
-		for i := range d {
-			d[i] = make([]float64, m.OutDim)
-		}
-		sum += loss.LossGrad(preds, s.Out, d)
+	for i := range batch {
+		s := &batch[i]
+		preds := m.forward(s.In, len(s.Out))
+		ws := m.ws
+		ws.dPreds = growRows(ws.dPreds, len(s.Out), m.OutDim)
+		sum += loss.LossGrad(preds, s.Out, ws.dPreds[:len(s.Out)])
 	}
 	return sum / float64(len(batch))
 }
@@ -214,8 +226,8 @@ func (m *Seq2Seq) BatchGrad(batch []Sample, loss Loss, grad Vector) float64 {
 		return 0
 	}
 	var sum float64
-	for _, s := range batch {
-		sum += m.Grad(s.In, s.Out, loss, grad)
+	for i := range batch {
+		sum += m.Grad(batch[i].In, batch[i].Out, loss, grad)
 	}
 	grad.Scale(1 / float64(len(batch)))
 	return sum / float64(len(batch))

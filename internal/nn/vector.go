@@ -35,8 +35,18 @@ func (v Vector) Zero() {
 
 // Axpy adds a*x to v element-wise. x must have the same length as v.
 func (v Vector) Axpy(a float64, x Vector) {
-	for i := range v {
-		v[i] += a * x[i]
+	x = x[:len(v)] // hoist the length for bounds-check elimination
+	for i, xv := range x {
+		v[i] += a * xv
+	}
+}
+
+// AddScaled sets v = a·v + b·x element-wise in one fused pass. It is the
+// moment-update primitive of the Adam step: m = β₁·m + (1−β₁)·g.
+func (v Vector) AddScaled(a, b float64, x Vector) {
+	x = x[:len(v)]
+	for i, xv := range x {
+		v[i] = a*v[i] + b*xv
 	}
 }
 
@@ -47,14 +57,15 @@ func (v Vector) Scale(a float64) {
 	}
 }
 
-// Set copies x into v.
-func (v Vector) Set(x Vector) { copy(v, x) }
+// Set copies x into v. x must have at least v's length.
+func (v Vector) Set(x Vector) { copy(v, x[:len(v)]) }
 
 // Dot returns the inner product of v and x.
 func (v Vector) Dot(x Vector) float64 {
+	x = x[:len(v)]
 	var s float64
-	for i := range v {
-		s += v[i] * x[i]
+	for i, xv := range x {
+		s += v[i] * xv
 	}
 	return s
 }

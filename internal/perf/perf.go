@@ -1,0 +1,170 @@
+// Package perf is the benchmark-gated performance harness for the NN hot
+// path: it runs the kernel benchmarks programmatically (testing.Benchmark),
+// records ns/op and allocs/op, and persists them to a JSON file that keeps
+// the first recorded run as the regression baseline. `make bench` refreshes
+// the file; reviewers diff Current against Baseline.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/nn"
+)
+
+// Result is one benchmark's measured cost.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// File is the on-disk schema of BENCH_nn.json. Baseline is written once —
+// the first time the file is created — and preserved by later runs, so the
+// delta from the pre-workspace kernels stays visible in the repo.
+type File struct {
+	Note     string   `json:"note"`
+	GoOS     string   `json:"goos"`
+	GoArch   string   `json:"goarch"`
+	Baseline []Result `json:"baseline"`
+	Current  []Result `json:"current"`
+}
+
+func randSample(rng *rand.Rand, inDim, outDim, seqIn, seqOut int) nn.Sample {
+	var s nn.Sample
+	for i := 0; i < seqIn; i++ {
+		row := make([]float64, inDim)
+		for d := range row {
+			row[d] = rng.NormFloat64() * 0.5
+		}
+		s.In = append(s.In, row)
+	}
+	for i := 0; i < seqOut; i++ {
+		row := make([]float64, outDim)
+		for d := range row {
+			row[d] = rng.NormFloat64() * 0.5
+		}
+		s.Out = append(s.Out, row)
+	}
+	return s
+}
+
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// Run executes the hot-path benchmark suite: Predict and Grad for both
+// architectures, plus the Adam step. The workloads mirror the
+// internal/nn benchmarks (hidden 16, seqIn 5, seqOut 1).
+func Run() []Result {
+	newSample := func() nn.Sample {
+		return randSample(rand.New(rand.NewSource(1)), 4, 2, 5, 1)
+	}
+	lstm := nn.NewSeq2Seq(4, 2, 16, rand.New(rand.NewSource(1)))
+	gru := nn.NewGRUSeq2Seq(4, 2, 16, rand.New(rand.NewSource(1)))
+	s := newSample()
+
+	results := []Result{
+		measure("Seq2SeqPredict", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lstm.Predict(s.In, 1)
+			}
+		}),
+		measure("Seq2SeqGrad", func(b *testing.B) {
+			grad := nn.NewVector(lstm.NumParams())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				grad.Zero()
+				lstm.Grad(s.In, s.Out, nn.MSE{}, grad)
+			}
+		}),
+		measure("GRUSeq2SeqPredict", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gru.Predict(s.In, 1)
+			}
+		}),
+		measure("GRUSeq2SeqGrad", func(b *testing.B) {
+			grad := nn.NewVector(gru.NumParams())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				grad.Zero()
+				gru.Grad(s.In, s.Out, nn.MSE{}, grad)
+			}
+		}),
+		measure("AdamStep", func(b *testing.B) {
+			w := nn.RandomVector(4096, 0.1, rand.New(rand.NewSource(1)))
+			g := nn.RandomVector(4096, 0.1, rand.New(rand.NewSource(2)))
+			opt := nn.NewAdam(0.001)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt.Step(w, g)
+			}
+		}),
+	}
+	return results
+}
+
+// WriteJSON runs the suite and writes path, preserving an existing file's
+// Baseline (and Note); a fresh file records the run as both baseline and
+// current.
+func WriteJSON(path string) (File, error) {
+	cur := Run()
+	f := File{
+		Note:   "NN hot-path kernel costs; baseline is preserved across runs — compare current against it.",
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev File
+		if err := json.Unmarshal(raw, &prev); err == nil && len(prev.Baseline) > 0 {
+			f.Baseline = prev.Baseline
+			if prev.Note != "" {
+				f.Note = prev.Note
+			}
+		}
+	}
+	if f.Baseline == nil {
+		f.Baseline = cur
+	}
+	f.Current = cur
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return f, err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// Format renders the file as an aligned before/after table.
+func Format(f File) string {
+	base := map[string]Result{}
+	for _, r := range f.Baseline {
+		base[r.Name] = r
+	}
+	s := fmt.Sprintf("%-20s %14s %14s %12s %12s\n", "benchmark", "base ns/op", "now ns/op", "base allocs", "now allocs")
+	for _, r := range f.Current {
+		b, ok := base[r.Name]
+		if !ok {
+			b = r
+		}
+		s += fmt.Sprintf("%-20s %14.0f %14.0f %12d %12d\n",
+			r.Name, b.NsPerOp, r.NsPerOp, b.AllocsPerOp, r.AllocsPerOp)
+	}
+	return s
+}

@@ -18,6 +18,12 @@ type WorkerModel struct {
 	SeqIn    int
 	SeqOut   int
 	MR       float64
+
+	// Reusable adaptation scratch: AdaptOn runs every platform tick for
+	// every tracked worker, so its gradient and batch buffers persist on the
+	// model rather than being reallocated per call.
+	adaptGrad nn.Vector
+	adaptBuf  []nn.Sample
 }
 
 // PredictFuture forecasts the worker's next horizon locations given the
@@ -72,16 +78,19 @@ func (wm *WorkerModel) AdaptOn(r traj.Routine, steps int, lr float64) {
 	if len(raw) == 0 {
 		return
 	}
-	batch := make([]nn.Sample, len(raw))
-	for i, s := range raw {
-		batch[i] = toNNSample(wm.Norm.NormSample(s))
+	batch := wm.adaptBuf[:0]
+	for _, s := range raw {
+		batch = append(batch, toNNSample(wm.Norm.NormSample(s)))
 	}
+	wm.adaptBuf = batch
 	loss := nn.Scaled{Inner: nn.MSE{}, Factor: wm.Norm.Scale * wm.Norm.Scale}
-	grad := nn.NewVector(wm.Model.NumParams())
+	if len(wm.adaptGrad) != wm.Model.NumParams() {
+		wm.adaptGrad = nn.NewVector(wm.Model.NumParams())
+	}
 	opt := nn.SGD{LR: lr, ClipNorm: 5}
 	for s := 0; s < steps; s++ {
-		wm.Model.BatchGrad(batch, loss, grad)
-		opt.Step(wm.Model.Weights(), grad)
+		wm.Model.BatchGrad(batch, loss, wm.adaptGrad)
+		opt.Step(wm.Model.Weights(), wm.adaptGrad)
 	}
 }
 
