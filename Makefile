@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfcheck fmt
+.PHONY: all build test race vet bench perfcheck chaos fmt
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# The full suite, including the goroutine-leak check on server shutdown
+# (TestListenAndServeShutdownLeaksNoGoroutines) and the checkpoint
+# kill-and-resume bit-identity tests.
 test:
 	$(GO) test ./...
 
@@ -29,6 +32,16 @@ bench:
 # on both architectures, plus Adam.Step) must stay at 0 allocs/op.
 perfcheck:
 	$(GO) test ./internal/nn -run 'AllocFree' -v
+
+# Fault-injection regression suite under the race detector: the injector
+# itself, the platform chaos run (churn + dropped/noised reports + predictor
+# failures + delayed decisions), panic isolation, and the server's
+# degraded-mode fallbacks.
+chaos:
+	$(GO) test -race ./internal/fault/ -v
+	$(GO) test -race ./internal/platform/ -run 'Chaos|PanicModel' -v
+	$(GO) test -race ./internal/server/ -run 'Panic|Degrade|BatchDeadline|OfferOutstanding' -v
+	$(GO) test -race ./internal/par/ -run 'Panic|Retry' -v
 
 fmt:
 	gofmt -l -w .

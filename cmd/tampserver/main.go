@@ -38,10 +38,16 @@ func main() {
 		tick     = flag.Duration("tick", 2*time.Second, "wall-clock duration of one platform tick")
 		manual   = flag.Bool("manual", false, "disable the background ticker; advance via POST /api/tick and /api/batch")
 		par      = flag.Int("par", 0, "worker pool size for batch prediction and matching (0 = all cores)")
+		batchTO  = flag.Duration("batch-timeout", 0, "per-batch assignment deadline; on expiry the batch degrades to the greedy fallback (0 = no deadline)")
+		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (negative = none)")
+		maxBody  = flag.Int64("max-body", 1<<20, "request body cap in bytes (negative = none)")
 	)
 	flag.Parse()
 
-	cfg := server.Config{Grid: geo.DefaultGrid, Parallelism: *par}
+	cfg := server.Config{
+		Grid: geo.DefaultGrid, Parallelism: *par,
+		BatchTimeout: *batchTO, RequestTimeout: *reqTO, MaxBodyBytes: *maxBody,
+	}
 	switch *assigner {
 	case "PPI":
 		cfg.Assigner = assign.PPI{A: predict.DefaultMatchRadius, Parallelism: *par}

@@ -7,6 +7,7 @@
 //	tampsim -workload 1 -assigner PPI -tasks 3000 -detour 6
 //	tampsim -workload 2 -assigner KM -loss mse -valid 3
 //	tampsim -workers-csv w.csv -tasks-csv t.csv    # externally supplied data
+//	tampsim -chaos -chaos-seed 7                   # re-run under fault injection
 //
 // The CSV formats are the ones cmd/tampgen writes; see internal/ingest.
 package main
@@ -38,6 +39,8 @@ func main() {
 		wcsv     = flag.String("workers-csv", "", "load worker trajectories from a tampgen-format CSV instead of generating")
 		tcsv     = flag.String("tasks-csv", "", "load tasks from a tampgen-format CSV (requires -workers-csv)")
 		par      = flag.Int("par", 0, "worker pool size for training and simulation (0 = all cores)")
+		chaos    = flag.Bool("chaos", false, "also run the simulation under deterministic fault injection and report the degradation")
+		chaosSd  = flag.Int64("chaos-seed", 1, "fault-injection schedule seed")
 	)
 	flag.Parse()
 
@@ -122,6 +125,33 @@ func main() {
 	fmt.Printf("rejection rate:    %.4f\n", m.RejectionRate())
 	fmt.Printf("avg worker cost:   %.4f km\n", m.AvgCostKM())
 	fmt.Printf("assignment time:   %v\n", m.AssignTime.Round(1e6))
+
+	if *chaos {
+		fc := tamp.FaultConfig{
+			Seed:               *chaosSd,
+			WorkerChurn:        0.20,
+			DropReport:         0.10,
+			GPSNoise:           0.10,
+			GPSNoiseCells:      1.0,
+			PredictorFail:      0.05,
+			DecisionDelay:      0.20,
+			DecisionDelayTicks: 3,
+		}
+		fmt.Printf("\nre-running under chaos (seed %d: 20%% churn, 10%% dropped reports, "+
+			"10%% GPS noise, 5%% predictor failures, 20%% delayed decisions)...\n", fc.Seed)
+		cm, err := tamp.SimulateChaos(ctx, w, pred, a, fc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tampsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos completion:  %.4f  (fault-free %.4f, delta %+.4f)\n",
+			cm.CompletionRate(), m.CompletionRate(), cm.CompletionRate()-m.CompletionRate())
+		fmt.Printf("chaos rejection:   %.4f\n", cm.RejectionRate())
+		fmt.Printf("faults absorbed:   offline-ticks %d  dropped %d  noised %d  "+
+			"pred-fallbacks %d  deferred-decisions %d\n",
+			cm.Faults.OfflineTicks, cm.Faults.DroppedReports, cm.Faults.NoisyReports,
+			cm.Faults.PredFallbacks, cm.Faults.DeferredDecisions)
+	}
 }
 
 // loadWorkload assembles a workload from tampgen-format CSV files.

@@ -1,0 +1,57 @@
+package assign
+
+import "sort"
+
+// Greedy is the degraded-mode fallback assigner: when a batch blows its
+// assignment deadline (or the primary assigner fails), the platform still
+// owes requesters a plan. Greedy makes one O(|tasks|·|workers|) pass —
+// tasks in deadline order, each taking its nearest feasible unclaimed
+// worker by predicted-trajectory distance under the Theorem-2 reachability
+// cap — with none of PPI's matching machinery. The plan is worse than a
+// maximum-weight matching but arrives in microseconds, deterministically.
+type Greedy struct{}
+
+// Name implements Assigner.
+func (Greedy) Name() string { return "Greedy" }
+
+// Assign implements Assigner.
+func (Greedy) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	// Urgency order: earliest deadline first, task index as the
+	// deterministic tie-break.
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := &tasks[order[a]], &tasks[order[b]]
+		if ta.Deadline != tb.Deadline {
+			return ta.Deadline < tb.Deadline
+		}
+		return order[a] < order[b]
+	})
+	used := make([]bool, len(workers))
+	var out []Pair
+	for _, ti := range order {
+		t := &tasks[ti]
+		best, bestDist := -1, 0.0
+		for wi := range workers {
+			if used[wi] || t.ExcludedWorker(workers[wi].ID) {
+				continue
+			}
+			w := &workers[wi]
+			d := minDistTo(w.Predicted, t.Loc)
+			if d < 0 || d > reachCap(w, t, tick) {
+				continue
+			}
+			if best < 0 || d < bestDist {
+				best, bestDist = wi, d
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			out = append(out, Pair{Task: ti, Worker: best, Weight: pairWeight(bestDist)})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Task < out[b].Task })
+	return out
+}

@@ -1,0 +1,105 @@
+// Package ckpt holds the low-level machinery behind training checkpoints:
+// a restorable counting RNG source whose position can be captured and
+// replayed, and atomic file writes (temp file + rename) so a checkpoint on
+// disk is always either the previous complete snapshot or the new one,
+// never a torn write.
+//
+// The position-tracking trick makes resume-from-checkpoint bit-identical
+// without serializing math/rand internals: a Source records its seed and
+// how many values it has produced, and Restore rebuilds the stream by
+// reseeding and discarding exactly that many draws. Every consumer of the
+// stream (task sampling, clustering, soft k-means) therefore sees the same
+// values a never-interrupted run would have seen.
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+)
+
+// Source is a math/rand Source64 that counts the values it hands out, so
+// its exact stream position can be checkpointed and restored. It produces
+// the same stream as rand.NewSource(seed): wrapping is observation, not
+// perturbation. Not safe for concurrent use — like every rand.Source, a
+// Source belongs to one goroutine (or behind the caller's lock).
+type Source struct {
+	seed  int64
+	src   rand.Source64
+	draws uint64
+}
+
+// NewSource returns a counting source seeded like rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.src = rand.NewSource(seed).(rand.Source64)
+	s.draws = 0
+}
+
+// State returns the seed and the number of values drawn so far — together
+// they identify the stream position exactly.
+func (s *Source) State() (seed int64, draws uint64) { return s.seed, s.draws }
+
+// Restore rewinds or fast-forwards the source to the given position by
+// reseeding and discarding draws. The underlying generator advances one
+// step per value regardless of whether it was read via Int63 or Uint64, so
+// the replay lands on the identical position.
+func (s *Source) Restore(seed int64, draws uint64) {
+	s.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = draws
+}
+
+// WriteFileAtomic writes a file via a same-directory temp file and rename,
+// so readers never observe a partially written checkpoint and an existing
+// file survives a crash mid-write. The write callback receives the temp
+// file's writer; any error aborts and removes the temp file.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: rename %s: %w", path, err)
+	}
+	return nil
+}

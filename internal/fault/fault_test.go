@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var f *Injector
+	if f.Offline(1, 2) || f.DropReport(1, 2) || f.PredictorFails(1, 2) {
+		t.Fatal("nil injector reported a fault")
+	}
+	if _, _, ok := f.GPSNoise(1, 2); ok {
+		t.Fatal("nil injector produced noise")
+	}
+	if d := f.DecisionDelay(1, 2); d != 0 {
+		t.Fatalf("nil injector delayed a decision by %d", d)
+	}
+}
+
+func TestDeterministicAcrossCallOrder(t *testing.T) {
+	f := New(Config{Seed: 42, WorkerChurn: 0.3, DropReport: 0.2,
+		GPSNoise: 0.5, GPSNoiseCells: 1.5, PredictorFail: 0.1,
+		DecisionDelay: 0.4, DecisionDelayTicks: 5})
+	// Query the same (entity, tick) grid twice in opposite orders: a
+	// stateless injector must answer identically.
+	type obs struct {
+		off, drop, pf bool
+		dx, dy        float64
+		noisy         bool
+		delay         int
+	}
+	grid := func(forward bool) map[[2]int]obs {
+		out := map[[2]int]obs{}
+		for i := 0; i < 20; i++ {
+			for tk := 0; tk < 20; tk++ {
+				w, tick := i, tk
+				if !forward {
+					w, tick = 19-i, 19-tk
+				}
+				var o obs
+				o.off = f.Offline(w, tick)
+				o.drop = f.DropReport(w, tick)
+				o.pf = f.PredictorFails(w, tick)
+				o.dx, o.dy, o.noisy = f.GPSNoise(w, tick)
+				o.delay = f.DecisionDelay(w, tick)
+				out[[2]int{w, tick}] = o
+			}
+		}
+		return out
+	}
+	a, b := grid(true), grid(false)
+	for k, va := range a {
+		if vb := b[k]; va != vb {
+			t.Fatalf("injector answers depend on call order at %v: %+v vs %+v", k, va, vb)
+		}
+	}
+}
+
+func TestRatesRoughlyMatchConfig(t *testing.T) {
+	f := New(Config{Seed: 7, WorkerChurn: 0.2, DropReport: 0.1, PredictorFail: 0.05})
+	const n = 200 * 200
+	var off, drop, pf int
+	for w := 0; w < 200; w++ {
+		for tick := 0; tick < 200; tick++ {
+			if f.Offline(w, tick) {
+				off++
+			}
+			if f.DropReport(w, tick) {
+				drop++
+			}
+			if f.PredictorFails(w, tick) {
+				pf++
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		rate := float64(got) / n
+		if math.Abs(rate-want) > 0.02 {
+			t.Errorf("%s rate = %.3f, want ~%.2f", name, rate, want)
+		}
+	}
+	check("churn", off, 0.2)
+	check("drop", drop, 0.1)
+	check("predfail", pf, 0.05)
+}
+
+func TestSeedsGiveIndependentSchedules(t *testing.T) {
+	a := New(Config{Seed: 1, WorkerChurn: 0.5})
+	b := New(Config{Seed: 2, WorkerChurn: 0.5})
+	same := 0
+	for w := 0; w < 100; w++ {
+		for tick := 0; tick < 100; tick++ {
+			if a.Offline(w, tick) == b.Offline(w, tick) {
+				same++
+			}
+		}
+	}
+	// Independent 0.5 coins agree ~50% of the time; identical schedules
+	// would agree 100%.
+	if same > 6000 {
+		t.Fatalf("seeds 1 and 2 agree on %d/10000 draws; schedules look correlated", same)
+	}
+}
+
+func TestGPSNoiseIsBoundedAndCentered(t *testing.T) {
+	f := New(Config{Seed: 3, GPSNoise: 1.0, GPSNoiseCells: 2.0})
+	var sumX, sumY, sumR2 float64
+	n := 0
+	for w := 0; w < 100; w++ {
+		for tick := 0; tick < 100; tick++ {
+			dx, dy, ok := f.GPSNoise(w, tick)
+			if !ok {
+				t.Fatalf("rate 1.0 skipped a report (%d,%d)", w, tick)
+			}
+			if math.IsNaN(dx) || math.IsNaN(dy) || math.IsInf(dx, 0) || math.IsInf(dy, 0) {
+				t.Fatalf("non-finite noise (%v,%v)", dx, dy)
+			}
+			sumX += dx
+			sumY += dy
+			sumR2 += dx*dx + dy*dy
+			n++
+		}
+	}
+	if mx, my := sumX/float64(n), sumY/float64(n); math.Abs(mx) > 0.1 || math.Abs(my) > 0.1 {
+		t.Errorf("noise mean (%.3f, %.3f), want ~(0,0)", mx, my)
+	}
+	// E[dx²+dy²] = 2σ² = 8 for σ = 2.
+	if v := sumR2 / float64(n); math.Abs(v-8) > 0.5 {
+		t.Errorf("noise E[r²] = %.3f, want ~8", v)
+	}
+}
+
+func TestDecisionDelayRange(t *testing.T) {
+	f := New(Config{Seed: 9, DecisionDelay: 1.0, DecisionDelayTicks: 4})
+	for task := 0; task < 500; task++ {
+		d := f.DecisionDelay(task, 3)
+		if d < 1 || d > 4 {
+			t.Fatalf("delay %d outside [1,4]", d)
+		}
+	}
+	// Default tick cap applies when unset.
+	g := New(Config{Seed: 9, DecisionDelay: 1.0})
+	for task := 0; task < 500; task++ {
+		if d := g.DecisionDelay(task, 3); d < 1 || d > 3 {
+			t.Fatalf("default-cap delay %d outside [1,3]", d)
+		}
+	}
+}

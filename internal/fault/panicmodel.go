@@ -1,0 +1,35 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/spatialcrowd/tamp/internal/nn"
+)
+
+// PanicModel wraps an nn.Model and panics on Predict once more than After
+// calls have been made. It stands in for a predictor with a latent bug
+// (index out of range, NaN explosion) so tests can prove the platform's
+// isolation story: the panic is captured by the surrounding par pool or
+// recovery guard and never kills the process.
+//
+// The wrapper is not safe for concurrent use, matching the contract that
+// each worker owns its model exclusively.
+type PanicModel struct {
+	nn.Model
+	// After is how many Predict calls succeed before the panic (0 = panic
+	// on the first call).
+	After int
+	calls int
+}
+
+// Predict panics once the call budget is spent; otherwise it delegates.
+func (p *PanicModel) Predict(in [][]float64, seqOut int) [][]float64 {
+	p.calls++
+	if p.calls > p.After {
+		panic(fmt.Sprintf("fault.PanicModel: injected predictor panic (call %d)", p.calls))
+	}
+	return p.Model.Predict(in, seqOut)
+}
+
+// Calls returns how many Predict calls the wrapper has seen.
+func (p *PanicModel) Calls() int { return p.calls }

@@ -1,0 +1,153 @@
+package meta
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/ckpt"
+	"github.com/spatialcrowd/tamp/internal/cluster"
+	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/sim"
+)
+
+// runCkptGTTAML runs one GTTAML training with a fixed workload and seed.
+// dir != "" enables checkpointing; interruptAfter > 0 cancels the run's
+// context right after that many snapshots have been written (an exact
+// checkpoint boundary).
+func runCkptGTTAML(t *testing.T, dir string, interruptAfter int) (*Trained, error) {
+	t.Helper()
+	tasks := makeTasks(10, rand.New(rand.NewSource(5)))
+	src := ckpt.NewSource(11)
+	rng := rand.New(src)
+	cfg := DefaultConfig(rng)
+	cfg.Hidden = 6
+	cfg.MetaIters = 10
+	cfg.TaskBatch = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if dir != "" {
+		saves := 0
+		cfg.Checkpoint = &CheckpointConfig{
+			Dir: dir, Every: 3, Source: src,
+			OnCheckpoint: func(string, int) {
+				saves++
+				if interruptAfter > 0 && saves == interruptAfter {
+					cancel()
+				}
+			},
+			OnError: func(scope string, err error) { t.Errorf("checkpoint %s: %v", scope, err) },
+		}
+	}
+	ccfg := cluster.Config{
+		K: 2, Gamma: 0.2,
+		Metrics:    []sim.Metric{sim.Distribution},
+		Thresholds: []float64{0.9},
+		UseGame:    true,
+		Rng:        rng,
+	}
+	return TrainGTTAML(ctx, tasks, cfg, ccfg)
+}
+
+// fingerprint flattens every trained initialization in the tree plus the
+// reported loss and one adapted worker model into a single vector for exact
+// comparison.
+func fingerprint(tr *Trained) nn.Vector {
+	var out nn.Vector
+	tr.Tree.PostOrder(func(n *cluster.TreeNode) { out = append(out, n.Theta...) })
+	out = append(out, tr.MeanLoss)
+	out = append(out, tr.AdaptedModelRNG(0, rand.New(rand.NewSource(9))).Weights()...)
+	return out
+}
+
+func requireSameFingerprint(t *testing.T, name string, got, want nn.Vector) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: fingerprint length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: fingerprint[%d] = %v, want %v (exact)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCheckpointKillAndResumeBitIdentical is the acceptance check: training
+// interrupted at an arbitrary checkpoint boundary and resumed produces
+// exactly — not approximately — the weights, loss, and downstream adapted
+// models of an uninterrupted run.
+func TestCheckpointKillAndResumeBitIdentical(t *testing.T) {
+	ref, err := runCkptGTTAML(t, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ref)
+
+	// Checkpointing alone must not perturb the result.
+	full, err := runCkptGTTAML(t, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameFingerprint(t, "checkpointed-uninterrupted", fingerprint(full), want)
+
+	// Kill at several different snapshot boundaries (mid warm-up pass, mid
+	// leaf training), then resume from disk.
+	for _, killAt := range []int{1, 3, 5} {
+		dir := t.TempDir()
+		if _, err := runCkptGTTAML(t, dir, killAt); err == nil {
+			t.Fatalf("killAt=%d: interrupted run returned no error", killAt)
+		}
+		files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt.json"))
+		if len(files) == 0 {
+			t.Fatalf("killAt=%d: no checkpoints on disk", killAt)
+		}
+		resumed, err := runCkptGTTAML(t, dir, 0)
+		if err != nil {
+			t.Fatalf("killAt=%d: resume: %v", killAt, err)
+		}
+		requireSameFingerprint(t, "resumed", fingerprint(resumed), want)
+	}
+}
+
+// TestCheckpointIgnoresIncompatibleSnapshot: a corrupt or foreign snapshot
+// must be skipped (train from scratch), not trusted.
+func TestCheckpointIgnoresIncompatibleSnapshot(t *testing.T) {
+	ref, err := runCkptGTTAML(t, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Torn/garbage file under a scope the run will use.
+	if err := os.WriteFile(filepath.Join(dir, "root_warm.ckpt.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := runCkptGTTAMLQuiet(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameFingerprint(t, "after-corrupt-ckpt", fingerprint(tr), fingerprint(ref))
+}
+
+// runCkptGTTAMLQuiet is runCkptGTTAML with OnError silenced (corruption is
+// expected in the test above).
+func runCkptGTTAMLQuiet(t *testing.T, dir string) (*Trained, error) {
+	t.Helper()
+	tasks := makeTasks(10, rand.New(rand.NewSource(5)))
+	src := ckpt.NewSource(11)
+	rng := rand.New(src)
+	cfg := DefaultConfig(rng)
+	cfg.Hidden = 6
+	cfg.MetaIters = 10
+	cfg.TaskBatch = 4
+	cfg.Checkpoint = &CheckpointConfig{Dir: dir, Every: 3, Source: src}
+	ccfg := cluster.Config{
+		K: 2, Gamma: 0.2,
+		Metrics:    []sim.Metric{sim.Distribution},
+		Thresholds: []float64{0.9},
+		UseGame:    true,
+		Rng:        rng,
+	}
+	return TrainGTTAML(context.Background(), tasks, cfg, ccfg)
+}

@@ -81,3 +81,37 @@ func (o *Adam) Step(w, grad Vector) {
 func (o *Adam) Reset() {
 	o.m, o.v, o.t = nil, nil, 0
 }
+
+// AdamState is the serializable snapshot of an Adam optimizer's mutable
+// state — the two moment vectors and the step counter. Together with the
+// weight vector it makes an optimization run resumable bit-identically:
+// restore both and the next Step produces exactly the update an
+// uninterrupted run would have.
+type AdamState struct {
+	M Vector `json:"m"`
+	V Vector `json:"v"`
+	T int    `json:"t"`
+}
+
+// State returns a deep copy of the optimizer's mutable state. A never-
+// stepped optimizer yields zero-value state (nil moments, T = 0).
+func (o *Adam) State() AdamState {
+	s := AdamState{T: o.t}
+	if o.m != nil {
+		s.M = o.m.Clone()
+		s.V = o.v.Clone()
+	}
+	return s
+}
+
+// SetState restores state captured by State, deep-copying so the snapshot
+// stays immutable across further steps.
+func (o *Adam) SetState(s AdamState) {
+	o.t = s.T
+	if s.M == nil {
+		o.m, o.v = nil, nil
+		return
+	}
+	o.m = s.M.Clone()
+	o.v = s.V.Clone()
+}

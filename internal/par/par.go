@@ -19,10 +19,37 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a callback panic captured by the pool and surfaced as an
+// ordinary error: one bad work item cancels its pool (the error propagates
+// like any callback error, lowest index wins) instead of crashing the
+// process. Stack holds the panicking goroutine's stack trace.
+type PanicError struct {
+	Value any    // the value passed to panic()
+	Stack []byte // debug.Stack() at the recovery point
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: callback panic: %v\n%s", e.Value, e.Stack)
+}
+
+// call invokes fn(shard, i), converting a panic into a *PanicError so pool
+// workers never unwind past the pool.
+func call(fn func(shard, i int) error, shard, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(shard, i)
+}
 
 // Workers resolves a parallelism knob against n work items: values ≤ 0 mean
 // GOMAXPROCS, and the result is clamped to [1, n]. An explicit positive
@@ -54,6 +81,10 @@ func Workers(parallelism, n int) int {
 // several callbacks fail, the error of the lowest index wins, so the
 // reported failure does not depend on scheduling. Callback errors take
 // precedence over ctx.Err().
+//
+// A callback panic is recovered and reported as a *PanicError carrying the
+// panic value and stack trace; it cancels the pool exactly like a returned
+// error, so one crashing shard never takes the process down.
 func ForEachShard(ctx context.Context, n, parallelism int, fn func(shard, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -64,7 +95,7 @@ func ForEachShard(ctx context.Context, n, parallelism int, fn func(shard, i int)
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(0, i); err != nil {
+			if err := call(fn, 0, i); err != nil {
 				return err
 			}
 		}
@@ -107,7 +138,7 @@ func ForEachShard(ctx context.Context, n, parallelism int, fn func(shard, i int)
 				if i >= n {
 					return
 				}
-				if err := fn(shard, i); err != nil {
+				if err := call(fn, shard, i); err != nil {
 					record(i, err)
 					return
 				}

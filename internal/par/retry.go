@@ -1,0 +1,98 @@
+package par
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RetryConfig parameterizes Retry. Delays follow capped exponential backoff:
+// the k-th retry (k = 0, 1, ...) waits min(BaseDelay << k, MaxDelay). The
+// schedule is fully deterministic — no jitter — so tests can assert it, and
+// the Sleep hook lets them run without touching the wall clock at all.
+type RetryConfig struct {
+	// Attempts is the maximum number of calls to fn (≥ 1; 0 defaults to 3).
+	Attempts int
+	// BaseDelay is the delay before the first retry (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 1s).
+	MaxDelay time.Duration
+	// Sleep waits out one backoff delay; nil uses a timer that aborts early
+	// when ctx is cancelled. Tests inject a recording stub here so retry
+	// schedules are asserted without wall-clock sleeps.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *RetryConfig) fill() {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 10 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+}
+
+// Delay returns the backoff before retry k (k = 0 precedes the second
+// attempt): min(BaseDelay·2^k, MaxDelay).
+func (c RetryConfig) Delay(k int) time.Duration {
+	c.fill()
+	d := c.BaseDelay
+	for i := 0; i < k; i++ {
+		if d >= c.MaxDelay/2 {
+			return c.MaxDelay
+		}
+		d *= 2
+	}
+	if d > c.MaxDelay {
+		d = c.MaxDelay
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs fn up to cfg.Attempts times, backing off between attempts,
+// until it returns nil. fn receives the zero-based attempt number. A panic
+// inside fn is captured as a *PanicError and treated as a failed attempt.
+// Cancellation of ctx — before an attempt or during a backoff sleep — stops
+// retrying and returns the context error; the last attempt error is
+// preferred when both exist. On exhaustion the final error is returned
+// wrapped with the attempt count (errors.Is/As see through the wrap).
+func Retry(ctx context.Context, cfg RetryConfig, fn func(attempt int) error) error {
+	cfg.fill()
+	var last error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("par: retry aborted by context after %d attempts: %w", attempt, last)
+			}
+			return err
+		}
+		last = call(func(_, a int) error { return fn(a) }, 0, attempt)
+		if last == nil {
+			return nil
+		}
+		if attempt == cfg.Attempts-1 {
+			break
+		}
+		if err := cfg.Sleep(ctx, cfg.Delay(attempt)); err != nil {
+			return fmt.Errorf("par: retry aborted by context after %d attempts: %w", attempt+1, last)
+		}
+	}
+	return fmt.Errorf("par: retry exhausted after %d attempts: %w", cfg.Attempts, last)
+}

@@ -1,0 +1,145 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPanicIsolatedAsError(t *testing.T) {
+	for _, p := range []int{1, 8} {
+		err := ForEach(context.Background(), 64, p, func(i int) error {
+			if i == 7 {
+				panic("shard blew up")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("par=%d: err = %v, want *PanicError", p, err)
+		}
+		if pe.Value != "shard blew up" {
+			t.Errorf("par=%d: panic value = %v", p, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "par.") {
+			t.Errorf("par=%d: stack trace missing frames:\n%s", p, pe.Stack)
+		}
+	}
+}
+
+func TestPanicLowestIndexWinsOverError(t *testing.T) {
+	boom := errors.New("boom")
+	// Index 2 panics, index 5 errors: the lowest failing index is reported.
+	err := ForEach(context.Background(), 32, 4, func(i int) error {
+		switch i {
+		case 2:
+			panic("early")
+		case 5:
+			return boom
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want the index-2 panic", err)
+	}
+}
+
+// recordingSleep collects requested delays without touching the wall clock.
+type recordingSleep struct {
+	delays []time.Duration
+}
+
+func (r *recordingSleep) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.delays = append(r.delays, d)
+	return nil
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	rec := &recordingSleep{}
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Attempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Sleep: rec.sleep},
+		func(attempt int) error {
+			if attempt != calls {
+				t.Errorf("attempt = %d, want %d", attempt, calls)
+			}
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Retry = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Deterministic capped exponential schedule: 10ms, then 20ms (40 > cap/…
+	// capped at 25ms would apply from the third delay, unseen here).
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(rec.delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", rec.delays, want)
+	}
+	for i := range want {
+		if rec.delays[i] != want[i] {
+			t.Errorf("delay[%d] = %v, want %v", i, rec.delays[i], want[i])
+		}
+	}
+}
+
+func TestRetryBackoffCap(t *testing.T) {
+	cfg := RetryConfig{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	for k, w := range want {
+		if d := cfg.Delay(k); d != w {
+			t.Errorf("Delay(%d) = %v, want %v", k, d, w)
+		}
+	}
+}
+
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	rec := &recordingSleep{}
+	boom := errors.New("boom")
+	err := Retry(context.Background(), RetryConfig{Attempts: 4, Sleep: rec.sleep}, func(int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if len(rec.delays) != 3 {
+		t.Errorf("slept %d times, want 3 (no sleep after the final attempt)", len(rec.delays))
+	}
+}
+
+func TestRetryCancelledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryConfig{Attempts: 10, Sleep: func(context.Context, time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}}, func(int) error {
+		calls++
+		return errors.New("always")
+	})
+	if !errors.Is(err, context.Canceled) && err == nil {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancelled in first backoff)", calls)
+	}
+}
+
+func TestRetryCapturesPanic(t *testing.T) {
+	rec := &recordingSleep{}
+	err := Retry(context.Background(), RetryConfig{Attempts: 2, Sleep: rec.sleep}, func(int) error {
+		panic("flaky")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want wrapped *PanicError", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/spatialcrowd/tamp/internal/assign"
 	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/fault"
 	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/predict"
@@ -29,6 +30,19 @@ type Metrics struct {
 	Accepted   int // |M′|: assignments accepted (and therefore completed)
 	SumCostKM  float64
 	AssignTime time.Duration // time spent inside the assignment algorithm
+	// Faults counts the degraded-mode events a chaos run absorbed; all
+	// zero when Run.Faults is nil.
+	Faults FaultStats
+}
+
+// FaultStats accounts what the fault injector did to a run — the platform's
+// receipt that it degraded gracefully instead of crashing.
+type FaultStats struct {
+	OfflineTicks      int // worker-batch slots removed by churn
+	DroppedReports    int // location pings lost before reaching the platform
+	NoisyReports      int // location pings perturbed by GPS noise
+	PredFallbacks     int // forecasts degraded to stand-still (injected failure, panic, or non-finite output)
+	DeferredDecisions int // accept/reject decisions that landed late
 }
 
 // CompletionRate is Accepted / TotalTasks.
@@ -89,12 +103,32 @@ type Run struct {
 	// every parallelism level. Models must not alias: two worker IDs mapping
 	// to the same *WorkerModel would race.
 	Parallelism int
+	// Faults, when non-nil, runs the simulation in chaos mode: the injector
+	// churns workers offline, drops and perturbs location reports, fails
+	// predictors (which degrade to stand-still forecasts instead of
+	// aborting the batch), and delays accept/reject decisions. Fault
+	// decisions are pure functions of (seed, entity, tick), so chaos runs
+	// are bit-identical at every parallelism level too. In chaos mode a
+	// panicking predictor is recovered per worker; without an injector it
+	// surfaces as a *par.PanicError from Simulate.
+	Faults *fault.Injector
 }
 
 // pendingTask tracks a task waiting in the pool.
 type pendingTask struct {
 	task assign.Task
 	done bool
+	held bool // a deferred accept/reject is in flight; keep out of batches
+}
+
+// deferredDecision is an accept/reject outcome computed at assignment time
+// but delivered late by the fault injector.
+type deferredDecision struct {
+	applyAt   int // tick at which the decision reaches the platform
+	pt        *pendingTask
+	workerID  int
+	costCells float64
+	accepted  bool
 }
 
 // Simulate runs the full test horizon and returns the aggregated metrics.
@@ -131,10 +165,13 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	if adaptLR <= 0 {
 		adaptLR = 0.002
 	}
+	var deferred []deferredDecision
 	for tick := 0; tick < horizonTicks; tick++ {
 		if err := ctx.Err(); err != nil {
 			return m, err
 		}
+		// Late accept/reject decisions land now, FIFO in decision order.
+		deferred = applyDeferred(&m, deferred, tick)
 		// Continual prediction: at a day boundary, fine-tune every model on
 		// the trace observed during the previous day. Each worker adapts its
 		// own model on its own trace, so the pass fans out on the pool.
@@ -156,14 +193,24 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			pending = append(pending, &pendingTask{task: t})
 			next++
 		}
-		// Drop expired tasks; collect the live pool.
+		// Drop expired tasks; collect the live pool. Held tasks (a deferred
+		// decision in flight) stay pending but are kept out of this batch.
+		live := pending[:0]
 		var pool []*pendingTask
 		for _, pt := range pending {
-			if !pt.done && pt.task.Deadline >= tick {
+			if pt.done {
+				continue
+			}
+			if pt.held {
+				live = append(live, pt)
+				continue
+			}
+			if pt.task.Deadline >= tick {
+				live = append(live, pt)
 				pool = append(pool, pt)
 			}
 		}
-		pending = pool
+		pending = live
 		if len(pool) == 0 {
 			continue
 		}
@@ -185,12 +232,20 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			if day >= len(wk.TestDays) {
 				continue
 			}
+			if r.Faults.Offline(wk.ID, tick) {
+				m.Faults.OfflineTicks++
+				continue
+			}
 			eligible = append(eligible, i)
 		}
 		if len(eligible) == 0 {
 			continue
 		}
 		workers := make([]assign.Worker, len(eligible))
+		// Per-worker fault counters are index-addressed and reduced
+		// sequentially after the pool joins, keeping chaos metrics
+		// bit-identical at every parallelism level.
+		wfaults := make([]FaultStats, len(eligible))
 		if err := par.ForEach(ctx, len(eligible), r.Parallelism, func(j int) error {
 			wk := &r.Workload.Workers[eligible[j]]
 			actualDay := wk.TestDays[day]
@@ -207,11 +262,27 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			}
 			// Predicted path from the trace observed so far today.
 			if model := r.Models[wk.ID]; model != nil {
-				recent := recentPoints(actualDay, tickInDay, model.SeqIn)
-				w.Predicted = model.PredictFuture(recent, predHorizon)
+				var recent []geo.Point
+				if r.Faults != nil {
+					recent = faultyReports(r.Faults, wk.ID, actualDay, day, p.TicksPerDay, tickInDay, model.SeqIn, &wfaults[j])
+				} else {
+					recent = recentPoints(actualDay, tickInDay, model.SeqIn)
+				}
+				if r.Faults.PredictorFails(wk.ID, tick) || len(recent) == 0 {
+					wfaults[j].PredFallbacks++
+				} else {
+					pred, failed := safeForecast(model, recent, predHorizon, r.Faults != nil)
+					if failed {
+						wfaults[j].PredFallbacks++
+					} else {
+						w.Predicted = pred
+					}
+				}
 				w.MR = model.MR
-			} else {
-				// No model: predict the worker stays put.
+			}
+			if w.Predicted == nil {
+				// No model, or its forecast failed: predict the worker
+				// stays put.
 				for dt := 0; dt < predHorizon; dt++ {
 					w.Predicted = append(w.Predicted, cur)
 				}
@@ -220,6 +291,11 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			return nil
 		}); err != nil {
 			return m, err
+		}
+		for j := range wfaults {
+			m.Faults.DroppedReports += wfaults[j].DroppedReports
+			m.Faults.NoisyReports += wfaults[j].NoisyReports
+			m.Faults.PredFallbacks += wfaults[j].PredFallbacks
 		}
 
 		// One batch of tasks.
@@ -247,6 +323,24 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 				// Rejected: the task stays in the pool, but the platform
 				// never re-proposes a declined (task, worker) pair.
 				pt.task.Excluded = append(pt.task.Excluded, w.ID)
+			}
+			if delay := r.Faults.DecisionDelay(pt.task.ID, tick); delay > 0 {
+				// The worker decided (and, on accept, starts serving —
+				// they are busy either way), but the platform only learns
+				// the outcome `delay` ticks from now. Until then the task
+				// is held out of re-matching.
+				m.Faults.DeferredDecisions++
+				pt.held = true
+				if ok {
+					busyUntil[w.ID] = tick + int(math.Ceil(costCells/w.Speed)) + service
+				}
+				deferred = append(deferred, deferredDecision{
+					applyAt: tick + delay, pt: pt, workerID: w.ID,
+					costCells: costCells, accepted: ok,
+				})
+				continue
+			}
+			if !ok {
 				continue
 			}
 			m.Accepted++
@@ -256,7 +350,29 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			busyUntil[w.ID] = tick + busy
 		}
 	}
+	// Decisions still in flight when the horizon closes are flushed so a
+	// delayed accept still counts as a completion.
+	applyDeferred(&m, deferred, math.MaxInt)
 	return m, nil
+}
+
+// applyDeferred delivers every deferred decision due by tick, in decision
+// order, and returns the still-pending remainder.
+func applyDeferred(m *Metrics, deferred []deferredDecision, tick int) []deferredDecision {
+	rest := deferred[:0]
+	for _, d := range deferred {
+		if d.applyAt > tick {
+			rest = append(rest, d)
+			continue
+		}
+		d.pt.held = false
+		if d.accepted {
+			m.Accepted++
+			m.SumCostKM += geo.CellsToKM(d.costCells)
+			d.pt.done = true
+		}
+	}
+	return rest
 }
 
 // recentPoints returns the up-to-n most recent true locations the platform
@@ -271,6 +387,57 @@ func recentPoints(day traj.Routine, tickInDay, n int) []geo.Point {
 		out = append(out, day.At(t))
 	}
 	return out
+}
+
+// faultyReports rebuilds the worker's observed trace for today under the
+// injector: dropped pings vanish, noisy pings are perturbed by Gaussian GPS
+// error. Fault draws key on the absolute tick so the schedule is stable
+// across batches. Counters land in fs (the caller's index-addressed slot).
+func faultyReports(f *fault.Injector, workerID int, day traj.Routine, dayIdx, ticksPerDay, tickInDay, n int, fs *FaultStats) []geo.Point {
+	start := tickInDay - n + 1
+	if start < 0 {
+		start = 0
+	}
+	var out []geo.Point
+	for t := start; t <= tickInDay; t++ {
+		abs := dayIdx*ticksPerDay + t
+		if f.DropReport(workerID, abs) {
+			fs.DroppedReports++
+			continue
+		}
+		pt := day.At(t)
+		if dx, dy, ok := f.GPSNoise(workerID, abs); ok {
+			pt.X += dx
+			pt.Y += dy
+			fs.NoisyReports++
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// safeForecast runs one worker's autoregressive rollout. With guard off it
+// is a plain call — a panic propagates to the par pool, which converts it
+// to a *par.PanicError that cancels the batch (never the process). With
+// guard on (chaos mode) the panic is recovered here, and non-finite
+// forecasts are rejected, so one bad model degrades only its own worker to
+// a stand-still prediction.
+func safeForecast(model *predict.WorkerModel, recent []geo.Point, horizon int, guard bool) (pred []geo.Point, failed bool) {
+	if !guard {
+		return model.PredictFuture(recent, horizon), false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pred, failed = nil, true
+		}
+	}()
+	pred = model.PredictFuture(recent, horizon)
+	for _, pt := range pred {
+		if math.IsNaN(pt.X) || math.IsNaN(pt.Y) || math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) {
+			return nil, true
+		}
+	}
+	return pred, false
 }
 
 // acceptance decides whether the worker accepts the assigned task given

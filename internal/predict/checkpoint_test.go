@@ -1,0 +1,73 @@
+package predict
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+)
+
+// TestTrainCheckpointResumeBitIdentical exercises the pipeline-level resume
+// path: interrupt TrainPredictors at a checkpoint boundary, re-run with the
+// same directory, and require every per-worker model to come out exactly as
+// in an uninterrupted run.
+func TestTrainCheckpointResumeBitIdentical(t *testing.T) {
+	w := tinyWorkload(dataset.Workload1)
+
+	run := func(dir string, killAfter int) (*Result, error) {
+		opts := tinyOptions()
+		opts.MetaIters = 6
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if dir != "" {
+			opts.CheckpointDir = dir
+			opts.CheckpointEvery = 2
+			saves := 0
+			opts.OnCheckpoint = func(string, int) {
+				saves++
+				if killAfter > 0 && saves == killAfter {
+					cancel()
+				}
+			}
+		}
+		return Train(ctx, w, opts)
+	}
+
+	ref, err := run("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if _, err := run(dir, 2); err == nil {
+		t.Fatal("interrupted training returned no error")
+	}
+	resumed, err := run(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resumed.Models) != len(ref.Models) {
+		t.Fatalf("models = %d, want %d", len(resumed.Models), len(ref.Models))
+	}
+	var ids []int
+	for id := range ref.Models {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a, b := ref.Models[id].Model.Weights(), resumed.Models[id].Model.Weights()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("worker %d weight[%d]: resumed %v != uninterrupted %v", id, i, b[i], a[i])
+			}
+		}
+		if ref.Models[id].MR != resumed.Models[id].MR {
+			t.Fatalf("worker %d MR differs: %v vs %v", id, resumed.Models[id].MR, ref.Models[id].MR)
+		}
+	}
+	if ref.Eval != resumed.Eval {
+		t.Fatalf("eval differs: %+v vs %+v", resumed.Eval, ref.Eval)
+	}
+}

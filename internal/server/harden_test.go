@@ -1,0 +1,327 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/fault"
+	"github.com/spatialcrowd/tamp/internal/predict"
+)
+
+// offerSetup registers one worker, posts one task near its trace, runs a
+// batch, and returns the resulting task and offer.
+func offerSetup(t *testing.T, c *client, deadline int) (taskResponse, offerResponse) {
+	t.Helper()
+	c.do("POST", "/api/workers", workerRequest{ID: 1, DetourKM: 8, Speed: 1, MR: 0.8}, nil)
+	walkWorker(c, 1, 6, 10, 10)
+	var task taskResponse
+	c.do("POST", "/api/tasks", taskRequest{X: 18, Y: 10, Deadline: deadline}, &task)
+	var batch batchResponse
+	c.do("POST", "/api/batch", nil, &batch)
+	if batch.Offers != 1 {
+		t.Fatalf("offers = %d, want 1", batch.Offers)
+	}
+	var offers []offerResponse
+	c.do("GET", "/api/workers/1/offers", nil, &offers)
+	if len(offers) != 1 {
+		t.Fatalf("worker offers = %+v", offers)
+	}
+	return task, offers[0]
+}
+
+// TestOfferOutstandingAtExpiry: the deadline tick fires while an offer is
+// still pending. The task expires, the offer is retracted, the worker is
+// matchable again, and a late accept on the dead offer cannot resurrect the
+// task.
+func TestOfferOutstandingAtExpiry(t *testing.T) {
+	c := newClient(t, testConfig())
+	task, off := offerSetup(t, c, 6)
+	for i := 0; i < 7; i++ {
+		c.do("POST", "/api/tick", nil, nil)
+	}
+	var got taskResponse
+	c.do("GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, &got)
+	if got.Status != TaskExpired {
+		t.Fatalf("offered task after deadline = %+v", got)
+	}
+	// The retracted offer is gone; the late accept must not land.
+	if code := c.do("POST", fmt.Sprintf("/api/offers/%d/accept", off.OfferID), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("late accept on expired offer: status %d, want 404", code)
+	}
+	c.do("GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, &got)
+	if got.Status != TaskExpired {
+		t.Fatalf("late accept resurrected the task: %+v", got)
+	}
+	// The worker's offer slot is free: a fresh task can be offered.
+	var task2 taskResponse
+	c.do("POST", "/api/tasks", taskRequest{X: 16, Y: 10, Deadline: 40}, &task2)
+	var batch batchResponse
+	c.do("POST", "/api/batch", nil, &batch)
+	if batch.Offers != 1 {
+		t.Fatalf("worker still blocked by a retracted offer: %+v", batch)
+	}
+	var m metricsResponse
+	c.do("GET", "/api/metrics", nil, &m)
+	if m.Accepted != 0 || m.Expired != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestDeleteOfferedTaskRetractsOffer: DELETE on a task in the offered state
+// cancels it AND withdraws the outstanding offer, so the offer can no
+// longer be accepted and the worker is immediately matchable.
+func TestDeleteOfferedTaskRetractsOffer(t *testing.T) {
+	c := newClient(t, testConfig())
+	task, off := offerSetup(t, c, 40)
+	var cancelled taskResponse
+	if code := c.do("DELETE", fmt.Sprintf("/api/tasks/%d", task.ID), nil, &cancelled); code != http.StatusOK {
+		t.Fatalf("cancel status %d", code)
+	}
+	if cancelled.Status != TaskCancelled {
+		t.Fatalf("status after cancel = %s", cancelled.Status)
+	}
+	if code := c.do("POST", fmt.Sprintf("/api/offers/%d/accept", off.OfferID), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("accept on cancelled task's offer: status %d, want 404", code)
+	}
+	var got taskResponse
+	c.do("GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, &got)
+	if got.Status != TaskCancelled {
+		t.Fatalf("accept flipped a cancelled task: %+v", got)
+	}
+	// Worker free again.
+	var task2 taskResponse
+	c.do("POST", "/api/tasks", taskRequest{X: 16, Y: 10, Deadline: 40}, &task2)
+	var batch batchResponse
+	c.do("POST", "/api/batch", nil, &batch)
+	if batch.Offers != 1 {
+		t.Fatalf("worker still blocked after task cancellation: %+v", batch)
+	}
+}
+
+// TestDoubleAccept: the second accept of the same offer must fail and must
+// not double-count the acceptance.
+func TestDoubleAccept(t *testing.T) {
+	c := newClient(t, testConfig())
+	_, off := offerSetup(t, c, 40)
+	if code := c.do("POST", fmt.Sprintf("/api/offers/%d/accept", off.OfferID), nil, nil); code != http.StatusOK {
+		t.Fatalf("first accept status %d", code)
+	}
+	if code := c.do("POST", fmt.Sprintf("/api/offers/%d/accept", off.OfferID), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("second accept status %d, want 404", code)
+	}
+	var m metricsResponse
+	c.do("GET", "/api/metrics", nil, &m)
+	if m.Accepted != 1 {
+		t.Fatalf("accepted = %d after double accept, want 1", m.Accepted)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a panicking handler is answered with a JSON
+// 500, the panic is counted in /api/metrics, and the server keeps serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := New(testConfig())
+	// Same-package test hook: mount a deliberately broken route behind the
+	// middleware.
+	s.mux.HandleFunc("/api/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	c := &client{t: t, srv: ts}
+
+	var errResp map[string]string
+	if code := c.do("GET", "/api/boom", nil, &errResp); code != http.StatusInternalServerError {
+		t.Fatalf("panicking route status %d, want 500", code)
+	}
+	if errResp["error"] == "" {
+		t.Fatalf("500 body = %v, want JSON error", errResp)
+	}
+	// Server still alive and counting.
+	var m metricsResponse
+	if code := c.do("GET", "/api/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics after panic: status %d", code)
+	}
+	if m.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", m.Panics)
+	}
+}
+
+// TestPanickingModelDegradesWorkerNotBatch: a predictor that panics inside
+// the batch pool degrades its worker to a stand-still forecast; the batch
+// still produces offers and the fallback is counted.
+func TestPanickingModelDegradesWorkerNotBatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Models = map[int]*predict.WorkerModel{
+		1: {WorkerID: 1, Model: &fault.PanicModel{}, SeqIn: 3, SeqOut: 1},
+	}
+	c := newClient(t, cfg)
+	c.do("POST", "/api/workers", workerRequest{ID: 1, DetourKM: 8, Speed: 1, MR: 0.8}, nil)
+	walkWorker(c, 1, 6, 10, 10)
+	// Task at the worker's stand-still location is feasible without a model.
+	c.do("POST", "/api/tasks", taskRequest{X: 15, Y: 10, Deadline: 40}, nil)
+	var batch batchResponse
+	c.do("POST", "/api/batch", nil, &batch)
+	if batch.Offers != 1 {
+		t.Fatalf("offers = %d, want 1 from the degraded worker", batch.Offers)
+	}
+	var m metricsResponse
+	c.do("GET", "/api/metrics", nil, &m)
+	if m.PredFallbacks == 0 {
+		t.Fatal("predictor fallback not counted")
+	}
+	if m.Panics != 0 {
+		t.Fatalf("model panic leaked to the middleware: %+v", m)
+	}
+}
+
+// stallAssigner blocks until its context is done, then returns a bogus
+// partial plan — exactly what a degraded batch must discard.
+type stallAssigner struct{}
+
+func (stallAssigner) Name() string { return "Stall" }
+func (stallAssigner) Assign(tasks []assign.Task, workers []assign.Worker, tick int) []assign.Pair {
+	return nil
+}
+func (stallAssigner) AssignContext(ctx context.Context, tasks []assign.Task, workers []assign.Worker, tick int) []assign.Pair {
+	<-ctx.Done()
+	return []assign.Pair{{Task: 0, Worker: 0}}
+}
+
+// TestBatchDeadlineFallsBackToGreedy: when the primary assigner blows the
+// batch deadline, its partial plan is discarded, the greedy fallback makes
+// the offers, and the degraded batch is counted.
+func TestBatchDeadlineFallsBackToGreedy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Assigner = stallAssigner{}
+	cfg.BatchTimeout = 20 * time.Millisecond
+	c := newClient(t, cfg)
+	c.do("POST", "/api/workers", workerRequest{ID: 1, DetourKM: 8, Speed: 1, MR: 0.8}, nil)
+	walkWorker(c, 1, 6, 10, 10)
+	c.do("POST", "/api/tasks", taskRequest{X: 15, Y: 10, Deadline: 40}, nil)
+	var batch batchResponse
+	c.do("POST", "/api/batch", nil, &batch)
+	if batch.Offers != 1 {
+		t.Fatalf("degraded batch offers = %d, want 1 from greedy", batch.Offers)
+	}
+	var m metricsResponse
+	c.do("GET", "/api/metrics", nil, &m)
+	if m.DegradedBatches != 1 {
+		t.Fatalf("degradedBatches = %d, want 1", m.DegradedBatches)
+	}
+}
+
+// panicAssigner dies mid-matching; the batch must degrade, not the process.
+type panicAssigner struct{}
+
+func (panicAssigner) Name() string { return "Panic" }
+func (panicAssigner) Assign([]assign.Task, []assign.Worker, int) []assign.Pair {
+	panic("assigner bug")
+}
+
+func TestPanickingAssignerFallsBackToGreedy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Assigner = panicAssigner{}
+	c := newClient(t, cfg)
+	c.do("POST", "/api/workers", workerRequest{ID: 1, DetourKM: 8, Speed: 1, MR: 0.8}, nil)
+	walkWorker(c, 1, 6, 10, 10)
+	c.do("POST", "/api/tasks", taskRequest{X: 15, Y: 10, Deadline: 40}, nil)
+	var batch batchResponse
+	c.do("POST", "/api/batch", nil, &batch)
+	if batch.Offers != 1 {
+		t.Fatalf("offers = %d, want 1 from greedy after assigner panic", batch.Offers)
+	}
+	var m metricsResponse
+	c.do("GET", "/api/metrics", nil, &m)
+	if m.DegradedBatches != 1 || m.Panics != 0 {
+		t.Fatalf("metrics = %+v; want degradedBatches=1 and no middleware panics", m)
+	}
+}
+
+// TestRequestBodyCap: oversized request bodies are refused, not buffered.
+func TestRequestBodyCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBodyBytes = 64
+	c := newClient(t, cfg)
+	huge := map[string]string{"junk": strings.Repeat("x", 4096)}
+	if code := c.do("POST", "/api/tasks", huge, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized body status %d, want 400", code)
+	}
+	// Normal-size requests still work.
+	if code := c.do("POST", "/api/tasks", taskRequest{X: 1, Y: 1, Deadline: 5}, nil); code != http.StatusCreated {
+		t.Fatalf("small body status %d", code)
+	}
+}
+
+// TestRequestTimeoutCancelsBatch: the per-request deadline cancels in-flight
+// batch work instead of hanging the handler forever.
+func TestRequestTimeoutCancelsBatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Assigner = stallAssigner{}
+	cfg.RequestTimeout = 30 * time.Millisecond
+	c := newClient(t, cfg)
+	c.do("POST", "/api/workers", workerRequest{ID: 1, DetourKM: 8, Speed: 1, MR: 0.8}, nil)
+	walkWorker(c, 1, 6, 10, 10)
+	c.do("POST", "/api/tasks", taskRequest{X: 15, Y: 10, Deadline: 40}, nil)
+	done := make(chan batchResponse, 1)
+	go func() {
+		var batch batchResponse
+		c.do("POST", "/api/batch", nil, &batch)
+		done <- batch
+	}()
+	select {
+	case batch := <-done:
+		// The cancelled batch makes no offers (the plan may be partial).
+		if batch.Offers != 0 {
+			t.Fatalf("cancelled batch made %d offers", batch.Offers)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch request hung past the request timeout")
+	}
+}
+
+// TestListenAndServeShutdownLeaksNoGoroutines: a full server lifecycle —
+// start, serve a request, cancel — must return every goroutine it started
+// (ticker loop, serve loop, in-flight handlers).
+func TestListenAndServeShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		s := New(testConfig())
+		errc := make(chan error, 1)
+		go func() { errc <- s.ListenAndServe(ctx, "127.0.0.1:0", time.Millisecond) }()
+		// Let the ticker fire a few times, then shut down.
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil && err != http.ErrServerClosed {
+				t.Fatalf("shutdown error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+	// Goroutine counts are noisy (finalizers, the test framework); poll
+	// until the count returns to the baseline neighborhood.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

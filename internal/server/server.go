@@ -17,12 +17,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
+	"math"
 	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
@@ -61,6 +64,18 @@ type Config struct {
 	// and, when the default PPI assigner is constructed, its edge-building
 	// pool (0 = GOMAXPROCS).
 	Parallelism int
+	// MaxBodyBytes caps every request body via http.MaxBytesReader
+	// (default 1 MiB; negative disables the cap).
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's handling; the request context
+	// is cancelled at the deadline (default 30s; negative disables).
+	RequestTimeout time.Duration
+	// BatchTimeout is the per-batch assignment deadline. When the
+	// configured assigner has not produced a plan by then, its (possibly
+	// partial) output is discarded and the batch falls back to the cheap
+	// greedy assigner — degraded mode, counted in /api/metrics. Zero
+	// disables the deadline.
+	BatchTimeout time.Duration
 }
 
 type workerState struct {
@@ -78,6 +93,7 @@ type taskState struct {
 	Status   TaskStatus
 	Offered  int // worker id of the pending offer
 	Accepted int // worker id that accepted
+	OfferID  int // id of the pending offer (0 = none); mirrors Status == TaskOffered
 }
 
 type offer struct {
@@ -101,7 +117,14 @@ type Server struct {
 
 	// counters for /api/metrics
 	assigned, accepted, rejected, expired int
-	mux                                   *http.ServeMux
+	// degraded-mode counters: batches that fell back to greedy after the
+	// assignment deadline, and forecasts degraded to stand-still after a
+	// predictor panic or malformed output.
+	degradedBatches, predFallbacks int
+	// panics counts requests answered 500 by the recovery middleware; it
+	// is atomic because the recovery path runs outside s.mu.
+	panics atomic.Int64
+	mux    *http.ServeMux
 }
 
 // New builds a Server ready to mount on an http.Server.
@@ -121,6 +144,12 @@ func New(cfg Config) *Server {
 	if cfg.DefaultSpeed <= 0 {
 		cfg.DefaultSpeed = 3
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
 	s := &Server{
 		cfg:      cfg,
 		nextTask: 1,
@@ -133,8 +162,48 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// headerTracker remembers whether a handler already committed the response,
+// so the recovery middleware knows if a 500 can still be sent.
+type headerTracker struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (h *headerTracker) WriteHeader(status int) {
+	h.wrote = true
+	h.ResponseWriter.WriteHeader(status)
+}
+
+func (h *headerTracker) Write(b []byte) (int, error) {
+	h.wrote = true
+	return h.ResponseWriter.Write(b)
+}
+
+// ServeHTTP implements http.Handler. It is the hardening middleware for
+// every route: request bodies are capped, each request gets a deadline, and
+// a panicking handler is recovered into a 500 — one bad request never takes
+// the platform down.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ht := &headerTracker{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			log.Printf("server: recovered panic in %s %s: %v", r.Method, r.URL.Path, rec)
+			if !ht.wrote {
+				httpError(ht, http.StatusInternalServerError, "internal error")
+			}
+		}
+	}()
+	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(ht, r.Body, s.cfg.MaxBodyBytes)
+	}
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(ht, r)
+}
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -148,10 +217,20 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
 }
 
+// encodeErrOnce rate-limits encoder-failure logging: the first failure is
+// worth a line (it usually means a broken client connection or an
+// unmarshalable value), every subsequent one would just flood the log.
+var encodeErrOnce sync.Once
+
+// writeJSON commits headers before any body bytes — Content-Type first,
+// then the status line — so handlers can never interleave a late header
+// with a partial body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		encodeErrOnce.Do(func() { log.Printf("server: writeJSON: %v", err) })
+	}
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -246,6 +325,10 @@ func (s *Server) handleTaskByID(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "task %d already accepted", id)
 			return
 		}
+		// Cancelling an offered task retracts the outstanding offer too, so
+		// the worker is immediately matchable again and a late accept on
+		// the dead offer cannot resurrect the task.
+		s.retractOfferLocked(t)
 		t.Status = TaskCancelled
 		writeJSON(w, http.StatusOK, s.taskResponseLocked(id))
 	default:
@@ -409,9 +492,26 @@ func (s *Server) handleOfferByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := s.tasks[off.TaskID]
+	// The offer is only actionable while its task is still in the offered
+	// state: a decision racing task expiry or cancellation must not flip an
+	// expired/cancelled task to accepted. The stale offer is discarded so
+	// the worker becomes matchable again.
+	if t == nil || t.Status != TaskOffered || t.OfferID != id {
+		if ws := s.workers[off.Worker]; ws != nil && ws.OfferID == id {
+			ws.OfferID = 0
+		}
+		delete(s.offers, id)
+		if t == nil {
+			httpError(w, http.StatusConflict, "offer %d is stale: task gone", id)
+		} else {
+			httpError(w, http.StatusConflict, "offer %d is stale: task %d is %s", id, off.TaskID, t.Status)
+		}
+		return
+	}
 	ws := s.workers[off.Worker]
 	delete(s.offers, id)
 	ws.OfferID = 0
+	t.OfferID = 0
 	switch parts[1] {
 	case "accept":
 		t.Status = TaskAccepted
@@ -426,6 +526,10 @@ func (s *Server) handleOfferByID(w http.ResponseWriter, r *http.Request) {
 		s.rejected++
 		writeJSON(w, http.StatusOK, map[string]string{"status": "rejected"})
 	default:
+		// Unknown action: the offer stays pending.
+		s.offers[id] = off
+		ws.OfferID = id
+		t.OfferID = id
 		httpError(w, http.StatusBadRequest, "unknown action %q", parts[1])
 	}
 }
@@ -477,25 +581,29 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 func (s *Server) expireLocked() {
 	for _, t := range s.tasks {
 		if (t.Status == TaskOpen || t.Status == TaskOffered) && t.Task.Deadline < s.tick {
-			if t.Status == TaskOffered {
-				if off := s.offers[findOfferLocked(s, t.Task.ID)]; off != nil {
-					s.workers[off.Worker].OfferID = 0
-					delete(s.offers, off.ID)
-				}
-			}
+			s.retractOfferLocked(t)
 			t.Status = TaskExpired
 			s.expired++
 		}
 	}
 }
 
-func findOfferLocked(s *Server, taskID int) int {
-	for id, off := range s.offers {
-		if off.TaskID == taskID {
-			return id
-		}
+// retractOfferLocked withdraws the task's pending offer, if any, freeing
+// the worker for the next batch. The task's pending offer id is stored on
+// taskState, so retraction is O(1) per task instead of a scan over every
+// outstanding offer.
+func (s *Server) retractOfferLocked(t *taskState) {
+	if t.OfferID == 0 {
+		return
 	}
-	return 0
+	if off := s.offers[t.OfferID]; off != nil {
+		if ws := s.workers[off.Worker]; ws != nil {
+			ws.OfferID = 0
+		}
+		delete(s.offers, off.ID)
+	}
+	t.OfferID = 0
+	t.Offered = 0
 }
 
 // runBatchLocked builds the assignment input from open tasks and online,
@@ -527,6 +635,9 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 		return 0
 	}
 	workers := make([]assign.Worker, len(workerIDs))
+	// fellBack is index-addressed per worker and reduced after the pool
+	// joins, so the counter needs no synchronization inside the closure.
+	fellBack := make([]bool, len(workerIDs))
 	if err := par.ForEach(ctx, len(workerIDs), s.cfg.Parallelism, func(i int) error {
 		id := workerIDs[i]
 		ws := s.workers[id]
@@ -535,8 +646,14 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 			ID: id, Loc: cur, Detour: ws.Detour, Speed: ws.Speed, MR: ws.MR,
 		}
 		if m := s.cfg.Models[id]; m != nil {
-			aw.Predicted = m.PredictFuture(ws.Trace, s.cfg.PredHorizon)
-		} else {
+			aw.Predicted = safeServerForecast(m, ws.Trace, s.cfg.PredHorizon)
+			if aw.Predicted == nil {
+				fellBack[i] = true
+			}
+		}
+		if aw.Predicted == nil {
+			// No model, or its forecast failed: the worker stands still
+			// rather than dropping out of the batch.
 			for j := 0; j < s.cfg.PredHorizon; j++ {
 				aw.Predicted = append(aw.Predicted, cur)
 			}
@@ -546,7 +663,12 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 	}); err != nil {
 		return 0
 	}
-	pairs := assign.Do(ctx, s.cfg.Assigner, tasks, workers, s.tick)
+	for _, fb := range fellBack {
+		if fb {
+			s.predFallbacks++
+		}
+	}
+	pairs := s.assignWithDeadline(ctx, tasks, workers)
 	if ctx.Err() != nil {
 		// The matching may be partial; make no offers from it.
 		return 0
@@ -559,10 +681,62 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 		s.offers[off.ID] = off
 		s.tasks[tid].Status = TaskOffered
 		s.tasks[tid].Offered = wid
+		s.tasks[tid].OfferID = off.ID
 		s.workers[wid].OfferID = off.ID
 		s.assigned++
 	}
 	return len(pairs)
+}
+
+// assignWithDeadline runs the configured assigner under the batch deadline.
+// When the deadline fires before the assigner finishes, its (possibly
+// partial) plan is discarded and the batch degrades to the greedy fallback:
+// a worse matching delivered on time beats a perfect one delivered late. A
+// panicking assigner degrades the same way. Degraded batches are counted
+// for /api/metrics.
+func (s *Server) assignWithDeadline(ctx context.Context, tasks []assign.Task, workers []assign.Worker) (pairs []assign.Pair) {
+	bctx := ctx
+	if s.cfg.BatchTimeout > 0 {
+		var cancel context.CancelFunc
+		bctx, cancel = context.WithTimeout(ctx, s.cfg.BatchTimeout)
+		defer cancel()
+	}
+	degraded := false
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("server: assigner %s panicked: %v", s.cfg.Assigner.Name(), rec)
+				degraded = true
+			}
+		}()
+		pairs = assign.Do(bctx, s.cfg.Assigner, tasks, workers, s.tick)
+	}()
+	if bctx.Err() != nil && ctx.Err() == nil {
+		degraded = true // deadline hit, not a client hang-up: fall back
+	}
+	if degraded {
+		s.degradedBatches++
+		pairs = (assign.Greedy{}).Assign(tasks, workers, s.tick)
+	}
+	return pairs
+}
+
+// safeServerForecast isolates one worker's predictor: a panic or a
+// non-finite forecast yields nil, and the caller degrades that worker — and
+// only that worker — to a stand-still prediction.
+func safeServerForecast(m *predict.WorkerModel, trace []geo.Point, horizon int) (pred []geo.Point) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			pred = nil
+		}
+	}()
+	pred = m.PredictFuture(trace, horizon)
+	for _, pt := range pred {
+		if math.IsNaN(pt.X) || math.IsNaN(pt.Y) || math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) {
+			return nil
+		}
+	}
+	return pred
 }
 
 // AdvanceTick moves the platform clock forward one tick and expires
@@ -641,6 +815,12 @@ type metricsResponse struct {
 	Rejected int `json:"rejected"`
 	Expired  int `json:"expired"`
 	Workers  int `json:"workers"`
+	// Degraded-mode accounting: requests answered 500 after a recovered
+	// handler panic, batches that fell back to the greedy assigner, and
+	// forecasts degraded to stand-still.
+	Panics          int64 `json:"panics"`
+	DegradedBatches int   `json:"degradedBatches"`
+	PredFallbacks   int   `json:"predFallbacks"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -651,6 +831,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Assigned: s.assigned, Accepted: s.accepted,
 		Rejected: s.rejected, Expired: s.expired,
 		Workers: len(s.workers),
+		Panics:  s.panics.Load(), DegradedBatches: s.degradedBatches,
+		PredFallbacks: s.predFallbacks,
 	})
 }
 

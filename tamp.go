@@ -43,6 +43,7 @@ import (
 
 	"github.com/spatialcrowd/tamp/internal/assign"
 	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/fault"
 	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/platform"
 	"github.com/spatialcrowd/tamp/internal/predict"
@@ -112,6 +113,12 @@ type (
 	Metrics = platform.Metrics
 	// Simulation configures a platform run.
 	Simulation = platform.Run
+	// FaultStats counts the degraded-mode events a chaos run absorbed.
+	FaultStats = platform.FaultStats
+	// FaultConfig sets the deterministic fault-injection rates for
+	// SimulateChaos (worker churn, dropped/noised location reports,
+	// predictor failures, delayed accept/reject decisions).
+	FaultConfig = fault.Config
 )
 
 // Meta-learning algorithm names accepted by TrainOptions.Algorithm.
@@ -145,6 +152,17 @@ func TrainPredictors(ctx context.Context, w *Workload, opts TrainOptions) (*Pred
 // metrics alongside ctx.Err().
 func Simulate(ctx context.Context, w *Workload, pred *Predictors, a Assigner) (Metrics, error) {
 	run := platform.Run{Workload: w, Models: pred.Models, Assigner: a}
+	return run.Simulate(ctx)
+}
+
+// SimulateChaos is Simulate under a deterministic fault injector: workers
+// churn offline, location reports drop or arrive GPS-noised, predictors
+// fail (degrading to stand-still forecasts), and accept/reject decisions
+// land late — all as pure functions of fc.Seed, so a chaos run is exactly
+// reproducible. The degraded-mode events survived are reported in
+// Metrics.Faults.
+func SimulateChaos(ctx context.Context, w *Workload, pred *Predictors, a Assigner, fc FaultConfig) (Metrics, error) {
+	run := platform.Run{Workload: w, Models: pred.Models, Assigner: a, Faults: fault.New(fc)}
 	return run.Simulate(ctx)
 }
 
