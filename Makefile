@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfcheck chaos fmt
+.PHONY: all build test race vet bench perfcheck benchguard chaos fmt fmt-check ci
 
 all: build test
 
@@ -33,6 +33,13 @@ bench:
 perfcheck:
 	$(GO) test ./internal/nn -run 'AllocFree' -v
 
+# Benchmark-regression gate: re-run the NN kernel suite and compare against
+# the committed BENCH_nn.json baseline. Fails on >25% ns/op growth or any
+# allocs/op growth. Timing on shared runners is noisy — CI runs this as a
+# non-blocking job; treat a local failure on an idle machine as real.
+benchguard:
+	$(GO) run ./cmd/tampbench -check BENCH_nn.json -tolerance 0.25
+
 # Fault-injection regression suite under the race detector: the injector
 # itself, the platform chaos run (churn + dropped/noised reports + predictor
 # failures + delayed decisions), panic isolation, and the server's
@@ -45,3 +52,14 @@ chaos:
 
 fmt:
 	gofmt -l -w .
+
+# Like fmt but read-only: lists unformatted files and exits non-zero if any
+# exist, so CI can gate on formatting without rewriting the tree.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The local mirror of the blocking CI jobs: everything here must pass before
+# a push (the race, perfcheck, and chaos jobs run in CI too, split out for
+# wall-clock; run them directly when touching concurrency or the NN kernels).
+ci: build vet fmt-check test

@@ -8,6 +8,7 @@
 //	tampbench -exp fig6,fig7 -scale full
 //	tampbench -exp all -scale quick
 //	tampbench -json BENCH_nn.json
+//	tampbench -check BENCH_nn.json -tolerance 0.25   # CI regression guard
 //
 // Scale "quick" finishes in seconds per experiment; "full" takes minutes
 // per experiment and produces the paper-shaped trends recorded in
@@ -18,6 +19,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/experiments"
+	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/perf"
 )
 
@@ -40,11 +44,45 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "run each experiment over this many seeds and report mean ± std")
 		par     = flag.Int("par", 0, "worker pool size for training, simulation, and multi-seed fan-out (0 = all cores)")
 		jsonOut = flag.String("json", "", "run the NN kernel benchmarks and write before/after results to this file")
+		check   = flag.String("check", "", "run the NN kernel benchmarks and compare against the baseline in this file; exit 1 on regression")
+		tol     = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -check fails (allocs/op must never grow)")
+		metrics = flag.Bool("metrics", false, "collect experiment metrics in a registry and dump it (Prometheus text) at end of run")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	if *list {
 		experiments.Describe(os.Stdout)
+		return
+	}
+	if *pprofA != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "tampbench: pprof:", http.ListenAndServe(*pprofA, nil))
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofA)
+	}
+	if *check != "" {
+		base, err := perf.LoadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+		cur := perf.Run()
+		if *jsonOut != "" {
+			// One suite execution feeds both the verdict and the artifact.
+			if _, err := perf.WriteJSONWith(*jsonOut, cur); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		report, ok := perf.CheckAgainst(base, cur, *tol)
+		fmt.Print(report)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tampbench: benchmark regression against %s (tolerance %.0f%%)\n", *check, *tol*100)
+			os.Exit(1)
+		}
+		fmt.Printf("no regression against %s (tolerance %.0f%%)\n", *check, *tol*100)
 		return
 	}
 	if *jsonOut != "" {
@@ -86,6 +124,11 @@ func main() {
 	// process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		ctx = obs.WithRegistry(ctx, reg)
+	}
 
 	var ids []string
 	if *expFlag == "all" {
@@ -135,5 +178,8 @@ func main() {
 			}
 		}
 		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if reg != nil {
+		fmt.Printf("== metric registry (Prometheus text) ==\n%s", reg.Dump())
 	}
 }

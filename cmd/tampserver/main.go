@@ -41,12 +41,14 @@ func main() {
 		batchTO  = flag.Duration("batch-timeout", 0, "per-batch assignment deadline; on expiry the batch degrades to the greedy fallback (0 = no deadline)")
 		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (negative = none)")
 		maxBody  = flag.Int64("max-body", 1<<20, "request body cap in bytes (negative = none)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (metrics at GET /metrics are always on)")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
 		Grid: geo.DefaultGrid, Parallelism: *par,
 		BatchTimeout: *batchTO, RequestTimeout: *reqTO, MaxBodyBytes: *maxBody,
+		EnablePprof: *pprofOn,
 	}
 	switch *assigner {
 	case "PPI":

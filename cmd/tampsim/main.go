@@ -16,12 +16,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"github.com/spatialcrowd/tamp"
 	"github.com/spatialcrowd/tamp/internal/ingest"
+	"github.com/spatialcrowd/tamp/internal/obs"
 )
 
 func main() {
@@ -41,11 +44,24 @@ func main() {
 		par      = flag.Int("par", 0, "worker pool size for training and simulation (0 = all cores)")
 		chaos    = flag.Bool("chaos", false, "also run the simulation under deterministic fault injection and report the degradation")
 		chaosSd  = flag.Int64("chaos-seed", 1, "fault-injection schedule seed")
+		metrics  = flag.Bool("metrics", false, "collect run metrics in a registry and dump it (Prometheus text) at end of run")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		ctx = obs.WithRegistry(ctx, reg)
+	}
+	if *pprofA != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "tampsim: pprof:", http.ListenAndServe(*pprofA, nil))
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofA)
+	}
 
 	kind := tamp.Workload1
 	if *workload == 2 {
@@ -151,6 +167,10 @@ func main() {
 			"pred-fallbacks %d  deferred-decisions %d\n",
 			cm.Faults.OfflineTicks, cm.Faults.DroppedReports, cm.Faults.NoisyReports,
 			cm.Faults.PredFallbacks, cm.Faults.DeferredDecisions)
+	}
+
+	if reg != nil {
+		fmt.Printf("\n== metric registry (Prometheus text) ==\n%s", reg.Dump())
 	}
 }
 

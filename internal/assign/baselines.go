@@ -4,6 +4,8 @@ import (
 	"context"
 	"math/rand"
 	"sort"
+
+	"github.com/spatialcrowd/tamp/internal/obs"
 )
 
 // KM is the plain prediction-based baseline: build the bipartite graph the
@@ -67,8 +69,13 @@ func (u UB) AssignContext(ctx context.Context, tasks []Task, workers []Worker, t
 }
 
 // matchByPath builds edges from predicted-trajectory-to-task distances
-// under the Theorem-2 feasibility cap and solves one KM matching.
+// under the Theorem-2 feasibility cap and solves one KM matching. The two
+// stages — edge construction and the Hungarian matching — are timed as
+// separate spans, and the graph size lands in tamp_assign_edges_total.
 func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, parallelism int) []Pair {
+	ctx, endKM := obs.Span(ctx, "assign.km")
+	defer endKM()
+	_, endEdges := obs.Span(ctx, "edges")
 	edges := edgeRows(ctx, len(tasks), parallelism, func(ti int) []Edge {
 		var row []Edge
 		for wi := range workers {
@@ -86,7 +93,11 @@ func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, para
 		}
 		return row
 	})
-	return MaxWeightMatching(edges)
+	endEdges()
+	edgeCountersFor(obs.RegistryFrom(ctx)).km.Add(int64(len(edges)))
+	var pairs []Pair
+	obs.Time(ctx, "match", func() { pairs = MaxWeightMatching(edges) })
+	return pairs
 }
 
 // LB is the lower bound: the bipartite graph is generated only from each

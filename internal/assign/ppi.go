@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/par"
 )
 
@@ -40,6 +41,27 @@ type candidate struct {
 	conf         float64 // |B|·MR
 }
 
+// edgeCounters bundles the tamp_assign_edges_total series the assigners
+// bump every batch; resolved once per registry through Memo because a
+// labelled lookup per batch would rival a small batch's matching work.
+type edgeCounters struct {
+	confident, pending, fallback, km *obs.Counter
+}
+
+func edgeCountersFor(reg *obs.Registry) *edgeCounters {
+	return reg.Memo("assign.edges", func(r *obs.Registry) any {
+		edges := func(alg, stage string) *obs.Counter {
+			return r.Counter("tamp_assign_edges_total", obs.L("alg", alg), obs.L("stage", stage))
+		}
+		return &edgeCounters{
+			confident: edges("PPI", "confident"),
+			pending:   edges("PPI", "pending"),
+			fallback:  edges("PPI", "fallback"),
+			km:        edges("KM", "all"),
+		}
+	}).(*edgeCounters)
+}
+
 // Assign implements Assigner.
 func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 	return p.AssignContext(context.Background(), tasks, workers, tick)
@@ -55,6 +77,13 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 	if eps <= 0 {
 		eps = 8
 	}
+	// Per-stage wall time lands in tamp_phase_seconds (assign.ppi/stage1..3)
+	// and candidate-edge volume in tamp_assign_edges_total — the numbers
+	// behind the paper's AssignTime trends, visible per batch.
+	ctx, endPPI := obs.Span(ctx, "assign.ppi")
+	defer endPPI()
+	ec := edgeCountersFor(obs.RegistryFrom(ctx))
+	_, endStage1 := obs.Span(ctx, "stage1")
 
 	// Stage 1 (lines 1–12): collect B for every combination; pairs with
 	// |B|·MR ≥ 1 go straight to the first KM; the rest are kept in 𝓑.
@@ -105,7 +134,10 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		confident = append(confident, rows[i].confident...)
 		pending = append(pending, rows[i].pending...)
 	}
+	ec.confident.Add(int64(nConf))
+	ec.pending.Add(int64(nPend))
 	result := MaxWeightMatching(confident)
+	endStage1()
 	// Dense index sets: both sides are small integer ranges, so []bool beats
 	// a map on lookup cost and avoids per-entry allocation.
 	assignedT := make([]bool, len(tasks))
@@ -114,6 +146,7 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		assignedT[m.Task] = true
 		assignedW[m.Worker] = true
 	}
+	_, endStage2 := obs.Span(ctx, "stage2")
 
 	// Stage 2 (lines 13–27): traverse 𝓑 in descending |B|·MR, batching ε
 	// candidates per KM call; after each call, drop everything touching the
@@ -142,10 +175,13 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		}
 	}
 	flush()
+	endStage2()
 
 	// Stage 3 (lines 28–34): remaining tasks and workers matched on the
 	// plain prediction-feasibility graph. The pool callbacks only read
 	// assignedT/assignedW (all writes happened before the fan-out).
+	_, endStage3 := obs.Span(ctx, "stage3")
+	defer endStage3()
 	rest := edgeRows(ctx, len(tasks), p.Parallelism, func(ti int) []Edge {
 		if assignedT[ti] {
 			return nil
@@ -169,6 +205,7 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		}
 		return row
 	})
+	ec.fallback.Add(int64(len(rest)))
 	for _, m := range MaxWeightMatching(rest) {
 		result = append(result, m)
 	}

@@ -7,8 +7,34 @@ import (
 
 	"github.com/spatialcrowd/tamp/internal/cluster"
 	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/par"
 )
+
+// metaObs bundles the handles MetaTrain updates each iteration. Handles are
+// resolved once per segment (registry lookups allocate; atomic updates do
+// not), and the adapt/step histograms are shared across pool goroutines.
+type metaObs struct {
+	iters    *obs.Counter   // tamp_meta_iters_total: meta-iterations completed
+	loss     *obs.Gauge     // tamp_meta_loss: mean query loss of the last batch
+	gradNorm *obs.Gauge     // tamp_meta_grad_norm: pre-clip norm of the last meta gradient
+	adaptSec *obs.Histogram // tamp_meta_adapt_seconds: per-task inner loop + query grad
+	stepSec  *obs.Histogram // tamp_opt_step_seconds: outer optimizer update
+	ckptSec  *obs.Histogram // tamp_ckpt_save_seconds: checkpoint snapshot latency
+	reg      *obs.Registry
+}
+
+func newMetaObs(reg *obs.Registry) metaObs {
+	return metaObs{
+		iters:    reg.Counter("tamp_meta_iters_total"),
+		loss:     reg.Gauge("tamp_meta_loss"),
+		gradNorm: reg.Gauge("tamp_meta_grad_norm"),
+		adaptSec: reg.Histogram("tamp_meta_adapt_seconds", obs.DefSecondsBuckets),
+		stepSec:  reg.Histogram("tamp_opt_step_seconds", obs.DefSecondsBuckets),
+		ckptSec:  reg.Histogram("tamp_ckpt_save_seconds", obs.DefSecondsBuckets),
+		reg:      reg,
+	}
+}
 
 // MetaTrain is Algorithm 3 (Meta-Training) run on one learning-task cluster:
 // repeatedly sample a batch of m tasks, adapt a copy of the shared
@@ -38,6 +64,13 @@ func MetaTrain(ctx context.Context, theta nn.Vector, tasks []*LearningTask, cfg 
 	if len(tasks) == 0 || cfg.MetaIters <= 0 {
 		return 0
 	}
+	// Observability: every segment records under "meta.train" (nested below
+	// the caller's span, e.g. "predict.train/meta.train"), with per-iteration
+	// loss/grad-norm gauges and optimizer/checkpoint timings.
+	mctx, endSpan := obs.Span(ctx, "meta.train")
+	defer endSpan()
+	ctx = mctx
+	mo := newMetaObs(obs.RegistryFrom(ctx))
 	batch := cfg.TaskBatch
 	if batch <= 0 || batch > len(tasks) {
 		batch = len(tasks)
@@ -97,30 +130,44 @@ func MetaTrain(ctx context.Context, theta nn.Vector, tasks []*LearningTask, cfg 
 		err := par.ForEachShard(ctx, len(idx), cfg.Parallelism, func(s, k int) error {
 			sl := &slots[s]
 			task := tasks[idx[k]]
+			t0 := mo.reg.Now()
 			// Adapt k steps on Γ_i from the shared initialization
 			// (lines 4–7).
 			sl.model.SetWeights(theta)
 			AdaptInPlace(sl.model, task, cfg.AdaptSteps, cfg.AdaptLR, cfg.Loss, cfg.ClipNorm, sl.adaptGrad)
 			// Query loss and gradient at the adapted weights (line 8).
 			taskLoss[k] = sl.model.BatchGrad(task.Query, cfg.Loss, taskGrads[k])
+			mo.adaptSec.Observe(mo.reg.Now().Sub(t0).Seconds())
 			return nil
 		})
 		if err != nil {
 			break
 		}
 		meanGrad.Zero()
+		var iterLoss float64
 		for k := range idx {
 			meanGrad.Axpy(1/float64(batch), taskGrads[k])
+			iterLoss += taskLoss[k]
 			totalLoss += taskLoss[k]
 			lossCount++
 		}
-		// Meta update (line 9).
-		if cfg.ClipNorm > 0 {
-			meanGrad.ClipNorm(cfg.ClipNorm)
+		// Meta update (line 9), timed as the outer optimizer step. The
+		// grad-norm gauge reads the pre-clip norm — the signal that shows
+		// training divergence before clipping hides it.
+		stepStart := mo.reg.Now()
+		norm := meanGrad.Norm()
+		if cfg.ClipNorm > 0 && norm > cfg.ClipNorm {
+			meanGrad.Scale(cfg.ClipNorm / norm)
 		}
 		theta.Axpy(-cfg.MetaLR, meanGrad)
+		mo.stepSec.Observe(mo.reg.Now().Sub(stepStart).Seconds())
+		mo.gradNorm.Set(norm)
+		mo.loss.Set(iterLoss / float64(batch))
+		mo.iters.Inc()
 		if ck.enabled() && ((iter+1)%ck.interval() == 0 || iter+1 == cfg.MetaIters) {
+			ckStart := mo.reg.Now()
 			ck.save(iter+1, theta, totalLoss, lossCount, nil)
+			mo.ckptSec.Observe(mo.reg.Now().Sub(ckStart).Seconds())
 		}
 	}
 	if lossCount == 0 {

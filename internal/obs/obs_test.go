@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter handle from many goroutines;
+// under -race this doubles as the data-race check for the lock-free update
+// path.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestGaugeAddConcurrent checks the CAS loop loses no updates.
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*per)*0.5; got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramConcurrent checks bucket counts, total count, and sum under
+// concurrent observation.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	const workers, per = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5) // ≤ 1 bucket
+				h.Observe(3)   // ≤ 4 bucket
+				h.Observe(100) // +Inf bucket
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != int64(workers*per*3) {
+		t.Fatalf("count = %d, want %d", got, workers*per*3)
+	}
+	if got, want := h.Sum(), float64(workers*per)*(0.5+3+100); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	n := int64(workers * per)
+	for i, want := range []int64{n, 0, n, n} {
+		if got := h.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestHistogramBucketEdges pins the ≤ (le) bucket semantics: a value equal
+// to a bound lands in that bound's bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", []float64{1, 2})
+	h.Observe(1) // exactly on the first bound
+	h.Observe(2) // exactly on the second
+	h.Observe(2.1)
+	for i, want := range []int64{1, 1, 1} {
+		if got := h.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSameSeriesSharedHandle verifies that identical (name, labels) requests
+// return the same underlying metric regardless of label order.
+func TestSameSeriesSharedHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("b", "2"), L("a", "1"))
+	b := r.Counter("x_total", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("same series should share one handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("shared handle out of sync: %d", b.Value())
+	}
+	if c := r.Counter("x_total", L("a", "1"), L("b", "3")); c == a {
+		t.Fatal("different labels must be a different series")
+	}
+}
+
+// TestKindMismatchPanics: re-registering a name under another kind is a
+// programming error and must fail loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+		if !strings.Contains(rec.(string), "registered as counter") {
+			t.Fatalf("unexpected panic message: %v", rec)
+		}
+	}()
+	r.Gauge("m")
+}
+
+// TestConcurrentGetOrCreate races many goroutines resolving the same and
+// distinct series; every same-series handle must converge.
+func TestConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared_total").Inc()
+				r.Histogram("lat", DefSecondsBuckets, L("w", string(rune('a'+w%4)))).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 16*200 {
+		t.Fatalf("shared_total = %d, want %d", got, 16*200)
+	}
+}
+
+func TestMemoBuildsOnceAndShares(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	results := make([]any, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Memo("bundle", func(r *Registry) any {
+				return r.Counter("memo_total")
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("Memo returned different values for the same key")
+		}
+	}
+	// Distinct registries must not share memo entries.
+	r2 := NewRegistry()
+	if r2.Memo("bundle", func(r *Registry) any { return r.Counter("memo_total") }) == results[0] {
+		t.Fatal("Memo leaked across registries")
+	}
+}

@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LoadFile reads a BENCH_nn.json written by WriteJSON.
+func LoadFile(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// CheckAgainst compares a fresh run against the committed baseline: a
+// benchmark regresses when its ns/op exceeds baseline·(1+tolerance) or its
+// allocs/op grew at all (the alloc-free contract is exact, not statistical).
+// Benchmarks present on only one side are reported but never fail the
+// check, so adding a kernel doesn't break CI until its baseline lands.
+// The report is meant for humans; ok gates the process exit code.
+func CheckAgainst(f File, cur []Result, tolerance float64) (report string, ok bool) {
+	base := map[string]Result{}
+	for _, r := range f.Baseline {
+		base[r.Name] = r
+	}
+	ok = true
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %14s %14s %8s %12s %12s  verdict\n",
+		"benchmark", "base ns/op", "now ns/op", "ratio", "base allocs", "now allocs")
+	for _, r := range cur {
+		bl, have := base[r.Name]
+		if !have {
+			fmt.Fprintf(&b, "%-20s %14s %14.0f %8s %12s %12d  new (no baseline)\n",
+				r.Name, "-", r.NsPerOp, "-", "-", r.AllocsPerOp)
+			continue
+		}
+		delete(base, r.Name)
+		ratio := r.NsPerOp / bl.NsPerOp
+		verdict := "ok"
+		if r.NsPerOp > bl.NsPerOp*(1+tolerance) {
+			verdict = fmt.Sprintf("REGRESSION: ns/op +%.0f%% > +%.0f%% tolerance", (ratio-1)*100, tolerance*100)
+			ok = false
+		}
+		if r.AllocsPerOp > bl.AllocsPerOp {
+			verdict = fmt.Sprintf("REGRESSION: allocs/op %d > %d", r.AllocsPerOp, bl.AllocsPerOp)
+			ok = false
+		}
+		fmt.Fprintf(&b, "%-20s %14.0f %14.0f %7.2fx %12d %12d  %s\n",
+			r.Name, bl.NsPerOp, r.NsPerOp, ratio, bl.AllocsPerOp, r.AllocsPerOp, verdict)
+	}
+	for name := range base {
+		fmt.Fprintf(&b, "%-20s  baseline only — not run\n", name)
+	}
+	return b.String(), ok
+}

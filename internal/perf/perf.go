@@ -121,7 +121,12 @@ func Run() []Result {
 // Baseline (and Note); a fresh file records the run as both baseline and
 // current.
 func WriteJSON(path string) (File, error) {
-	cur := Run()
+	return WriteJSONWith(path, Run())
+}
+
+// WriteJSONWith is WriteJSON for an already-measured run, so one suite
+// execution can feed both the regression check and the artifact file.
+func WriteJSONWith(path string, cur []Result) (File, error) {
 	f := File{
 		Note:   "NN hot-path kernel costs; baseline is preserved across runs — compare current against it.",
 		GoOS:   runtime.GOOS,

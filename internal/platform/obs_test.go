@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"context"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/obs"
+	"github.com/spatialcrowd/tamp/internal/predict"
+)
+
+// TestSimulateMirrorsRegistry runs one simulation with a private registry on
+// the context and checks every registry counter agrees with the returned
+// Metrics — the single-code-path contract of simObs.
+func TestSimulateMirrorsRegistry(t *testing.T) {
+	w, models := simWorkload(t)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	run := Run{Workload: w, Models: models, Assigner: assign.PPI{A: predict.DefaultMatchRadius}}
+	// Other tests in this package simulate under context.Background(), which
+	// routes into obs.Default — so leak detection must be a delta, not zero.
+	defaultBefore := obs.Default.Counter("tamp_sim_offers_total").Value()
+	m, err := run.Simulate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accepted == 0 {
+		t.Fatal("simulation accepted nothing; workload too small to exercise counters")
+	}
+
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+	if got := counter("tamp_sim_tasks_total"); got != int64(m.TotalTasks) {
+		t.Errorf("tasks counter = %d, Metrics.TotalTasks = %d", got, m.TotalTasks)
+	}
+	if got := counter("tamp_sim_offers_total"); got != int64(m.Assigned) {
+		t.Errorf("offers counter = %d, Metrics.Assigned = %d", got, m.Assigned)
+	}
+	if got := counter("tamp_sim_accepts_total"); got != int64(m.Accepted) {
+		t.Errorf("accepts counter = %d, Metrics.Accepted = %d", got, m.Accepted)
+	}
+	if got := counter("tamp_sim_rejects_total"); got != int64(m.Assigned-m.Accepted) {
+		t.Errorf("rejects counter = %d, Assigned-Accepted = %d", got, m.Assigned-m.Accepted)
+	}
+
+	batches := counter("tamp_sim_batches_total")
+	if batches == 0 {
+		t.Error("no assignment batches counted")
+	}
+	h := reg.Histogram("tamp_assign_seconds", obs.DefSecondsBuckets)
+	if h.Count() != batches {
+		t.Errorf("tamp_assign_seconds count = %d, batches = %d", h.Count(), batches)
+	}
+	span := reg.Histogram(obs.PhaseMetric, obs.DefSecondsBuckets, obs.L("phase", "sim"))
+	if span.Count() != 1 {
+		t.Errorf("sim span count = %d, want 1", span.Count())
+	}
+	// PPI ran under the sim span, so its phase path is nested below it.
+	ppi := reg.Histogram(obs.PhaseMetric, obs.DefSecondsBuckets, obs.L("phase", "sim/assign.ppi"))
+	if ppi.Count() != batches {
+		t.Errorf("assign.ppi span count = %d, batches = %d", ppi.Count(), batches)
+	}
+	// Nothing leaked into the process-wide default registry.
+	if got := obs.Default.Counter("tamp_sim_offers_total").Value(); got != defaultBefore {
+		t.Errorf("default registry leaked %d offers", got-defaultBefore)
+	}
+}

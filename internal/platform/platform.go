@@ -18,6 +18,7 @@ import (
 	"github.com/spatialcrowd/tamp/internal/dataset"
 	"github.com/spatialcrowd/tamp/internal/fault"
 	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/predict"
 	"github.com/spatialcrowd/tamp/internal/traj"
@@ -155,7 +156,13 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	}
 
 	var m Metrics
-	m.TotalTasks = len(r.Workload.TestTasks)
+	// All run accounting flows through simObs so the returned Metrics and
+	// the context registry (live /metrics scrapes) stay in lockstep. The
+	// whole horizon records under the "sim" span.
+	so := newSimObs(obs.RegistryFrom(ctx), &m)
+	so.arrived(len(r.Workload.TestTasks))
+	ctx, endSim := obs.Span(ctx, "sim")
+	defer endSim()
 
 	pending := make([]*pendingTask, 0, 64)
 	next := 0 // next arriving task index
@@ -171,19 +178,22 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			return m, err
 		}
 		// Late accept/reject decisions land now, FIFO in decision order.
-		deferred = applyDeferred(&m, deferred, tick)
+		deferred = applyDeferred(so, deferred, tick)
 		// Continual prediction: at a day boundary, fine-tune every model on
 		// the trace observed during the previous day. Each worker adapts its
 		// own model on its own trace, so the pass fans out on the pool.
 		if r.DailyAdaptSteps > 0 && tick > 0 && tick%p.TicksPerDay == 0 {
 			prevDay := tick/p.TicksPerDay - 1
-			if err := par.ForEach(ctx, len(r.Workload.Workers), r.Parallelism, func(i int) error {
+			actx, endAdapt := obs.Span(ctx, "sim.adapt")
+			err := par.ForEach(actx, len(r.Workload.Workers), r.Parallelism, func(i int) error {
 				wk := &r.Workload.Workers[i]
 				if model := r.Models[wk.ID]; model != nil && prevDay < len(wk.TestDays) {
 					model.AdaptOn(wk.TestDays[prevDay], r.DailyAdaptSteps, adaptLR)
 				}
 				return nil
-			}); err != nil {
+			})
+			endAdapt()
+			if err != nil {
 				return m, err
 			}
 		}
@@ -233,7 +243,7 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 				continue
 			}
 			if r.Faults.Offline(wk.ID, tick) {
-				m.Faults.OfflineTicks++
+				so.offline(1)
 				continue
 			}
 			eligible = append(eligible, i)
@@ -293,9 +303,9 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			return m, err
 		}
 		for j := range wfaults {
-			m.Faults.DroppedReports += wfaults[j].DroppedReports
-			m.Faults.NoisyReports += wfaults[j].NoisyReports
-			m.Faults.PredFallbacks += wfaults[j].PredFallbacks
+			so.droppedReports(wfaults[j].DroppedReports)
+			so.noisyReports(wfaults[j].NoisyReports)
+			so.predFallbacks(wfaults[j].PredFallbacks)
 		}
 
 		// One batch of tasks.
@@ -306,7 +316,10 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 
 		start := time.Now()
 		pairs := assign.Do(ctx, r.Assigner, batchTasks, workers, tick)
-		m.AssignTime += time.Since(start)
+		elapsed := time.Since(start)
+		m.AssignTime += elapsed
+		so.batches.Inc()
+		so.assignSec.Observe(elapsed.Seconds())
 		if err := ctx.Err(); err != nil {
 			// A cancelled matching may be partial; drop it rather than
 			// account a truncated plan.
@@ -315,13 +328,14 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 
 		// Workers accept or reject against their true itineraries.
 		for _, pr := range pairs {
-			m.Assigned++
+			so.assigned()
 			pt := pool[pr.Task]
 			w := &workers[pr.Worker]
 			costCells, ok := acceptance(w, &pt.task, tick)
 			if !ok {
 				// Rejected: the task stays in the pool, but the platform
 				// never re-proposes a declined (task, worker) pair.
+				so.rejected()
 				pt.task.Excluded = append(pt.task.Excluded, w.ID)
 			}
 			if delay := r.Faults.DecisionDelay(pt.task.ID, tick); delay > 0 {
@@ -329,7 +343,7 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 				// they are busy either way), but the platform only learns
 				// the outcome `delay` ticks from now. Until then the task
 				// is held out of re-matching.
-				m.Faults.DeferredDecisions++
+				so.deferredDecision()
 				pt.held = true
 				if ok {
 					busyUntil[w.ID] = tick + int(math.Ceil(costCells/w.Speed)) + service
@@ -343,8 +357,7 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			if !ok {
 				continue
 			}
-			m.Accepted++
-			m.SumCostKM += geo.CellsToKM(costCells)
+			so.accepted(costCells)
 			pt.done = true
 			busy := int(math.Ceil(costCells/w.Speed)) + service
 			busyUntil[w.ID] = tick + busy
@@ -352,13 +365,13 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	}
 	// Decisions still in flight when the horizon closes are flushed so a
 	// delayed accept still counts as a completion.
-	applyDeferred(&m, deferred, math.MaxInt)
+	applyDeferred(so, deferred, math.MaxInt)
 	return m, nil
 }
 
 // applyDeferred delivers every deferred decision due by tick, in decision
 // order, and returns the still-pending remainder.
-func applyDeferred(m *Metrics, deferred []deferredDecision, tick int) []deferredDecision {
+func applyDeferred(so *simObs, deferred []deferredDecision, tick int) []deferredDecision {
 	rest := deferred[:0]
 	for _, d := range deferred {
 		if d.applyAt > tick {
@@ -367,8 +380,7 @@ func applyDeferred(m *Metrics, deferred []deferredDecision, tick int) []deferred
 		}
 		d.pt.held = false
 		if d.accepted {
-			m.Accepted++
-			m.SumCostKM += geo.CellsToKM(d.costCells)
+			so.accepted(d.costCells)
 			d.pt.done = true
 		}
 	}

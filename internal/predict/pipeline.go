@@ -13,6 +13,7 @@ import (
 	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/meta"
 	"github.com/spatialcrowd/tamp/internal/nn"
+	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/sim"
 	"github.com/spatialcrowd/tamp/internal/traj"
@@ -132,6 +133,12 @@ type Result struct {
 // returns ctx.Err().
 func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, error) {
 	opts.fill()
+	// Root span of the offline stage: sub-phases (task building, meta
+	// training, per-worker adaptation, evaluation) nest under it, so
+	// tamp_phase_seconds decomposes TrainTime hierarchically.
+	ctx, endTrain := obs.Span(ctx, "predict.train")
+	defer endTrain()
+	reg := obs.RegistryFrom(ctx)
 	// With checkpointing on, the training RNG runs on a restorable counting
 	// source — same stream as rand.NewSource, but its position can be
 	// snapshotted and replayed so resumed runs are bit-identical.
@@ -181,19 +188,24 @@ func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, err
 		cfg.Loss = nn.Scaled{Inner: base, Factor: norm.Scale * norm.Scale}
 	}
 
-	tasks, norm := BuildLearningTasks(w, opts.SeqIn, opts.SeqOut)
+	var tasks []*meta.LearningTask
+	var norm traj.Normalizer
+	obs.Time(ctx, "predict.tasks", func() {
+		tasks, norm = BuildLearningTasks(w, opts.SeqIn, opts.SeqOut)
+	})
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("predict: workload has no established workers")
 	}
 
 	start := time.Now()
+	mctx, endMeta := obs.Span(ctx, "predict.meta")
 	var trained *meta.Trained
 	var err error
 	switch opts.Algorithm {
 	case meta.AlgMAML:
-		trained, err = meta.TrainMAML(ctx, tasks, cfg)
+		trained, err = meta.TrainMAML(mctx, tasks, cfg)
 	case meta.AlgCTML:
-		trained, err = meta.TrainCTML(ctx, tasks, cfg)
+		trained, err = meta.TrainCTML(mctx, tasks, cfg)
 	case meta.AlgGTTAML, meta.AlgGTTAMLGT:
 		ccfg := cluster.DefaultConfig(rng)
 		ccfg.Metrics = opts.Metrics
@@ -202,10 +214,12 @@ func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, err
 			ccfg.Thresholds[i] = clusterThreshold
 		}
 		ccfg.UseGame = opts.Algorithm == meta.AlgGTTAML
-		trained, err = meta.TrainGTTAML(ctx, tasks, cfg, ccfg)
+		trained, err = meta.TrainGTTAML(mctx, tasks, cfg, ccfg)
 	default:
+		endMeta()
 		return nil, fmt.Errorf("predict: unknown algorithm %q", opts.Algorithm)
 	}
+	endMeta()
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +244,9 @@ func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, err
 	for i, t := range tasks {
 		taskByWorker[t.WorkerID] = i
 	}
+	actx, endAdapt := obs.Span(ctx, "predict.adapt")
 	models := make([]*WorkerModel, len(w.Workers))
-	if err := par.ForEach(ctx, len(w.Workers), opts.Parallelism, func(i int) error {
+	if err := par.ForEach(actx, len(w.Workers), opts.Parallelism, func(i int) error {
 		wk := &w.Workers[i]
 		wrng := rand.New(rand.NewSource(opts.Seed + 1031*int64(i)))
 		if ti, ok := taskByWorker[wk.ID]; ok {
@@ -244,8 +259,10 @@ func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, err
 		}
 		return nil
 	}); err != nil {
+		endAdapt()
 		return nil, err
 	}
+	endAdapt()
 	for i := range w.Workers {
 		res.Models[w.Workers[i].ID] = models[i]
 	}
@@ -255,8 +272,9 @@ func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, err
 	// test split). Each worker scores into its own accumulator; the merge
 	// runs sequentially in worker order so the floating-point reduction is
 	// parallelism-independent.
+	ectx, endEval := obs.Span(ctx, "predict.eval")
 	accs := make([]evalAccum, len(w.Workers))
-	if err := par.ForEach(ctx, len(w.Workers), opts.Parallelism, func(i int) error {
+	if err := par.ForEach(ectx, len(w.Workers), opts.Parallelism, func(i int) error {
 		wk := &w.Workers[i]
 		if wk.New {
 			return nil
@@ -267,6 +285,7 @@ func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, err
 		}
 		return nil
 	}); err != nil {
+		endEval()
 		return nil, err
 	}
 	var acc evalAccum
@@ -274,6 +293,13 @@ func Train(ctx context.Context, w *dataset.Workload, opts Options) (*Result, err
 		acc.merge(&accs[i])
 	}
 	res.Eval = acc.result()
+	endEval()
+	// End-of-stage quality gauges: the numbers §IV scores the prediction
+	// stage by, scrapeable instead of printout-only.
+	reg.Gauge("tamp_pred_rmse").Set(res.Eval.RMSE)
+	reg.Gauge("tamp_pred_mae").Set(res.Eval.MAE)
+	reg.Gauge("tamp_pred_mr").Set(res.Eval.MR)
+	reg.Gauge("tamp_train_loss").Set(trained.MeanLoss)
 	return res, nil
 }
 

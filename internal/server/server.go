@@ -21,15 +21,16 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
 	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/predict"
 )
@@ -76,6 +77,15 @@ type Config struct {
 	// greedy assigner — degraded mode, counted in /api/metrics. Zero
 	// disables the deadline.
 	BatchTimeout time.Duration
+	// Registry receives every server counter, batch timing, and the phase
+	// spans of batches run through this server; GET /metrics exports it in
+	// Prometheus text format. Nil gets a private registry per Server, so
+	// two instances in one process never mix series.
+	Registry *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and hold connections
+	// open, so deployments must opt in.
+	EnablePprof bool
 }
 
 type workerState struct {
@@ -106,6 +116,7 @@ type offer struct {
 // with New.
 type Server struct {
 	cfg Config
+	reg *obs.Registry
 
 	mu       sync.Mutex
 	tick     int
@@ -115,16 +126,18 @@ type Server struct {
 	workers  map[int]*workerState
 	offers   map[int]*offer
 
-	// counters for /api/metrics
-	assigned, accepted, rejected, expired int
-	// degraded-mode counters: batches that fell back to greedy after the
-	// assignment deadline, and forecasts degraded to stand-still after a
-	// predictor panic or malformed output.
-	degradedBatches, predFallbacks int
-	// panics counts requests answered 500 by the recovery middleware; it
-	// is atomic because the recovery path runs outside s.mu.
-	panics atomic.Int64
-	mux    *http.ServeMux
+	// Every counter lives in reg; these handles are the single code path
+	// for bumps, and both /api/metrics (JSON) and /metrics (Prometheus)
+	// read the same series. Counter updates are atomic, so the recovery
+	// middleware can bump panicsC outside s.mu.
+	offersC, acceptsC, rejectsC, expiredC *obs.Counter
+	batchesC                              *obs.Counter
+	// degraded-mode fault counters, labelled tamp_server_faults_total{kind=...}:
+	// recovered handler panics, batches that fell back to greedy after the
+	// assignment deadline, and forecasts degraded to stand-still.
+	panicsC, degradedC, fallbackC *obs.Counter
+	batchSec                      *obs.Histogram
+	mux                           *http.ServeMux
 }
 
 // New builds a Server ready to mount on an http.Server.
@@ -150,17 +163,38 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
+		reg:      reg,
 		nextTask: 1,
 		nextOff:  1,
 		tasks:    map[int]*taskState{},
 		workers:  map[int]*workerState{},
 		offers:   map[int]*offer{},
 	}
+	fault := func(kind string) *obs.Counter {
+		return reg.Counter("tamp_server_faults_total", obs.L("kind", kind))
+	}
+	s.offersC = reg.Counter("tamp_server_offers_total")
+	s.acceptsC = reg.Counter("tamp_server_accepts_total")
+	s.rejectsC = reg.Counter("tamp_server_rejects_total")
+	s.expiredC = reg.Counter("tamp_server_expired_total")
+	s.batchesC = reg.Counter("tamp_server_batches_total")
+	s.panicsC = fault("panic")
+	s.degradedC = fault("degraded_batch")
+	s.fallbackC = fault("pred_fallback")
+	s.batchSec = reg.Histogram("tamp_server_batch_seconds", obs.DefSecondsBuckets)
 	s.routes()
 	return s
 }
+
+// Registry exposes the server's metric registry, e.g. for an end-of-run
+// dump by the embedding process.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // headerTracker remembers whether a handler already committed the response,
 // so the recovery middleware knows if a 500 can still be sent.
@@ -187,7 +221,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ht := &headerTracker{ResponseWriter: w}
 	defer func() {
 		if rec := recover(); rec != nil {
-			s.panics.Add(1)
+			s.panicsC.Inc()
 			log.Printf("server: recovered panic in %s %s: %v", r.Method, r.URL.Path, rec)
 			if !ht.wrote {
 				httpError(ht, http.StatusInternalServerError, "internal error")
@@ -197,7 +231,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(ht, r.Body, s.cfg.MaxBodyBytes)
 	}
-	if s.cfg.RequestTimeout > 0 {
+	// pprof endpoints stream for as long as the client asks (?seconds=N);
+	// the request deadline would truncate any profile longer than it.
+	if s.cfg.RequestTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
@@ -215,6 +251,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/batch", s.handleBatch)
 	s.mux.HandleFunc("/api/tick", s.handleTick)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.Handle("/metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // encodeErrOnce rate-limits encoder-failure logging: the first failure is
@@ -516,14 +560,14 @@ func (s *Server) handleOfferByID(w http.ResponseWriter, r *http.Request) {
 	case "accept":
 		t.Status = TaskAccepted
 		t.Accepted = off.Worker
-		s.accepted++
+		s.acceptsC.Inc()
 		writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
 	case "reject":
 		t.Status = TaskOpen
 		t.Offered = 0
 		// Never re-offer a declined pair.
 		t.Task.Excluded = append(t.Task.Excluded, off.Worker)
-		s.rejected++
+		s.rejectsC.Inc()
 		writeJSON(w, http.StatusOK, map[string]string{"status": "rejected"})
 	default:
 		// Unknown action: the offer stays pending.
@@ -583,7 +627,7 @@ func (s *Server) expireLocked() {
 		if (t.Status == TaskOpen || t.Status == TaskOffered) && t.Task.Deadline < s.tick {
 			s.retractOfferLocked(t)
 			t.Status = TaskExpired
-			s.expired++
+			s.expiredC.Inc()
 		}
 	}
 }
@@ -613,6 +657,15 @@ func (s *Server) retractOfferLocked(t *taskState) {
 // pool; a cancelled ctx (e.g. the requester of POST /api/batch hung up)
 // abandons the batch without making offers.
 func (s *Server) runBatchLocked(ctx context.Context) int {
+	// Route the batch's phase spans (assign.ppi/stage1..3 etc.) into this
+	// server's registry, and time the batch end to end — empty batches
+	// included, so the counter matches "batches the platform ran".
+	ctx = obs.WithRegistry(ctx, s.reg)
+	batchStart := time.Now()
+	defer func() {
+		s.batchesC.Inc()
+		s.batchSec.Observe(time.Since(batchStart).Seconds())
+	}()
 	var tasks []assign.Task
 	var taskIDs []int
 	for id, t := range s.tasks {
@@ -665,7 +718,7 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 	}
 	for _, fb := range fellBack {
 		if fb {
-			s.predFallbacks++
+			s.fallbackC.Inc()
 		}
 	}
 	pairs := s.assignWithDeadline(ctx, tasks, workers)
@@ -683,7 +736,7 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 		s.tasks[tid].Offered = wid
 		s.tasks[tid].OfferID = off.ID
 		s.workers[wid].OfferID = off.ID
-		s.assigned++
+		s.offersC.Inc()
 	}
 	return len(pairs)
 }
@@ -715,7 +768,7 @@ func (s *Server) assignWithDeadline(ctx context.Context, tasks []assign.Task, wo
 		degraded = true // deadline hit, not a client hang-up: fall back
 	}
 	if degraded {
-		s.degradedBatches++
+		s.degradedC.Inc()
 		pairs = (assign.Greedy{}).Assign(tasks, workers, s.tick)
 	}
 	return pairs
@@ -826,13 +879,16 @@ type metricsResponse struct {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The JSON view reads the same registry series the Prometheus endpoint
+	// exports; only the shape differs (it predates /metrics and clients
+	// depend on it).
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Tick: s.tick, Tasks: len(s.tasks),
-		Assigned: s.assigned, Accepted: s.accepted,
-		Rejected: s.rejected, Expired: s.expired,
+		Assigned: int(s.offersC.Value()), Accepted: int(s.acceptsC.Value()),
+		Rejected: int(s.rejectsC.Value()), Expired: int(s.expiredC.Value()),
 		Workers: len(s.workers),
-		Panics:  s.panics.Load(), DegradedBatches: s.degradedBatches,
-		PredFallbacks: s.predFallbacks,
+		Panics:  s.panicsC.Value(), DegradedBatches: int(s.degradedC.Value()),
+		PredFallbacks: int(s.fallbackC.Value()),
 	})
 }
 
