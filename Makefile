@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfcheck benchguard chaos fmt fmt-check ci
+.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos fmt fmt-check ci
 
 all: build test
 
@@ -28,17 +28,28 @@ bench:
 	$(GO) test -run XXX -bench . -benchmem .
 	$(GO) run ./cmd/tampbench -json BENCH_nn.json
 
+# Batch-assignment benchmarks (spatial index + sparse KM) at 500×500 to
+# 5k×5k, then refresh BENCH_assign.json. A fresh file records the
+# brute-force scan as the baseline, so the committed record shows the
+# speedup the candidate index buys.
+bench-assign:
+	$(GO) test ./internal/assign -run XXX -bench 'BenchmarkAssign' -benchmem
+	$(GO) run ./cmd/tampbench -assign-json BENCH_assign.json
+
 # Allocation-regression gate: the warmed NN hot path (Predict/Grad/BatchGrad
-# on both architectures, plus Adam.Step) must stay at 0 allocs/op.
+# on both architectures, plus Adam.Step) must stay at 0 allocs/op, and the
+# warmed sparse-KM matcher must stay at 0 allocs per Match.
 perfcheck:
 	$(GO) test ./internal/nn -run 'AllocFree' -v
+	$(GO) test ./internal/assign -run 'TestMatcherSteadyStateAllocFree|TestMatcherAllocsDoNotGrowWithBatches' -v
 
-# Benchmark-regression gate: re-run the NN kernel suite and compare against
-# the committed BENCH_nn.json baseline. Fails on >25% ns/op growth or any
-# allocs/op growth. Timing on shared runners is noisy — CI runs this as a
-# non-blocking job; treat a local failure on an idle machine as real.
+# Benchmark-regression gate: re-run the NN kernel and batch-assignment
+# suites and compare against the committed BENCH_nn.json / BENCH_assign.json
+# baselines. Fails on >25% ns/op growth or any allocs/op growth. Timing on
+# shared runners is noisy — CI runs this as a non-blocking job; treat a
+# local failure on an idle machine as real.
 benchguard:
-	$(GO) run ./cmd/tampbench -check BENCH_nn.json -tolerance 0.25
+	$(GO) run ./cmd/tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -tolerance 0.25
 
 # Fault-injection regression suite under the race detector: the injector
 # itself, the platform chaos run (churn + dropped/noised reports + predictor

@@ -8,7 +8,8 @@
 //	tampbench -exp fig6,fig7 -scale full
 //	tampbench -exp all -scale quick
 //	tampbench -json BENCH_nn.json
-//	tampbench -check BENCH_nn.json -tolerance 0.25   # CI regression guard
+//	tampbench -assign-json BENCH_assign.json
+//	tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -tolerance 0.25   # CI regression guard
 //
 // Scale "quick" finishes in seconds per experiment; "full" takes minutes
 // per experiment and produces the paper-shaped trends recorded in
@@ -36,18 +37,20 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		expFlag = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
-		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
-		seed    = flag.Int64("seed", 0, "override the workload seed (0 keeps the scale default)")
-		csvDir  = flag.String("csv", "", "also write <dir>/<exp>.csv with machine-readable rows")
-		seeds   = flag.Int("seeds", 1, "run each experiment over this many seeds and report mean ± std")
-		par     = flag.Int("par", 0, "worker pool size for training, simulation, and multi-seed fan-out (0 = all cores)")
-		jsonOut = flag.String("json", "", "run the NN kernel benchmarks and write before/after results to this file")
-		check   = flag.String("check", "", "run the NN kernel benchmarks and compare against the baseline in this file; exit 1 on regression")
-		tol     = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -check fails (allocs/op must never grow)")
-		metrics = flag.Bool("metrics", false, "collect experiment metrics in a registry and dump it (Prometheus text) at end of run")
-		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
+		seed     = flag.Int64("seed", 0, "override the workload seed (0 keeps the scale default)")
+		csvDir   = flag.String("csv", "", "also write <dir>/<exp>.csv with machine-readable rows")
+		seeds    = flag.Int("seeds", 1, "run each experiment over this many seeds and report mean ± std")
+		par      = flag.Int("par", 0, "worker pool size for training, simulation, and multi-seed fan-out (0 = all cores)")
+		jsonOut  = flag.String("json", "", "run the NN kernel benchmarks and write before/after results to this file")
+		check    = flag.String("check", "", "run the NN kernel benchmarks and compare against the baseline in this file; exit 1 on regression")
+		assignJ  = flag.String("assign-json", "", "run the batch-assignment benchmarks and write before/after results to this file (a fresh file records the brute-force scan as baseline)")
+		checkAsg = flag.String("check-assign", "", "run the batch-assignment benchmarks and compare against the baseline in this file; exit 1 on regression")
+		tol      = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -check/-check-assign fails (allocs/op must never grow)")
+		metrics  = flag.Bool("metrics", false, "collect experiment metrics in a registry and dump it (Prometheus text) at end of run")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -61,38 +64,70 @@ func main() {
 		}()
 		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofA)
 	}
-	if *check != "" {
-		base, err := perf.LoadFile(*check)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tampbench:", err)
-			os.Exit(1)
-		}
-		cur := perf.Run()
-		if *jsonOut != "" {
-			// One suite execution feeds both the verdict and the artifact.
-			if _, err := perf.WriteJSONWith(*jsonOut, cur); err != nil {
+	if *check != "" || *checkAsg != "" {
+		// Each guard runs its suite once, feeding both the verdict and the
+		// optional artifact; a regression in either suite fails the process.
+		failed := false
+		runCheck := func(path string, cur []perf.Result, artifact string, write func(string, []perf.Result) (perf.File, error), guardCurrent bool) {
+			base, err := perf.LoadFile(path)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("wrote %s\n", *jsonOut)
+			if guardCurrent && len(base.Current) > 0 {
+				// BENCH_assign.json's Baseline records the brute-force scan
+				// the spatial index replaced — a speedup record a fresh
+				// indexed run would beat by orders of magnitude even after a
+				// bad regression. Guard against the committed indexed
+				// measurements instead.
+				base.Baseline = base.Current
+			}
+			if artifact != "" {
+				if _, err := write(artifact, cur); err != nil {
+					fmt.Fprintln(os.Stderr, "tampbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", artifact)
+			}
+			report, ok := perf.CheckAgainst(base, cur, *tol)
+			fmt.Print(report)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tampbench: benchmark regression against %s (tolerance %.0f%%)\n", path, *tol*100)
+				failed = true
+				return
+			}
+			fmt.Printf("no regression against %s (tolerance %.0f%%)\n", path, *tol*100)
 		}
-		report, ok := perf.CheckAgainst(base, cur, *tol)
-		fmt.Print(report)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tampbench: benchmark regression against %s (tolerance %.0f%%)\n", *check, *tol*100)
+		if *check != "" {
+			runCheck(*check, perf.Run(), *jsonOut, perf.WriteJSONWith, false)
+		}
+		if *checkAsg != "" {
+			runCheck(*checkAsg, perf.RunAssign(), *assignJ, perf.WriteAssignJSONWith, true)
+		}
+		if failed {
 			os.Exit(1)
 		}
-		fmt.Printf("no regression against %s (tolerance %.0f%%)\n", *check, *tol*100)
 		return
 	}
-	if *jsonOut != "" {
-		f, err := perf.WriteJSON(*jsonOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tampbench:", err)
-			os.Exit(1)
+	if *jsonOut != "" || *assignJ != "" {
+		if *jsonOut != "" {
+			f, err := perf.WriteJSON(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			fmt.Print(perf.Format(f))
+			fmt.Printf("wrote %s\n", *jsonOut)
 		}
-		fmt.Print(perf.Format(f))
-		fmt.Printf("wrote %s\n", *jsonOut)
+		if *assignJ != "" {
+			f, err := perf.WriteAssignJSON(*assignJ)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			fmt.Print(perf.Format(f))
+			fmt.Printf("wrote %s\n", *assignJ)
+		}
 		return
 	}
 	if *expFlag == "" {

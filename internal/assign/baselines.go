@@ -16,6 +16,9 @@ type KM struct {
 	// Parallelism bounds the edge-construction pool used by AssignContext
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// BruteForce disables the spatial candidate index (see PPI.BruteForce);
+	// the plan is bit-identical either way.
+	BruteForce bool
 }
 
 // Name implements Assigner.
@@ -29,7 +32,7 @@ func (k KM) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 // AssignContext implements ContextAssigner: candidate edges are generated
 // one task row per pool goroutine; the matching is sequential.
 func (k KM) AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair {
-	return matchByPath(ctx, tasks, workers, tick, k.Parallelism)
+	return matchByPath(ctx, tasks, workers, tick, k.Parallelism, k.BruteForce)
 }
 
 // UB is the oracle upper bound: it checks the exact acceptance predicate
@@ -40,6 +43,9 @@ type UB struct {
 	// Parallelism bounds the edge-construction pool used by AssignContext
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// BruteForce disables the spatial candidate index (see PPI.BruteForce);
+	// the plan is bit-identical either way.
+	BruteForce bool
 }
 
 // Name implements Assigner.
@@ -50,11 +56,17 @@ func (u UB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 	return u.AssignContext(context.Background(), tasks, workers, tick)
 }
 
-// AssignContext implements ContextAssigner.
+// AssignContext implements ContextAssigner. ServeDist accepts a point only
+// when the out-and-back detour 2·dis fits the budget d, i.e. dis ≤ d/2 —
+// inside the reach envelope of the worker's true trajectory — so the index
+// prunes soundly for the oracle too.
 func (u UB) AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair {
+	ws := workspaceFor(ctx)
+	cv := buildCandidateView(ctx, ws, len(workers), u.Parallelism, u.BruteForce, actualEnvelope(workers))
 	edges := edgeRows(ctx, len(tasks), u.Parallelism, func(ti int) []Edge {
 		var row []Edge
-		for wi := range workers {
+		for _, wi32 := range cv.at(tasks[ti].Loc) {
+			wi := int(wi32)
 			if tasks[ti].ExcludedWorker(workers[wi].ID) {
 				continue
 			}
@@ -65,20 +77,27 @@ func (u UB) AssignContext(ctx context.Context, tasks []Task, workers []Worker, t
 		}
 		return row
 	})
-	return MaxWeightMatching(edges)
+	return ws.m.Match(edges, nil)
 }
 
 // matchByPath builds edges from predicted-trajectory-to-task distances
 // under the Theorem-2 feasibility cap and solves one KM matching. The two
 // stages — edge construction and the Hungarian matching — are timed as
 // separate spans, and the graph size lands in tamp_assign_edges_total.
-func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, parallelism int) []Pair {
+func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, parallelism int, brute bool) []Pair {
 	ctx, endKM := obs.Span(ctx, "assign.km")
 	defer endKM()
+	ec := edgeCountersFor(obs.RegistryFrom(ctx))
+	ws := workspaceFor(ctx)
+	cv := buildCandidateView(ctx, ws, len(workers), parallelism, brute, predictedEnvelope(workers))
 	_, endEdges := obs.Span(ctx, "edges")
+	visited := make([]int, len(tasks))
 	edges := edgeRows(ctx, len(tasks), parallelism, func(ti int) []Edge {
 		var row []Edge
-		for wi := range workers {
+		cands := cv.at(tasks[ti].Loc)
+		visited[ti] = len(cands)
+		for _, wi32 := range cands {
+			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
 				continue
@@ -94,24 +113,38 @@ func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, para
 		return row
 	})
 	endEdges()
-	edgeCountersFor(obs.RegistryFrom(ctx)).km.Add(int64(len(edges)))
+	var nVisited int
+	for _, v := range visited {
+		nVisited += v
+	}
+	ec.km.Add(int64(len(edges)))
+	ec.kmCandidates.Add(int64(nVisited))
+	ec.kmPruned.Add(int64(len(tasks)*len(workers) - nVisited))
 	var pairs []Pair
-	obs.Time(ctx, "match", func() { pairs = MaxWeightMatching(edges) })
+	obs.Time(ctx, "match", func() { pairs = ws.m.Match(edges, nil) })
 	return pairs
 }
 
 // LB is the lower bound: the bipartite graph is generated only from each
 // worker's current location, ignoring mobility entirely.
-type LB struct{}
+type LB struct {
+	// BruteForce disables the spatial candidate index (see PPI.BruteForce);
+	// the plan is bit-identical either way.
+	BruteForce bool
+}
 
 // Name implements Assigner.
 func (LB) Name() string { return "LB" }
 
 // Assign implements Assigner.
-func (LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
-	edges := edgeRows(context.Background(), len(tasks), 1, func(ti int) []Edge {
+func (l LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	ctx := context.Background()
+	ws := workspaceFor(ctx)
+	cv := buildCandidateView(ctx, ws, len(workers), 1, l.BruteForce, locEnvelope(workers))
+	edges := edgeRows(ctx, len(tasks), 1, func(ti int) []Edge {
 		var row []Edge
-		for wi := range workers {
+		for _, wi32 := range cv.at(tasks[ti].Loc) {
+			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
 				continue
@@ -123,7 +156,7 @@ func (LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 		}
 		return row
 	})
-	return MaxWeightMatching(edges)
+	return ws.m.Match(edges, nil)
 }
 
 // GGPSO is the genetic task assignment baseline of Zhang & Zhang [11]: it
@@ -138,6 +171,10 @@ type GGPSO struct {
 	MutationRate float64
 	// Seed drives the random search; the zero seed is valid.
 	Seed int64
+	// BruteForce disables the spatial candidate index for the candidate-list
+	// construction. The candidate lists — and therefore the rng call
+	// sequence and the evolved plan — are identical either way.
+	BruteForce bool
 }
 
 // Name implements Assigner.
@@ -163,10 +200,16 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 	rng := rand.New(rand.NewSource(g.Seed + 1))
 
 	// Candidate workers (with weights) per task, from the same
-	// prediction-feasibility graph the KM baseline uses.
+	// prediction-feasibility graph the KM baseline uses. The index only
+	// skips workers the feasibility cap would reject anyway, so the lists —
+	// and the rng draws over them — do not depend on it.
+	ctx := context.Background()
+	ws := workspaceFor(ctx)
+	cv := buildCandidateView(ctx, ws, len(workers), 1, g.BruteForce, predictedEnvelope(workers))
 	cands := make([][]Edge, len(tasks))
 	for ti := range tasks {
-		for wi := range workers {
+		for _, wi32 := range cv.at(tasks[ti].Loc) {
+			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
 				continue

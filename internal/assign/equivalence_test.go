@@ -1,0 +1,206 @@
+package assign
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+// randInstance generates one randomized assignment batch exercising the
+// index's edge cases: zero/huge/infinite detours, zero speeds, empty and
+// long predicted paths, NaN coordinates, excluded workers, expired
+// deadlines, and either uniform or clustered geometry.
+func randInstance(rng *rand.Rand, clustered bool) ([]Task, []Worker, int) {
+	nT := 1 + rng.Intn(50)
+	nW := 1 + rng.Intn(90) // straddles indexMinWorkers on both sides
+	tick := rng.Intn(4)
+	side := 40.0
+	cluster := func() (float64, float64) {
+		if !clustered {
+			return rng.Float64() * side, rng.Float64() * side
+		}
+		// A handful of dense spots plus background noise.
+		cx := float64(rng.Intn(3)) * 15
+		cy := float64(rng.Intn(2)) * 20
+		return cx + rng.NormFloat64()*2, cy + rng.NormFloat64()*2
+	}
+	tasks := make([]Task, nT)
+	for i := range tasks {
+		x, y := cluster()
+		t := Task{ID: i, Loc: geo.Pt(x, y), Deadline: rng.Intn(20)}
+		if rng.Float64() < 0.2 {
+			t.Deadline = tick - 1 - rng.Intn(3) // already expired
+		}
+		for w := 0; w < nW; w++ {
+			if rng.Float64() < 0.05 {
+				t.Excluded = append(t.Excluded, w)
+			}
+		}
+		tasks[i] = t
+	}
+	workers := make([]Worker, nW)
+	for i := range workers {
+		x, y := cluster()
+		steps := rng.Intn(13) // 0..12, empty paths included
+		pred := make([]geo.Point, 0, steps)
+		act := make([]geo.Point, 0, steps)
+		px, py := x, y
+		for j := 0; j < steps; j++ {
+			px += rng.NormFloat64() * 1.5
+			py += rng.NormFloat64() * 1.5
+			p := geo.Pt(px, py)
+			if rng.Float64() < 0.02 {
+				p = geo.Pt(math.NaN(), py)
+			}
+			pred = append(pred, p)
+			act = append(act, geo.Pt(px+rng.NormFloat64()*0.5, py+rng.NormFloat64()*0.5))
+		}
+		detour := rng.Float64() * 12
+		switch rng.Intn(12) {
+		case 0:
+			detour = 0
+		case 1:
+			detour = math.Inf(1) // forces the whole-batch brute fallback
+		}
+		workers[i] = Worker{
+			ID:        i,
+			Loc:       geo.Pt(x, y),
+			Detour:    detour,
+			Speed:     rng.Float64() * 3, // 0 included
+			Predicted: pred,
+			Actual:    act,
+			MR:        rng.Float64() * 1.2,
+		}
+	}
+	return tasks, workers, tick
+}
+
+// plansEqual is DeepEqual over []Pair except that NaN weights compare equal
+// to themselves: a NaN predicted coordinate produces the same NaN-weighted
+// pair on both paths, and that still counts as the same plan.
+func plansEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Task != b[i].Task || a[i].Worker != b[i].Worker {
+			return false
+		}
+		if a[i].Weight != b[i].Weight && !(math.IsNaN(a[i].Weight) && math.IsNaN(b[i].Weight)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexedPlansMatchBruteOracle is the tentpole's contract: for every
+// assigner, the indexed path must return the exact same []Pair as the
+// retained brute-force scan, at parallelism 1 and 8, across randomized
+// instances. Workspaces are reused across instances on the indexed side to
+// also prove rebuilds don't leak state between batches.
+func TestIndexedPlansMatchBruteOracle(t *testing.T) {
+	ws := NewWorkspace()
+	ctx := WithWorkspace(context.Background(), ws)
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tasks, workers, tick := randInstance(rng, seed%2 == 0)
+		for _, parallelism := range []int{1, 8} {
+			assigners := []struct {
+				name           string
+				indexed, brute Assigner
+			}{
+				{"PPI", PPI{A: 0.5, Parallelism: parallelism}, PPI{A: 0.5, Parallelism: parallelism, BruteForce: true}},
+				{"PPI_negA", PPI{A: -1, Parallelism: parallelism}, PPI{A: -1, Parallelism: parallelism, BruteForce: true}},
+				{"KM", KM{Parallelism: parallelism}, KM{Parallelism: parallelism, BruteForce: true}},
+				{"UB", UB{Parallelism: parallelism}, UB{Parallelism: parallelism, BruteForce: true}},
+				{"Greedy", Greedy{Parallelism: parallelism}, Greedy{Parallelism: parallelism, BruteForce: true}},
+				{"LB", LB{}, LB{BruteForce: true}},
+				{"GGPSO", GGPSO{Population: 10, Generations: 6, Seed: seed}, GGPSO{Population: 10, Generations: 6, Seed: seed, BruteForce: true}},
+			}
+			for _, a := range assigners {
+				got := Do(ctx, a.indexed, tasks, workers, tick)
+				want := Do(context.Background(), a.brute, tasks, workers, tick)
+				if !plansEqual(got, want) {
+					t.Fatalf("seed %d par %d %s: indexed plan differs from brute oracle\nindexed: %v\nbrute:   %v",
+						seed, parallelism, a.name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidateViewSuperset checks the pruning invariant directly: every
+// worker the stage-3 feasibility predicate accepts for a task must appear in
+// that task's candidate bucket (the index may return more — never fewer).
+func TestCandidateViewSuperset(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tasks, workers, tick := randInstance(rng, seed%2 == 0)
+		ws := NewWorkspace()
+		cv := buildCandidateView(context.Background(), ws, len(workers), 4, false, predictedEnvelope(workers))
+		for ti := range tasks {
+			cands := cv.at(tasks[ti].Loc)
+			for wi := range workers {
+				w := &workers[wi]
+				dmin := minDistTo(w.Predicted, tasks[ti].Loc)
+				if dmin < 0 || dmin > reachCap(w, &tasks[ti], tick) {
+					continue
+				}
+				found := false
+				for _, c := range cands {
+					if int(c) == wi {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: feasible worker %d pruned from task %d's candidates", seed, wi, ti)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedEdgeSetMatchesBrute compares the stage-3/KM candidate edge set
+// itself, not just the matching built from it.
+func TestIndexedEdgeSetMatchesBrute(t *testing.T) {
+	buildEdges := func(tasks []Task, workers []Worker, tick int, cv candidateView) []Edge {
+		return edgeRows(context.Background(), len(tasks), 1, func(ti int) []Edge {
+			var row []Edge
+			for _, wi32 := range cv.at(tasks[ti].Loc) {
+				wi := int(wi32)
+				w := &workers[wi]
+				if tasks[ti].ExcludedWorker(w.ID) {
+					continue
+				}
+				dmin := minDistTo(w.Predicted, tasks[ti].Loc)
+				if dmin < 0 {
+					continue
+				}
+				if dmin <= reachCap(w, &tasks[ti], tick) {
+					row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+				}
+			}
+			return row
+		})
+	}
+	for seed := int64(200); seed < 230; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tasks, workers, tick := randInstance(rng, seed%3 == 0)
+		indexed := buildCandidateView(context.Background(), NewWorkspace(), len(workers), 4, false, predictedEnvelope(workers))
+		brute := buildCandidateView(context.Background(), NewWorkspace(), len(workers), 1, true, predictedEnvelope(workers))
+		got := buildEdges(tasks, workers, tick, indexed)
+		want := buildEdges(tasks, workers, tick, brute)
+		equal := len(got) == len(want)
+		for i := 0; equal && i < len(got); i++ {
+			equal = got[i].Task == want[i].Task && got[i].Worker == want[i].Worker &&
+				(got[i].Weight == want[i].Weight || (math.IsNaN(got[i].Weight) && math.IsNaN(want[i].Weight)))
+		}
+		if !equal {
+			t.Fatalf("seed %d: indexed edge set differs from brute\nindexed: %v\nbrute:   %v", seed, got, want)
+		}
+	}
+}

@@ -1,21 +1,45 @@
 package assign
 
-import "sort"
+import (
+	"context"
+	"sort"
+
+	"github.com/spatialcrowd/tamp/internal/obs"
+)
 
 // Greedy is the degraded-mode fallback assigner: when a batch blows its
 // assignment deadline (or the primary assigner fails), the platform still
-// owes requesters a plan. Greedy makes one O(|tasks|·|workers|) pass —
-// tasks in deadline order, each taking its nearest feasible unclaimed
-// worker by predicted-trajectory distance under the Theorem-2 reachability
-// cap — with none of PPI's matching machinery. The plan is worse than a
-// maximum-weight matching but arrives in microseconds, deterministically.
-type Greedy struct{}
+// owes requesters a plan. Greedy makes one pass — tasks in deadline order,
+// each taking its nearest feasible unclaimed worker by predicted-trajectory
+// distance under the Theorem-2 reachability cap — with none of PPI's
+// matching machinery. The spatial candidate index cuts each task's scan to
+// the workers bucketed near it; the plan is worse than a maximum-weight
+// matching but arrives in microseconds, deterministically.
+type Greedy struct {
+	// Parallelism bounds the pool used to rebuild the candidate index
+	// (0 = GOMAXPROCS); the assignment pass itself is sequential.
+	Parallelism int
+	// BruteForce disables the spatial candidate index (see PPI.BruteForce);
+	// the plan is bit-identical either way.
+	BruteForce bool
+}
 
 // Name implements Assigner.
 func (Greedy) Name() string { return "Greedy" }
 
 // Assign implements Assigner.
-func (Greedy) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+func (g Greedy) Assign(tasks []Task, workers []Worker, tick int) []Pair {
+	return g.AssignContext(context.Background(), tasks, workers, tick)
+}
+
+// AssignContext implements ContextAssigner. Candidate buckets enumerate in
+// ascending worker order — the same order the brute scan walks — and the
+// nearest-worker tie-break is strict, so the first of equidistant workers
+// wins on both paths and the plan is identical with and without the index.
+func (g Greedy) AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair {
+	ec := edgeCountersFor(obs.RegistryFrom(ctx))
+	ws := workspaceFor(ctx)
+	cv := buildCandidateView(ctx, ws, len(workers), g.Parallelism, g.BruteForce, predictedEnvelope(workers))
 	// Urgency order: earliest deadline first, task index as the
 	// deterministic tie-break.
 	order := make([]int, len(tasks))
@@ -31,10 +55,14 @@ func (Greedy) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 	})
 	used := make([]bool, len(workers))
 	var out []Pair
+	var nVisited int
 	for _, ti := range order {
 		t := &tasks[ti]
+		cands := cv.at(t.Loc)
+		nVisited += len(cands)
 		best, bestDist := -1, 0.0
-		for wi := range workers {
+		for _, wi32 := range cands {
+			wi := int(wi32)
 			if used[wi] || t.ExcludedWorker(workers[wi].ID) {
 				continue
 			}
@@ -52,6 +80,8 @@ func (Greedy) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 			out = append(out, Pair{Task: ti, Worker: best, Weight: pairWeight(bestDist)})
 		}
 	}
+	ec.greedyCandidates.Add(int64(nVisited))
+	ec.greedyPruned.Add(int64(len(tasks)*len(workers) - nVisited))
 	sort.Slice(out, func(a, b int) bool { return out[a].Task < out[b].Task })
 	return out
 }

@@ -5,11 +5,6 @@
 // LB, plain KM, and the genetic GGPSO of [11].
 package assign
 
-import (
-	"math"
-	"sort"
-)
-
 // Edge is one candidate (task, worker) pair with a positive assignment
 // weight (larger = more desirable).
 type Edge struct {
@@ -30,165 +25,11 @@ type Pair struct {
 // most once, maximizing the total weight. Edges with non-positive weight
 // are ignored. This is the "call KM algorithm" primitive of Algorithm 4.
 //
-// Internally the sparse problem is compacted to the tasks/workers that
-// actually appear in edges, padded to a square matrix, and solved with the
-// O(n³) Hungarian algorithm; padding matches (weight 0) are dropped.
+// It is a convenience wrapper that runs a throwaway Matcher; hot paths that
+// solve many batches (the assigners, via their shared Workspace) hold a
+// Matcher so the compaction tables, sparse adjacency, and potentials/slack
+// arrays are reused across calls instead of reallocated.
 func MaxWeightMatching(edges []Edge) []Pair {
-	if len(edges) == 0 {
-		return nil
-	}
-	// Compact ids.
-	taskIdx := map[int]int{}
-	workerIdx := map[int]int{}
-	var taskIDs, workerIDs []int
-	for _, e := range edges {
-		if e.Weight <= 0 {
-			continue
-		}
-		if _, ok := taskIdx[e.Task]; !ok {
-			taskIdx[e.Task] = len(taskIDs)
-			taskIDs = append(taskIDs, e.Task)
-		}
-		if _, ok := workerIdx[e.Worker]; !ok {
-			workerIdx[e.Worker] = len(workerIDs)
-			workerIDs = append(workerIDs, e.Worker)
-		}
-	}
-	if len(taskIDs) == 0 {
-		return nil
-	}
-	// The rectangular Hungarian algorithm below needs rows ≤ cols; batches
-	// routinely pool far more tasks than available workers, so orient the
-	// smaller side as rows (O(rows²·cols) instead of O(max³)).
-	transposed := len(taskIDs) > len(workerIDs)
-	var rowIDs, colIDs []int
-	if transposed {
-		rowIDs, colIDs = workerIDs, taskIDs
-	} else {
-		rowIDs, colIDs = taskIDs, workerIDs
-	}
-	nr, nc := len(rowIDs), len(colIDs)
-	w := make([][]float64, nr)
-	for i := range w {
-		w[i] = make([]float64, nc)
-	}
-	for _, e := range edges {
-		if e.Weight <= 0 {
-			continue
-		}
-		ti, wi := taskIdx[e.Task], workerIdx[e.Worker]
-		ri, ci := ti, wi
-		if transposed {
-			ri, ci = wi, ti
-		}
-		if e.Weight > w[ri][ci] {
-			w[ri][ci] = e.Weight
-		}
-	}
-	// Hungarian minimizes; convert to costs.
-	maxW := 0.0
-	for i := range w {
-		for j := range w[i] {
-			if w[i][j] > maxW {
-				maxW = w[i][j]
-			}
-		}
-	}
-	cost := make([][]float64, nr)
-	for i := range cost {
-		cost[i] = make([]float64, nc)
-		for j := range cost[i] {
-			cost[i][j] = maxW - w[i][j]
-		}
-	}
-	rowMatch := hungarianMin(cost)
-	var out []Pair
-	for i, j := range rowMatch {
-		if j < 0 || w[i][j] <= 0 {
-			continue
-		}
-		task, worker := rowIDs[i], colIDs[j]
-		if transposed {
-			task, worker = colIDs[j], rowIDs[i]
-		}
-		out = append(out, Pair{Task: task, Worker: worker, Weight: w[i][j]})
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Task < out[b].Task })
-	return out
-}
-
-// hungarianMin solves the rectangular assignment problem (rows ≤ cols)
-// minimizing total cost, returning the matched column for every row (-1 if
-// a row ends unmatched, which cannot happen when rows ≤ cols). Standard
-// potentials-based implementation, O(rows²·cols).
-func hungarianMin(cost [][]float64) []int {
-	n := len(cost) // rows
-	if n == 0 {
-		return nil
-	}
-	m := len(cost[0]) // cols, n ≤ m
-	const inf = math.MaxFloat64
-	u := make([]float64, n+1)
-	v := make([]float64, m+1)
-	p := make([]int, m+1)   // p[j] = row matched to column j (1-based; 0 = virtual)
-	way := make([]int, m+1) // way[j] = previous column on the augmenting path
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		minv := make([]float64, m+1)
-		used := make([]bool, m+1)
-		for j := 0; j <= m; j++ {
-			minv[j] = inf
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := inf
-			j1 := 0
-			for j := 1; j <= m; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= m; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-			if j0 == 0 {
-				break
-			}
-		}
-	}
-	rowMatch := make([]int, n)
-	for i := range rowMatch {
-		rowMatch[i] = -1
-	}
-	for j := 1; j <= m; j++ {
-		if p[j] > 0 {
-			rowMatch[p[j]-1] = j - 1
-		}
-	}
-	return rowMatch
+	var m Matcher
+	return m.Match(edges, nil)
 }

@@ -1,0 +1,87 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randBatch(rng *rand.Rand) []Edge {
+	n := rng.Intn(120)
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		e := Edge{
+			Task:   rng.Intn(40),
+			Worker: rng.Intn(40),
+			Weight: rng.Float64()*2 - 0.3, // some non-positive, some duplicates
+		}
+		if rng.Float64() < 0.05 {
+			e.Task = -1 // ignored
+		}
+		if rng.Float64() < 0.1 {
+			e.Task += 1000 // sparse ids
+		}
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// A Matcher reused across many differently-shaped batches must return the
+// same matching as a fresh solver every time — scratch reuse may never leak
+// state between calls.
+func TestMatcherReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var reused Matcher
+	for round := 0; round < 200; round++ {
+		edges := randBatch(rng)
+		got := reused.Match(edges, nil)
+		want := MaxWeightMatching(edges)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: reused matcher returned %d pairs, fresh returned %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d pair %d: reused %v != fresh %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// The KM inner loop must be allocation-free once warmed: Algorithm 4's
+// stage 2 calls KM once per ε candidates, so per-call allocations would
+// scale with batch count. This is the workspace-reuse acceptance check.
+func TestMatcherSteadyStateAllocFree(t *testing.T) {
+	edges := benchEdges(64, 64, 0.3, 21)
+	var m Matcher
+	out := m.Match(edges, nil) // warm: grow all scratch once
+	allocs := testing.AllocsPerRun(100, func() {
+		out = m.Match(edges, out[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Matcher allocates %.1f times per Match; want 0", allocs)
+	}
+}
+
+// Allocations must stay zero across a whole sequence of varied batches, not
+// just repeats of one shape — the shape every tick of the simulator produces.
+func TestMatcherAllocsDoNotGrowWithBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	batches := make([][]Edge, 16)
+	for i := range batches {
+		batches[i] = randBatch(rng)
+	}
+	var m Matcher
+	var out []Pair
+	for _, b := range batches { // warm across the full shape range
+		out = m.Match(b, out)
+	}
+	buf := out
+	allocs := testing.AllocsPerRun(20, func() {
+		acc := buf[:0]
+		for _, b := range batches {
+			acc = m.Match(b, acc)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Matcher allocates %.1f times per %d-batch sequence; want 0", allocs, len(batches))
+	}
+}

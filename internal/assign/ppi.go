@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/par"
 )
@@ -29,6 +30,11 @@ type PPI struct {
 	// matching itself stays sequential; the plan is identical at every
 	// parallelism level.
 	Parallelism int
+	// BruteForce disables the spatial candidate index and scans every
+	// (task, worker) pair, the pre-index behaviour. The plan is bit-identical
+	// either way; the flag exists so tests can hold the scan up as the
+	// oracle for the indexed path.
+	BruteForce bool
 }
 
 // Name implements Assigner.
@@ -44,8 +50,14 @@ type candidate struct {
 // edgeCounters bundles the tamp_assign_edges_total series the assigners
 // bump every batch; resolved once per registry through Memo because a
 // labelled lookup per batch would rival a small batch's matching work.
+// The candidates/pruned stages expose the index's effect: candidates is
+// the number of (task, worker) pairs actually examined after spatial
+// pruning, pruned is the all-pairs count minus that.
 type edgeCounters struct {
 	confident, pending, fallback, km *obs.Counter
+	ppiCandidates, ppiPruned         *obs.Counter
+	kmCandidates, kmPruned           *obs.Counter
+	greedyCandidates, greedyPruned   *obs.Counter
 }
 
 func edgeCountersFor(reg *obs.Registry) *edgeCounters {
@@ -54,10 +66,16 @@ func edgeCountersFor(reg *obs.Registry) *edgeCounters {
 			return r.Counter("tamp_assign_edges_total", obs.L("alg", alg), obs.L("stage", stage))
 		}
 		return &edgeCounters{
-			confident: edges("PPI", "confident"),
-			pending:   edges("PPI", "pending"),
-			fallback:  edges("PPI", "fallback"),
-			km:        edges("KM", "all"),
+			confident:        edges("PPI", "confident"),
+			pending:          edges("PPI", "pending"),
+			fallback:         edges("PPI", "fallback"),
+			km:               edges("KM", "all"),
+			ppiCandidates:    edges("PPI", "candidates"),
+			ppiPruned:        edges("PPI", "pruned"),
+			kmCandidates:     edges("KM", "candidates"),
+			kmPruned:         edges("KM", "pruned"),
+			greedyCandidates: edges("Greedy", "candidates"),
+			greedyPruned:     edges("Greedy", "pruned"),
 		}
 	}).(*edgeCounters)
 }
@@ -70,8 +88,11 @@ func (p PPI) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 // AssignContext implements ContextAssigner: the candidate scans of stages 1
 // and 3 fan out one task row per pool goroutine, each row writing only its
 // own slot; rows merge in task order so the staged matching sees the same
-// graph — and returns the same plan — at every parallelism level. A
-// cancelled ctx yields a partial plan the caller should discard.
+// graph — and returns the same plan — at every parallelism level. Each row
+// visits only the workers the spatial index buckets near the task (every
+// bucket is sorted ascending, the same order the brute scan walks), so the
+// plan is also identical with and without the index. A cancelled ctx yields
+// a partial plan the caller should discard.
 func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, tick int) []Pair {
 	eps := p.Epsilon
 	if eps <= 0 {
@@ -83,28 +104,45 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 	ctx, endPPI := obs.Span(ctx, "assign.ppi")
 	defer endPPI()
 	ec := edgeCountersFor(obs.RegistryFrom(ctx))
+	ws := workspaceFor(ctx)
+	cv := buildCandidateView(ctx, ws, len(workers), p.Parallelism, p.BruteForce, func(i int) (geo.BBox, bool) {
+		b, ok := pointsEnvelope(workers[i].Predicted, workers[i].Detour)
+		if ok && p.A < 0 {
+			// Stage 1 accepts d ≤ cap − A; a negative A widens the reach disk
+			// past detour/2, so widen the envelope to match.
+			b.Min.X += p.A
+			b.Min.Y += p.A
+			b.Max.X -= p.A
+			b.Max.Y -= p.A
+		}
+		return b, ok
+	})
 	_, endStage1 := obs.Span(ctx, "stage1")
 
-	// Stage 1 (lines 1–12): collect B for every combination; pairs with
-	// |B|·MR ≥ 1 go straight to the first KM; the rest are kept in 𝓑.
+	// Stage 1 (lines 1–12): collect B for every candidate combination; pairs
+	// with |B|·MR ≥ 1 go straight to the first KM; the rest are kept in 𝓑.
 	type row struct {
 		confident []Edge
 		pending   []candidate
+		visited   int
 	}
 	rows := make([]row, len(tasks))
 	par.ForEach(ctx, len(tasks), p.Parallelism, func(ti int) error {
 		r := &rows[ti]
-		for wi := range workers {
+		cands := cv.at(tasks[ti].Loc)
+		r.visited = len(cands)
+		for _, wi32 := range cands {
+			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
 				continue
 			}
-			cap := reachCap(w, &tasks[ti], tick)
+			reach := reachCap(w, &tasks[ti], tick)
 			var bCount int
 			minB := -1.0
 			for _, lhat := range w.Predicted {
 				d := lhat.Dist(tasks[ti].Loc)
-				if d+p.A <= cap {
+				if d+p.A <= reach {
 					bCount++
 					if minB < 0 || d < minB {
 						minB = d
@@ -123,10 +161,11 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		}
 		return nil
 	})
-	var nConf, nPend int
+	var nConf, nPend, nVisited int
 	for i := range rows {
 		nConf += len(rows[i].confident)
 		nPend += len(rows[i].pending)
+		nVisited += rows[i].visited
 	}
 	confident := make([]Edge, 0, nConf)
 	pending := make([]candidate, 0, nPend)
@@ -136,7 +175,9 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 	}
 	ec.confident.Add(int64(nConf))
 	ec.pending.Add(int64(nPend))
-	result := MaxWeightMatching(confident)
+	ec.ppiCandidates.Add(int64(nVisited))
+	ec.ppiPruned.Add(int64(len(tasks)*len(workers) - nVisited))
+	result := ws.m.Match(confident, nil)
 	endStage1()
 	// Dense index sets: both sides are small integer ranges, so []bool beats
 	// a map on lookup cost and avoids per-entry allocation.
@@ -157,9 +198,9 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		if len(batch) == 0 {
 			return
 		}
-		mf := MaxWeightMatching(batch)
-		for _, m := range mf {
-			result = append(result, m)
+		mark := len(result)
+		result = ws.m.Match(batch, result)
+		for _, m := range result[mark:] {
 			assignedT[m.Task] = true
 			assignedW[m.Worker] = true
 		}
@@ -178,8 +219,9 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 	endStage2()
 
 	// Stage 3 (lines 28–34): remaining tasks and workers matched on the
-	// plain prediction-feasibility graph. The pool callbacks only read
-	// assignedT/assignedW (all writes happened before the fan-out).
+	// plain prediction-feasibility graph, again through the candidate view.
+	// The pool callbacks only read assignedT/assignedW (all writes happened
+	// before the fan-out).
 	_, endStage3 := obs.Span(ctx, "stage3")
 	defer endStage3()
 	rest := edgeRows(ctx, len(tasks), p.Parallelism, func(ti int) []Edge {
@@ -187,7 +229,8 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 			return nil
 		}
 		var row []Edge
-		for wi := range workers {
+		for _, wi32 := range cv.at(tasks[ti].Loc) {
+			wi := int(wi32)
 			if assignedW[wi] {
 				continue
 			}
@@ -206,8 +249,6 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		return row
 	})
 	ec.fallback.Add(int64(len(rest)))
-	for _, m := range MaxWeightMatching(rest) {
-		result = append(result, m)
-	}
+	result = ws.m.Match(rest, result)
 	return result
 }

@@ -1,0 +1,173 @@
+package assign
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/obs"
+)
+
+// Workspace owns the reusable per-assigner scratch: the spatial candidate
+// index rebuilt each batch and the sparse-KM Matcher. Long-lived callers
+// (the platform simulator, which runs one batch per tick for the whole
+// horizon) create one Workspace and thread it through the context so index
+// buckets and KM arrays are recycled across ticks instead of reallocated;
+// assigners invoked without one fall back to a fresh workspace per call.
+//
+// A Workspace serializes one assignment at a time: the assigner that owns it
+// builds the index, then fans out read-only queries. It must not be shared
+// between concurrently running assigners.
+type Workspace struct {
+	idx geo.GridIndex
+	m   Matcher
+	all []int32
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+type wsCtxKey struct{}
+
+// WithWorkspace returns a context carrying ws; assigners invoked with it
+// (via Do/AssignContext) reuse ws's index and matcher buffers.
+func WithWorkspace(ctx context.Context, ws *Workspace) context.Context {
+	return context.WithValue(ctx, wsCtxKey{}, ws)
+}
+
+// workspaceFor returns the context's workspace, or a fresh one.
+func workspaceFor(ctx context.Context) *Workspace {
+	if ws, ok := ctx.Value(wsCtxKey{}).(*Workspace); ok {
+		return ws
+	}
+	return &Workspace{}
+}
+
+// candidateView enumerates, for a task location, the workers whose reach
+// disk can intersect it — either every worker (brute-force oracle path) or
+// only the grid bucket the task falls in (indexed path). Both enumerate in
+// ascending worker order, so downstream edge lists are identical either way.
+type candidateView struct {
+	idx *geo.GridIndex // nil: no pruning
+	all []int32
+}
+
+func (cv candidateView) at(loc geo.Point) []int32 {
+	if cv.idx == nil || math.IsNaN(loc.X) || math.IsNaN(loc.Y) {
+		// A NaN task location defeats every distance comparison, so the brute
+		// predicates can accept workers arbitrarily far away; scan them all.
+		return cv.all
+	}
+	return cv.idx.Candidates(loc)
+}
+
+// indexMinWorkers is the batch size below which the index rebuild costs more
+// than the scan it prunes; smaller batches take the identical-plan brute
+// path. The threshold only moves work between equivalent code paths — plans
+// are bit-identical on both sides of it.
+const indexMinWorkers = 16
+
+// buildCandidateView rebuilds ws's grid index over the workers' reach
+// envelopes (envelope(i) pads worker i's point set by its reach radius) and
+// returns the pruned view; brute, small batches, cancellation, or a
+// non-finite envelope (infinite detour, NaN trajectory points) fall back to
+// the full scan. The rebuild fans out on the par pool and records under the
+// "index" span.
+func buildCandidateView(ctx context.Context, ws *Workspace, nWorkers, parallelism int, brute bool, envelope func(i int) (geo.BBox, bool)) candidateView {
+	ws.all = identity(ws.all, nWorkers)
+	if brute || nWorkers < indexMinWorkers {
+		return candidateView{all: ws.all}
+	}
+	_, end := obs.Span(ctx, "index")
+	defer end()
+	var unbounded atomic.Bool
+	err := ws.idx.Build(ctx, nWorkers, parallelism, func(i int) (geo.BBox, bool) {
+		b, ok := envelope(i)
+		if ok && !finiteEnvelope(b) {
+			// A worker whose reach disk is unbounded (infinite detour, or NaN
+			// points whose sticky comparisons defeat the distance caps) can
+			// match anywhere; no grid cell can hold it, so the whole batch
+			// must scan.
+			unbounded.Store(true)
+			return b, false
+		}
+		return b, ok
+	})
+	if err != nil || unbounded.Load() {
+		return candidateView{all: ws.all}
+	}
+	return candidateView{idx: &ws.idx, all: ws.all}
+}
+
+// pointsEnvelope is the reach envelope of a worker over the given point set:
+// the bounding box of its points expanded by detour/2, the ceiling of
+// Theorem 2's reach cap min(d/2, dᵗ). Every task a feasibility predicate can
+// accept for this worker lies inside the envelope, so pruning to the
+// envelope's grid cells never drops a feasible pair. ok=false (no points)
+// removes the worker from the index entirely — exactly the pairs the brute
+// scan also rejects. A non-finite point poisons the scan predicates through
+// sticky NaN comparisons (minDistTo/ServeDist can then accept the worker for
+// a task at any distance), so it makes the envelope non-finite, which
+// buildCandidateView turns into the whole-batch brute fallback.
+func pointsEnvelope(pts []geo.Point, detour float64) (geo.BBox, bool) {
+	if len(pts) == 0 {
+		return geo.BBox{}, false
+	}
+	r := detour / 2
+	if !(r > 0) { // negative or NaN detour: a zero-radius disk still matches d=0
+		r = 0
+	}
+	b := geo.BBox{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		b.Min.X = math.Min(b.Min.X, p.X)
+		b.Min.Y = math.Min(b.Min.Y, p.Y)
+		b.Max.X = math.Max(b.Max.X, p.X)
+		b.Max.Y = math.Max(b.Max.Y, p.Y)
+	}
+	b.Min.X -= r
+	b.Min.Y -= r
+	b.Max.X += r
+	b.Max.Y += r
+	return b, true
+}
+
+func finiteEnvelope(b geo.BBox) bool {
+	fin := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	return fin(b.Min.X) && fin(b.Min.Y) && fin(b.Max.X) && fin(b.Max.Y)
+}
+
+// predictedEnvelope / actualEnvelope / locEnvelope adapt the three worker
+// point sets the assigners prune on.
+func predictedEnvelope(workers []Worker) func(i int) (geo.BBox, bool) {
+	return func(i int) (geo.BBox, bool) {
+		return pointsEnvelope(workers[i].Predicted, workers[i].Detour)
+	}
+}
+
+func actualEnvelope(workers []Worker) func(i int) (geo.BBox, bool) {
+	return func(i int) (geo.BBox, bool) {
+		return pointsEnvelope(workers[i].Actual, workers[i].Detour)
+	}
+}
+
+func locEnvelope(workers []Worker) func(i int) (geo.BBox, bool) {
+	return func(i int) (geo.BBox, bool) {
+		w := &workers[i]
+		pt := [1]geo.Point{w.Loc}
+		return pointsEnvelope(pt[:], w.Detour)
+	}
+}
+
+// identity returns [0, 1, …, n) in buf's storage.
+func identity(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = int32(i)
+	}
+	return buf
+}

@@ -140,9 +140,9 @@ func (f *Injector) DecisionDelay(taskID, tick int) int {
 	if f.uniform(chDelayHit, taskID, tick) >= f.cfg.DecisionDelay {
 		return 0
 	}
-	max := f.cfg.DecisionDelayTicks
-	if max <= 0 {
-		max = 3
+	maxTicks := f.cfg.DecisionDelayTicks
+	if maxTicks <= 0 {
+		maxTicks = 3
 	}
-	return 1 + int(f.hash(chDelayLen, taskID, tick)%uint64(max))
+	return 1 + int(f.hash(chDelayLen, taskID, tick)%uint64(maxTicks))
 }

@@ -1,0 +1,266 @@
+package geo
+
+import (
+	"context"
+	"math"
+	"slices"
+	"sync/atomic"
+
+	"github.com/spatialcrowd/tamp/internal/par"
+)
+
+// GridIndex is a uniform cell-bucket spatial index over axis-aligned
+// envelopes: each id is inserted into every grid cell its envelope overlaps,
+// and a point query returns the ids bucketed in the cell containing the
+// point. Callers pad envelopes by their query radius up front (a reach disk
+// of radius r around a point set becomes the point bbox expanded by r), so
+// Candidates is a single-cell lookup returning a superset of the ids whose
+// padded envelope contains the query point — exact predicates filter the
+// rest.
+//
+// The index is rebuilt per batch with Build, which reuses the receiver's
+// internal slices: steady-state rebuilds do not grow allocations. Build fans
+// out on the par pool but the resulting structure is bit-identical at every
+// parallelism level (per-cell buckets are sorted ascending), so consumers
+// that iterate candidates in bucket order stay deterministic.
+//
+// A GridIndex is single-writer: Build must not race with Candidates, but
+// once built, Candidates is safe for concurrent readers.
+type GridIndex struct {
+	bounds     BBox
+	cell       float64
+	cols, rows int
+	built      bool
+
+	envs    []BBox
+	has     []bool
+	counts  []int32
+	starts  []int32
+	cursors []int32
+	entries []int32
+}
+
+// maxIndexCells caps the grid resolution so degenerate inputs (one huge
+// envelope next to many tiny ones) cannot blow up rebuild cost or memory.
+const maxIndexCells = 1 << 18
+
+// Build (re)constructs the index over n envelopes. envelope(i) returns the
+// padded envelope of id i, or ok=false to leave i out of the index entirely
+// (ids with no queryable extent). Envelopes with non-finite coordinates are
+// skipped defensively — callers that need such ids visible must fall back to
+// a full scan.
+//
+// On a ctx error the partially built index is marked invalid (every query
+// returns nil) and the error is returned; the caller's plan is already being
+// cancelled.
+func (ix *GridIndex) Build(ctx context.Context, n, parallelism int, envelope func(i int) (BBox, bool)) error {
+	ix.built = false
+	ix.cols, ix.rows = 0, 0
+	ix.envs = growBBox(ix.envs, n)
+	ix.has = growBool(ix.has, n)
+	if n == 0 {
+		ix.built = true
+		return ctx.Err()
+	}
+	if err := par.ForEach(ctx, n, parallelism, func(i int) error {
+		ix.envs[i], ix.has[i] = envelope(i)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Bounds union and mean half-extent, reduced sequentially in index order
+	// so the grid geometry is parallelism-independent.
+	var (
+		bounds  BBox
+		any     bool
+		sumHalf float64
+		kept    int
+	)
+	for i := 0; i < n; i++ {
+		if !ix.has[i] {
+			continue
+		}
+		e := ix.envs[i]
+		if !finiteBox(e) || e.Min.X > e.Max.X || e.Min.Y > e.Max.Y {
+			ix.has[i] = false
+			continue
+		}
+		if !any {
+			bounds, any = e, true
+		} else {
+			bounds.Min.X = math.Min(bounds.Min.X, e.Min.X)
+			bounds.Min.Y = math.Min(bounds.Min.Y, e.Min.Y)
+			bounds.Max.X = math.Max(bounds.Max.X, e.Max.X)
+			bounds.Max.Y = math.Max(bounds.Max.Y, e.Max.Y)
+		}
+		sumHalf += (e.Max.X - e.Min.X + e.Max.Y - e.Min.Y) / 4
+		kept++
+	}
+	if !any {
+		// Nothing indexable: a valid, empty index (all queries miss).
+		ix.built = true
+		return ctx.Err()
+	}
+	ix.bounds = bounds
+
+	// Cell size: the mean envelope half-extent keeps the typical envelope on
+	// ~3×3 cells (cheap insertion) while a query cell holds only nearby ids.
+	// Resolution is clamped relative to the id count — finer grids would
+	// spend more time zeroing buckets than they save on queries.
+	w, h := bounds.Width(), bounds.Height()
+	cell := sumHalf / float64(kept)
+	if cell <= 0 || math.IsNaN(cell) {
+		cell = math.Max(math.Max(w, h), 1)
+	}
+	limit := 8 * kept
+	if limit < 64 {
+		limit = 64
+	}
+	if limit > maxIndexCells {
+		limit = maxIndexCells
+	}
+	cols := int(w/cell) + 1
+	rows := int(h/cell) + 1
+	if cols*rows > limit {
+		scale := math.Sqrt(float64(cols*rows) / float64(limit))
+		cell *= scale
+		cols = int(w/cell) + 1
+		rows = int(h/cell) + 1
+		for cols*rows > limit { // float edge cases: coarsen until under
+			cell *= 2
+			cols = int(w/cell) + 1
+			rows = int(h/cell) + 1
+		}
+	}
+	ix.cell, ix.cols, ix.rows = cell, cols, rows
+	cells := cols * rows
+
+	// CSR fill: count per cell (atomic), prefix-sum, slot ids (atomic
+	// cursors), then sort each bucket ascending so the structure — and every
+	// iteration over it — is identical at any parallelism level.
+	ix.counts = growInt32(ix.counts, cells)
+	for i := range ix.counts {
+		ix.counts[i] = 0
+	}
+	if err := par.ForEach(ctx, n, parallelism, func(i int) error {
+		if !ix.has[i] {
+			return nil
+		}
+		c0, r0, c1, r1 := ix.cellRange(ix.envs[i])
+		for r := r0; r <= r1; r++ {
+			base := r * cols
+			for c := c0; c <= c1; c++ {
+				atomic.AddInt32(&ix.counts[base+c], 1)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	ix.starts = growInt32(ix.starts, cells+1)
+	var total int32
+	for i := 0; i < cells; i++ {
+		ix.starts[i] = total
+		total += ix.counts[i]
+	}
+	ix.starts[cells] = total
+	ix.cursors = growInt32(ix.cursors, cells)
+	copy(ix.cursors, ix.starts[:cells])
+	ix.entries = growInt32(ix.entries, int(total))
+	if err := par.ForEach(ctx, n, parallelism, func(i int) error {
+		if !ix.has[i] {
+			return nil
+		}
+		c0, r0, c1, r1 := ix.cellRange(ix.envs[i])
+		for r := r0; r <= r1; r++ {
+			base := r * cols
+			for c := c0; c <= c1; c++ {
+				slot := atomic.AddInt32(&ix.cursors[base+c], 1) - 1
+				ix.entries[slot] = int32(i)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := par.ForEach(ctx, cells, parallelism, func(c int) error {
+		if b := ix.entries[ix.starts[c]:ix.starts[c+1]]; len(b) > 1 {
+			slices.Sort(b)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	ix.built = true
+	return nil
+}
+
+// Candidates returns the ids whose envelope overlaps the cell containing p,
+// in ascending id order. The result aliases the index's internal storage:
+// it is valid until the next Build and must not be mutated. It is a superset
+// of the ids whose envelope contains p; points outside the indexed bounds
+// clamp to the nearest cell (any extra ids are filtered by the caller's
+// exact predicate).
+func (ix *GridIndex) Candidates(p Point) []int32 {
+	if !ix.built || ix.cols == 0 {
+		return nil
+	}
+	c := clampInt(int((p.X-ix.bounds.Min.X)/ix.cell), 0, ix.cols-1)
+	r := clampInt(int((p.Y-ix.bounds.Min.Y)/ix.cell), 0, ix.rows-1)
+	i := r*ix.cols + c
+	return ix.entries[ix.starts[i]:ix.starts[i+1]]
+}
+
+// Dims reports the grid resolution of the last Build (0×0 when empty).
+func (ix *GridIndex) Dims() (cols, rows int) { return ix.cols, ix.rows }
+
+// CellSize reports the cell edge length of the last Build.
+func (ix *GridIndex) CellSize() float64 { return ix.cell }
+
+// Entries reports the total number of (cell, id) slots, i.e. the index's
+// memory footprint in bucket entries.
+func (ix *GridIndex) Entries() int {
+	if !ix.built || ix.cols == 0 {
+		return 0
+	}
+	return int(ix.starts[ix.cols*ix.rows])
+}
+
+// cellRange returns the inclusive cell-index rectangle covered by e, clamped
+// to the grid. The same subtract-divide-truncate arithmetic as Candidates
+// guarantees any point inside e queries a cell within this range.
+func (ix *GridIndex) cellRange(e BBox) (c0, r0, c1, r1 int) {
+	c0 = clampInt(int((e.Min.X-ix.bounds.Min.X)/ix.cell), 0, ix.cols-1)
+	r0 = clampInt(int((e.Min.Y-ix.bounds.Min.Y)/ix.cell), 0, ix.rows-1)
+	c1 = clampInt(int((e.Max.X-ix.bounds.Min.X)/ix.cell), 0, ix.cols-1)
+	r1 = clampInt(int((e.Max.Y-ix.bounds.Min.Y)/ix.cell), 0, ix.rows-1)
+	return c0, r0, c1, r1
+}
+
+func finiteBox(b BBox) bool {
+	return finite(b.Min.X) && finite(b.Min.Y) && finite(b.Max.X) && finite(b.Max.Y)
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func growBBox(s []BBox, n int) []BBox {
+	if cap(s) < n {
+		return make([]BBox, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

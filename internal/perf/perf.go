@@ -145,15 +145,18 @@ func WriteJSONWith(path string, cur []Result) (File, error) {
 		f.Baseline = cur
 	}
 	f.Current = cur
+	return f, writeFile(path, f)
+}
+
+// writeFile persists a bench File as indented JSON with a trailing newline,
+// the format both BENCH_nn.json and BENCH_assign.json are committed in.
+func writeFile(path string, f File) error {
 	out, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
-		return f, err
+		return err
 	}
 	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return f, err
-	}
-	return f, nil
+	return os.WriteFile(path, out, 0o644)
 }
 
 // Format renders the file as an aligned before/after table.

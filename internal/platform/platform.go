@@ -163,6 +163,11 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	so.arrived(len(r.Workload.TestTasks))
 	ctx, endSim := obs.Span(ctx, "sim")
 	defer endSim()
+	// One assignment workspace for the whole horizon: the spatial candidate
+	// index and KM scratch are rebuilt in place every tick instead of
+	// reallocated. Ticks run sequentially, so the single workspace is never
+	// shared between concurrent assignments.
+	ctx = assign.WithWorkspace(ctx, assign.NewWorkspace())
 
 	pending := make([]*pendingTask, 0, 64)
 	next := 0 // next arriving task index
