@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos fmt fmt-check ci
+.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos replay fuzz-smoke fmt fmt-check ci
 
 all: build test
 
@@ -60,6 +60,26 @@ chaos:
 	$(GO) test -race ./internal/platform/ -run 'Chaos|PanicModel' -v
 	$(GO) test -race ./internal/server/ -run 'Panic|Degrade|BatchDeadline|OfferOutstanding' -v
 	$(GO) test -race ./internal/par/ -run 'Panic|Retry' -v
+
+# End-to-end replay demo: record a small simulation as a platform event log,
+# then re-run the identical batches offline through two assigners and report
+# how much of the live plan each would have re-proposed.
+REPLAY_DIR ?= /tmp/tamp-replay
+replay:
+	rm -rf $(REPLAY_DIR)
+	$(GO) run ./cmd/tampsim -workers 12 -tasks 200 -iters 3 -record $(REPLAY_DIR)
+	$(GO) run ./cmd/tampbench -replay $(REPLAY_DIR) -assigner PPI
+	$(GO) run ./cmd/tampbench -replay $(REPLAY_DIR) -assigner KM
+
+# Native-fuzzing smoke: every fuzz target runs briefly against fresh random
+# inputs (the checked-in corpora always run under plain `make test`). Each
+# target needs its own invocation — go test allows one -fuzz per run.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzLoadWorkersCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzLoadTasksCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzWasserstein1D -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzRecover -fuzztime $(FUZZTIME)
 
 fmt:
 	gofmt -l -w .

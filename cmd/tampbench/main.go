@@ -10,6 +10,14 @@
 //	tampbench -json BENCH_nn.json
 //	tampbench -assign-json BENCH_assign.json
 //	tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -tolerance 0.25   # CI regression guard
+//	tampbench -replay /var/lib/tamp/wal -assigner KM   # re-run a recorded log offline
+//
+// -replay feeds an event log recorded by a durable server (tampserver
+// -wal-dir) or a recording simulation (tampsim -record) through any
+// assigner: the replayed state follows the live run event for event, while
+// at each batch the chosen assigner produces a counterfactual plan over the
+// exact batch input the live platform saw, reported pair-for-pair against
+// the live plan. Repeated replays are bit-identical.
 //
 // Scale "quick" finishes in seconds per experiment; "full" takes minutes
 // per experiment and produces the paper-shaped trends recorded in
@@ -30,9 +38,12 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/spatialcrowd/tamp/internal/assign"
 	"github.com/spatialcrowd/tamp/internal/experiments"
 	"github.com/spatialcrowd/tamp/internal/obs"
 	"github.com/spatialcrowd/tamp/internal/perf"
+	"github.com/spatialcrowd/tamp/internal/predict"
+	"github.com/spatialcrowd/tamp/internal/replay"
 )
 
 func main() {
@@ -51,11 +62,21 @@ func main() {
 		tol      = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -check/-check-assign fails (allocs/op must never grow)")
 		metrics  = flag.Bool("metrics", false, "collect experiment metrics in a registry and dump it (Prometheus text) at end of run")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
+		replayD  = flag.String("replay", "", "replay a recorded event log directory (tampserver -wal-dir or tampsim -record) through -assigner and report per-batch plan agreement")
+		assignN  = flag.String("assigner", "PPI", "assigner for -replay: PPI, KM, UB, LB, GGPSO")
+		modelsF  = flag.String("models", "", "predictor bundle (SaveModels format) for -replay counterfactual batches; omitted = stand-still forecasts")
 	)
 	flag.Parse()
 
 	if *list {
 		experiments.Describe(os.Stdout)
+		return
+	}
+	if *replayD != "" {
+		if err := runReplay(*replayD, *assignN, *modelsF, *par, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *pprofA != "" {
@@ -217,4 +238,58 @@ func main() {
 	if reg != nil {
 		fmt.Printf("== metric registry (Prometheus text) ==\n%s", reg.Dump())
 	}
+}
+
+// runReplay feeds a recorded platform event log through the named assigner
+// and prints the per-batch counterfactual plans against the live run.
+func runReplay(dir, assigner, modelsPath string, par int, seed int64) error {
+	var a assign.Assigner
+	switch assigner {
+	case "PPI":
+		a = assign.PPI{A: predict.DefaultMatchRadius, Parallelism: par}
+	case "KM":
+		a = assign.KM{Parallelism: par}
+	case "UB":
+		a = assign.UB{}
+	case "LB":
+		a = assign.LB{}
+	case "GGPSO":
+		a = assign.GGPSO{Seed: seed}
+	default:
+		return fmt.Errorf("unknown assigner %q", assigner)
+	}
+	opts := replay.Options{Assigner: a, Parallelism: par}
+	if modelsPath != "" {
+		f, err := os.Open(modelsPath)
+		if err != nil {
+			return err
+		}
+		models, err := predict.LoadModels(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opts.Models = models
+		fmt.Printf("loaded %d worker models from %s\n", len(models), modelsPath)
+	}
+	rep, err := replay.Run(context.Background(), dir, opts)
+	if err != nil {
+		return err
+	}
+	if rep.Torn != nil {
+		fmt.Printf("warning: log tail corrupt (%v); replaying the valid prefix\n", rep.Torn)
+	}
+	fmt.Printf("replayed %d events (from seq %d) through %s in %v\n",
+		rep.Events, rep.StartSeq, rep.Assigner, rep.Duration.Round(time.Microsecond))
+	for _, bp := range rep.Batches {
+		mark := ""
+		if bp.Degraded {
+			mark = "  [live batch degraded]"
+		}
+		fmt.Printf("  batch @ seq %-6d tick %-4d live %-3d replay %-3d agreed %-3d%s\n",
+			bp.Seq, bp.Tick, len(bp.Live), len(bp.Replay), bp.Agreed, mark)
+	}
+	fmt.Printf("plan agreement: %d/%d live pairs re-proposed (%.1f%%); replay proposed %d pairs\n",
+		rep.AgreedPairs, rep.LivePairs, rep.AgreementRate()*100, rep.ReplayPairs)
+	return nil
 }

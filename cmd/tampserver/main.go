@@ -7,6 +7,13 @@
 //
 //	tampserver -addr :8080 -models bundle.json -tick 2s
 //	tampserver -addr :8080 -assigner KM -manual   # advance ticks via POST /api/tick
+//	tampserver -addr :8080 -wal-dir /var/lib/tamp/wal -snapshot-every 1024
+//
+// With -wal-dir the server is durable: every event (task, report, offer,
+// decision, batch) is written to a write-ahead log before it is
+// acknowledged, and a restart — clean or after a crash — replays the
+// newest snapshot plus the log tail back to the exact pre-crash state. The
+// recorded log also drives offline assigner comparison: tampbench -replay.
 //
 // Produce a model bundle with Predictors.SaveModels (see examples/adaptive)
 // or run without one: workers without models are forecast as stationary.
@@ -42,6 +49,8 @@ func main() {
 		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (negative = none)")
 		maxBody  = flag.Int64("max-body", 1<<20, "request body cap in bytes (negative = none)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (metrics at GET /metrics are always on)")
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory: every platform event is persisted before it is acknowledged, and a restart replays snapshot + log back to the exact pre-crash state (empty = memory-only)")
+		snapN    = flag.Int("snapshot-every", 1024, "with -wal-dir, write a state snapshot every N events to bound restart replay")
 	)
 	flag.Parse()
 
@@ -49,6 +58,7 @@ func main() {
 		Grid: geo.DefaultGrid, Parallelism: *par,
 		BatchTimeout: *batchTO, RequestTimeout: *reqTO, MaxBodyBytes: *maxBody,
 		EnablePprof: *pprofOn,
+		WALDir:      *walDir, SnapshotEvery: *snapN,
 	}
 	switch *assigner {
 	case "PPI":
@@ -77,7 +87,15 @@ func main() {
 		log.Printf("loaded %d worker models from %s", len(loaded), *models)
 	}
 
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("tampserver: %v", err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			log.Printf("tampserver: close wal: %v", err)
+		}
+	}()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	interval := *tick
@@ -87,7 +105,7 @@ func main() {
 		log.Printf("background ticker: 1 tick per %v", *tick)
 	}
 	log.Printf("platform listening on %s (assigner %s)", *addr, *assigner)
-	err := s.ListenAndServe(ctx, *addr, interval)
+	err = s.ListenAndServe(ctx, *addr, interval)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tampserver: %v", err)
 	}

@@ -8,6 +8,7 @@
 //	tampsim -workload 2 -assigner KM -loss mse -valid 3
 //	tampsim -workers-csv w.csv -tasks-csv t.csv    # externally supplied data
 //	tampsim -chaos -chaos-seed 7                   # re-run under fault injection
+//	tampsim -record /tmp/run.wal                   # persist the run's event log for offline replay
 //
 // The CSV formats are the ones cmd/tampgen writes; see internal/ingest.
 package main
@@ -46,6 +47,7 @@ func main() {
 		chaosSd  = flag.Int64("chaos-seed", 1, "fault-injection schedule seed")
 		metrics  = flag.Bool("metrics", false, "collect run metrics in a registry and dump it (Prometheus text) at end of run")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
+		record   = flag.String("record", "", "write every platform event of the run to this write-ahead-log directory; replay it offline with `tampbench -replay <dir> -assigner <name>`")
 	)
 	flag.Parse()
 
@@ -128,10 +130,18 @@ func main() {
 	}
 
 	fmt.Printf("simulating online assignment with %s...\n", a.Name())
-	m, err := tamp.Simulate(ctx, w, pred, a)
+	var m tamp.Metrics
+	if *record != "" {
+		m, err = tamp.SimulateRecorded(ctx, w, pred, a, *record)
+	} else {
+		m, err = tamp.Simulate(ctx, w, pred, a)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tampsim:", err)
 		os.Exit(1)
+	}
+	if *record != "" {
+		fmt.Printf("recorded the run's event log to %s (replay: tampbench -replay %s -assigner KM)\n", *record, *record)
 	}
 	fmt.Println()
 	fmt.Printf("tasks arrived:     %d\n", m.TotalTasks)

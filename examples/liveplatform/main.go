@@ -21,10 +21,14 @@ import (
 )
 
 func main() {
-	srv := httptest.NewServer(server.New(server.Config{
+	s, err := server.New(server.Config{
 		Grid:     geo.DefaultGrid,
 		Assigner: assign.PPI{A: predict.DefaultMatchRadius},
-	}))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
 	defer srv.Close()
 	fmt.Println("platform listening at", srv.URL)
 

@@ -77,7 +77,14 @@ func (s *Source) Restore(seed int64, draws uint64) {
 // so readers never observe a partially written checkpoint and an existing
 // file survives a crash mid-write. The write callback receives the temp
 // file's writer; any error aborts and removes the temp file.
-func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return WriteFileAtomicPre(path, write, nil)
+}
+
+// WriteFileAtomicPre is WriteFileAtomic with a callback between the temp
+// file's durable write and the rename that publishes it — the exact crash
+// window fault-injection tests aim at.
+func WriteFileAtomicPre(path string, write func(w io.Writer) error, preRename func()) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
@@ -98,8 +105,32 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("ckpt: close %s: %w", path, err)
 	}
+	if preRename != nil {
+		preRename()
+	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("ckpt: rename %s: %w", path, err)
+	}
+	// The rename itself must survive a crash: sync the directory so the new
+	// entry is durable, not just the file contents.
+	if err = SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, making recent renames and file creations in it
+// durable. Rename-based atomic-write schemes (checkpoints, WAL segments,
+// snapshots) need this: without the directory sync a crash can forget the
+// rename even though the file's blocks reached disk.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Crash is the panic value a Crasher raises, so tests can tell an injected
+// crash apart from a genuine bug.
+type Crash struct {
+	Point string // the crash point that fired
+	Hit   int    // how many times the point had been reached, inclusive
+}
+
+func (c Crash) Error() string {
+	return fmt.Sprintf("fault: injected crash at %q (hit %d)", c.Point, c.Hit)
+}
+
+// IsCrash reports whether a recovered panic value is an injected crash.
+func IsCrash(v any) bool {
+	_, ok := v.(Crash)
+	return ok
+}
+
+// Crasher panics the Nth time a named crash point is reached, simulating a
+// process kill at an exact position inside a durability-critical section
+// (mid-append, between a snapshot write and its rename, ...). Components
+// expose crash points by calling Hit at each one; production passes a nil
+// *Crasher, which is valid and never fires. Hit is safe for concurrent use.
+type Crasher struct {
+	point string
+	after int64
+	hits  atomic.Int64
+}
+
+// NewCrasher arms a crash at the after-th hit (1 = first) of point.
+func NewCrasher(point string, after int) *Crasher {
+	if after <= 0 {
+		after = 1
+	}
+	return &Crasher{point: point, after: int64(after)}
+}
+
+// Hit reports one arrival at a crash point and panics with a Crash value if
+// this is the armed occurrence. A nil Crasher never fires.
+func (c *Crasher) Hit(point string) {
+	if c == nil || point != c.point {
+		return
+	}
+	if n := c.hits.Add(1); n == c.after {
+		panic(Crash{Point: point, Hit: int(n)})
+	}
+}
+
+// Hits returns how many times the armed point has been reached.
+func (c *Crasher) Hits() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.hits.Load())
+}

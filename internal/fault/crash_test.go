@@ -1,0 +1,39 @@
+package fault
+
+import "testing"
+
+func TestCrasherFiresOnceAtArmedHit(t *testing.T) {
+	c := NewCrasher("wal.append.sync", 3)
+	c.Hit("wal.append.sync")
+	c.Hit("other.point") // different point never counts
+	c.Hit("wal.append.sync")
+	fired := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if !IsCrash(r) {
+					t.Fatalf("panic value = %#v, want Crash", r)
+				}
+				fired = true
+			}
+		}()
+		c.Hit("wal.append.sync")
+	}()
+	if !fired {
+		t.Fatal("crasher did not fire on armed hit")
+	}
+	// Subsequent hits do not re-fire: the "process" is already dead, and a
+	// recovered test harness must be able to keep calling hooks.
+	c.Hit("wal.append.sync")
+	if c.Hits() != 4 {
+		t.Fatalf("hits = %d, want 4", c.Hits())
+	}
+}
+
+func TestNilCrasherIsInert(t *testing.T) {
+	var c *Crasher
+	c.Hit("anything")
+	if c.Hits() != 0 {
+		t.Fatal("nil crasher counted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/core"
 	"github.com/spatialcrowd/tamp/internal/dataset"
 	"github.com/spatialcrowd/tamp/internal/fault"
 	"github.com/spatialcrowd/tamp/internal/geo"
@@ -113,6 +114,31 @@ type Run struct {
 	// panicking predictor is recovered per worker; without an injector it
 	// surfaces as a *par.PanicError from Simulate.
 	Faults *fault.Injector
+	// EventSink, when non-nil, receives the run as the platform's typed
+	// event vocabulary (internal/core) — the same events a WAL-backed server
+	// records: worker registrations up front, then per tick the clock
+	// advance, task arrivals, location reports for the workers entering the
+	// batch, the batch plan, and each accept/reject decision. A log recorded
+	// this way replays through internal/replay exactly like a live server's.
+	// Two translations apply: workload IDs are shifted +1 (core requires
+	// positive IDs; workloads number from 0), and decisions are recorded
+	// when the worker decides, even if the fault injector delivers them to
+	// the platform late. A sink error aborts the simulation.
+	EventSink func(core.Event) error
+}
+
+// recorder allocates offer IDs and forwards events to the sink. A nil
+// recorder swallows every emit, so call sites need no sink check.
+type recorder struct {
+	sink      func(core.Event) error
+	nextOffer int
+}
+
+func (r *recorder) emit(ev core.Event) error {
+	if r == nil {
+		return nil
+	}
+	return r.sink(ev)
 }
 
 // pendingTask tracks a task waiting in the pool.
@@ -169,6 +195,23 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	// shared between concurrent assignments.
 	ctx = assign.WithWorkspace(ctx, assign.NewWorkspace())
 
+	var rec *recorder
+	if r.EventSink != nil {
+		rec = &recorder{sink: r.EventSink, nextOffer: 1}
+		for i := range r.Workload.Workers {
+			wk := &r.Workload.Workers[i]
+			var mr float64
+			if model := r.Models[wk.ID]; model != nil {
+				mr = model.MR
+			}
+			if err := rec.emit(core.WorkerRegistered{
+				WorkerID: wk.ID + 1, Detour: wk.Detour, Speed: wk.Speed, MR: mr,
+			}); err != nil {
+				return m, err
+			}
+		}
+	}
+
 	pending := make([]*pendingTask, 0, 64)
 	next := 0 // next arriving task index
 	busyUntil := map[int]int{}
@@ -181,6 +224,11 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	for tick := 0; tick < horizonTicks; tick++ {
 		if err := ctx.Err(); err != nil {
 			return m, err
+		}
+		if tick > 0 {
+			if err := rec.emit(core.TickAdvanced{}); err != nil {
+				return m, err
+			}
 		}
 		// Late accept/reject decisions land now, FIFO in decision order.
 		deferred = applyDeferred(so, deferred, tick)
@@ -205,6 +253,11 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 		// Task arrivals.
 		for next < len(r.Workload.TestTasks) && r.Workload.TestTasks[next].Arrival <= tick {
 			t := r.Workload.TestTasks[next]
+			if err := rec.emit(core.TaskSubmitted{
+				TaskID: t.ID + 1, X: t.Loc.X, Y: t.Loc.Y, Deadline: t.Deadline,
+			}); err != nil {
+				return m, err
+			}
 			pending = append(pending, &pendingTask{task: t})
 			next++
 		}
@@ -307,10 +360,23 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 		}); err != nil {
 			return m, err
 		}
+		batchFallbacks := 0
 		for j := range wfaults {
 			so.droppedReports(wfaults[j].DroppedReports)
 			so.noisyReports(wfaults[j].NoisyReports)
 			so.predFallbacks(wfaults[j].PredFallbacks)
+			batchFallbacks += wfaults[j].PredFallbacks
+		}
+		if rec != nil {
+			// The workers entering this batch report their current location,
+			// so a replay rebuilds the same candidate set.
+			for j := range workers {
+				if err := rec.emit(core.WorkerReported{
+					WorkerID: workers[j].ID + 1, X: workers[j].Loc.X, Y: workers[j].Loc.Y,
+				}); err != nil {
+					return m, err
+				}
+			}
 		}
 
 		// One batch of tasks.
@@ -330,9 +396,26 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			// account a truncated plan.
 			return m, err
 		}
+		var offerIDs []int
+		if rec != nil {
+			ev := core.BatchAssigned{PredFallbacks: batchFallbacks}
+			offerIDs = make([]int, len(pairs))
+			for k, pr := range pairs {
+				offerIDs[k] = rec.nextOffer
+				rec.nextOffer++
+				ev.Offers = append(ev.Offers, core.OfferIssued{
+					OfferID:  offerIDs[k],
+					TaskID:   pool[pr.Task].task.ID + 1,
+					WorkerID: workers[pr.Worker].ID + 1,
+				})
+			}
+			if err := rec.emit(ev); err != nil {
+				return m, err
+			}
+		}
 
 		// Workers accept or reject against their true itineraries.
-		for _, pr := range pairs {
+		for pi, pr := range pairs {
 			so.assigned()
 			pt := pool[pr.Task]
 			w := &workers[pr.Worker]
@@ -342,6 +425,15 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 				// never re-proposes a declined (task, worker) pair.
 				so.rejected()
 				pt.task.Excluded = append(pt.task.Excluded, w.ID)
+			}
+			if rec != nil {
+				var dec core.Event = core.OfferAccepted{OfferID: offerIDs[pi]}
+				if !ok {
+					dec = core.OfferRejected{OfferID: offerIDs[pi]}
+				}
+				if err := rec.emit(dec); err != nil {
+					return m, err
+				}
 			}
 			if delay := r.Faults.DecisionDelay(pt.task.ID, tick); delay > 0 {
 				// The worker decided (and, on accept, starts serving —

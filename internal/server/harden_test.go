@@ -126,7 +126,10 @@ func TestDoubleAccept(t *testing.T) {
 // TestPanicRecoveryMiddleware: a panicking handler is answered with a JSON
 // 500, the panic is counted in /api/metrics, and the server keeps serving.
 func TestPanicRecoveryMiddleware(t *testing.T) {
-	s := New(testConfig())
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Same-package test hook: mount a deliberately broken route behind the
 	// middleware.
 	s.mux.HandleFunc("/api/boom", func(http.ResponseWriter, *http.Request) {
@@ -293,7 +296,10 @@ func TestListenAndServeShutdownLeaksNoGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for i := 0; i < 3; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
-		s := New(testConfig())
+		s, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		errc := make(chan error, 1)
 		go func() { errc <- s.ListenAndServe(ctx, "127.0.0.1:0", time.Millisecond) }()
 		// Let the ticker fire a few times, then shut down.

@@ -11,6 +11,15 @@
 // location (POST /api/workers/{id}/location), exactly as §II specifies;
 // the platform forecasts their trajectories from the reported trace with
 // the trained models. Rejected (task, worker) pairs are never re-offered.
+//
+// The HTTP layer here is a thin shell: every handler decodes its request,
+// validates it against the current state, and commits typed events to the
+// transport-agnostic state machine in internal/core — decode, append,
+// apply, respond. When Config.WALDir is set, each event is framed into the
+// write-ahead log (internal/wal) before the response is sent, so a killed
+// server replays snapshot + log tail on restart and resumes with the exact
+// pre-crash state, offers and counters included. The same event log drives
+// offline assigner replay (internal/replay).
 package server
 
 import (
@@ -18,33 +27,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
-	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/core"
 	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/obs"
-	"github.com/spatialcrowd/tamp/internal/par"
 	"github.com/spatialcrowd/tamp/internal/predict"
+	"github.com/spatialcrowd/tamp/internal/wal"
 )
 
-// TaskStatus enumerates a task's lifecycle.
-type TaskStatus string
+// TaskStatus enumerates a task's lifecycle (re-exported from the state
+// machine so API clients keep a stable vocabulary).
+type TaskStatus = core.TaskStatus
 
 // Task lifecycle states.
 const (
-	TaskOpen      TaskStatus = "open"      // waiting for assignment
-	TaskOffered   TaskStatus = "offered"   // offered to a worker, awaiting decision
-	TaskAccepted  TaskStatus = "accepted"  // worker committed to serve it
-	TaskExpired   TaskStatus = "expired"   // deadline passed unserved
-	TaskCancelled TaskStatus = "cancelled" // withdrawn by the requester
+	TaskOpen      = core.StatusOpen      // waiting for assignment
+	TaskOffered   = core.StatusOffered   // offered to a worker, awaiting decision
+	TaskAccepted  = core.StatusAccepted  // worker committed to serve it
+	TaskExpired   = core.StatusExpired   // deadline passed unserved
+	TaskCancelled = core.StatusCancelled // withdrawn by the requester
 )
 
 // Config parameterizes the platform server.
@@ -86,30 +95,21 @@ type Config struct {
 	// default: profiling endpoints expose internals and hold connections
 	// open, so deployments must opt in.
 	EnablePprof bool
-}
 
-type workerState struct {
-	ID      int
-	Detour  float64 // cells
-	Speed   float64 // cells/tick
-	MR      float64
-	Online  bool
-	Trace   []geo.Point // reported locations, most recent last
-	OfferID int         // 0 = none pending
-}
-
-type taskState struct {
-	Task     assign.Task
-	Status   TaskStatus
-	Offered  int // worker id of the pending offer
-	Accepted int // worker id that accepted
-	OfferID  int // id of the pending offer (0 = none); mirrors Status == TaskOffered
-}
-
-type offer struct {
-	ID     int
-	TaskID int
-	Worker int
+	// WALDir enables durability: every committed event is appended to a
+	// write-ahead log in this directory before the response is sent, and
+	// New replays snapshot + log tail back to the exact pre-crash state.
+	// Empty runs the platform memory-only (tests, benchmarks).
+	WALDir string
+	// SnapshotEvery writes a state snapshot after every N applied events
+	// (default 1024), bounding restart replay work. Only used with WALDir.
+	SnapshotEvery int
+	// WALSyncEvery fsyncs the log every N appends (default 1: an event is
+	// durable before its response). Only used with WALDir.
+	WALSyncEvery int
+	// WALHook, when non-nil, receives the WAL's crash-point callbacks; the
+	// fault-injection tests arm an internal/fault.Crasher here.
+	WALHook func(point string)
 }
 
 // Server is the HTTP platform. The zero value is not usable; construct
@@ -118,18 +118,15 @@ type Server struct {
 	cfg Config
 	reg *obs.Registry
 
-	mu       sync.Mutex
-	tick     int
-	nextTask int
-	nextOff  int
-	tasks    map[int]*taskState
-	workers  map[int]*workerState
-	offers   map[int]*offer
+	mu  sync.Mutex
+	st  *core.State
+	log *wal.Log // nil when WALDir is unset or after a disk failure
 
-	// Every counter lives in reg; these handles are the single code path
-	// for bumps, and both /api/metrics (JSON) and /metrics (Prometheus)
-	// read the same series. Counter updates are atomic, so the recovery
-	// middleware can bump panicsC outside s.mu.
+	// Every counter lives in reg; commitLocked mirrors the state machine's
+	// monotonic tallies into them (single code path), and both /api/metrics
+	// (JSON) and /metrics (Prometheus) read the same series. Counter
+	// updates are atomic, so the recovery middleware can bump panicsC
+	// outside s.mu.
 	offersC, acceptsC, rejectsC, expiredC *obs.Counter
 	batchesC                              *obs.Counter
 	// degraded-mode fault counters, labelled tamp_server_faults_total{kind=...}:
@@ -140,8 +137,13 @@ type Server struct {
 	mux                           *http.ServeMux
 }
 
-// New builds a Server ready to mount on an http.Server.
-func New(cfg Config) *Server {
+// New builds a Server ready to mount on an http.Server. With Config.WALDir
+// set it first recovers the previous run's state from snapshot + log tail;
+// a torn log tail (crash mid-append) is repaired and logged, but a log
+// whose events no longer apply cleanly is an error — serving from a state
+// that silently diverged from the durable history would be worse than not
+// serving.
+func New(cfg Config) (*Server, error) {
 	if cfg.Grid.Cols == 0 {
 		cfg.Grid = geo.DefaultGrid
 	}
@@ -163,18 +165,17 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 1024
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		nextTask: 1,
-		nextOff:  1,
-		tasks:    map[int]*taskState{},
-		workers:  map[int]*workerState{},
-		offers:   map[int]*offer{},
+		cfg: cfg,
+		reg: reg,
+		st:  core.NewState(),
 	}
 	fault := func(kind string) *obs.Counter {
 		return reg.Counter("tamp_server_faults_total", obs.L("kind", kind))
@@ -188,13 +189,143 @@ func New(cfg Config) *Server {
 	s.degradedC = fault("degraded_batch")
 	s.fallbackC = fault("pred_fallback")
 	s.batchSec = reg.Histogram("tamp_server_batch_seconds", obs.DefSecondsBuckets)
+	if cfg.WALDir != "" {
+		if err := s.recoverWAL(); err != nil {
+			return nil, err
+		}
+	}
 	s.routes()
-	return s
+	return s, nil
+}
+
+// recoverWAL opens the write-ahead log and rebuilds the state machine from
+// its newest snapshot plus the tail of events after it.
+func (s *Server) recoverWAL() error {
+	l, rec, err := wal.Open(s.cfg.WALDir, wal.Options{
+		SyncEvery: s.cfg.WALSyncEvery,
+		Registry:  s.reg,
+		Hook:      s.cfg.WALHook,
+	})
+	if err != nil {
+		return fmt.Errorf("server: open wal: %w", err)
+	}
+	if rec.Torn != nil {
+		log.Printf("server: wal repaired after unclean shutdown: %v", rec.Torn)
+	}
+	st := core.NewState()
+	if rec.Snapshot != nil {
+		if st, err = core.DecodeSnapshot(rec.Snapshot); err != nil {
+			l.Close()
+			return fmt.Errorf("server: wal snapshot: %w", err)
+		}
+	}
+	for i, p := range rec.Records {
+		ev, err := core.DecodeEvent(p)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("server: wal record %d: %w", rec.StartSeq+uint64(i), err)
+		}
+		if err := st.Apply(ev); err != nil {
+			l.Close()
+			return fmt.Errorf("server: wal record %d: %w", rec.StartSeq+uint64(i), err)
+		}
+	}
+	s.st, s.log = st, l
+	// The obs counters start from zero on every process start; seed them
+	// with the recovered tallies so /api/metrics and /metrics continue the
+	// pre-crash series instead of resetting.
+	c := st.Counts
+	s.offersC.Add(c.Offers)
+	s.acceptsC.Add(c.Accepts)
+	s.rejectsC.Add(c.Rejects)
+	s.expiredC.Add(c.Expired)
+	s.batchesC.Add(c.Batches)
+	s.degradedC.Add(c.DegradedBatches)
+	s.fallbackC.Add(c.PredFallbacks)
+	if rec.Records != nil || rec.Snapshot != nil {
+		log.Printf("server: recovered state at seq %d (tick %d, %d tasks, %d workers)",
+			st.Applied, st.Tick, len(st.Tasks), len(st.Workers))
+	}
+	return nil
+}
+
+// commitLocked is the single mutation path of the server: append each event
+// to the write-ahead log, apply it to the state machine, and mirror the
+// state's tally deltas into the obs counters. Handlers validate against the
+// state before committing, so a failed Apply is a programming error and
+// panics into the recovery middleware (no partial state: Apply rejects
+// atomically, and nothing is appended for the failed event).
+func (s *Server) commitLocked(evs ...core.Event) {
+	before := s.st.Counts
+	for _, ev := range evs {
+		if err := s.st.Apply(ev); err != nil {
+			panic(err)
+		}
+		if s.log != nil {
+			b, err := core.EncodeEvent(ev)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := s.log.Append(b); err != nil {
+				// Disk trouble: keep serving memory-only rather than take the
+				// platform down, but stop appending so the log on disk stays a
+				// clean prefix of history instead of gaining holes.
+				log.Printf("server: wal append failed, durability disabled: %v", err)
+				s.log.Close()
+				s.log = nil
+			}
+		}
+	}
+	s.bumpCountersLocked(before)
+	s.maybeSnapshotLocked()
+}
+
+func (s *Server) bumpCountersLocked(before core.Counts) {
+	c := s.st.Counts
+	s.offersC.Add(c.Offers - before.Offers)
+	s.acceptsC.Add(c.Accepts - before.Accepts)
+	s.rejectsC.Add(c.Rejects - before.Rejects)
+	s.expiredC.Add(c.Expired - before.Expired)
+	s.batchesC.Add(c.Batches - before.Batches)
+	s.degradedC.Add(c.DegradedBatches - before.DegradedBatches)
+	s.fallbackC.Add(c.PredFallbacks - before.PredFallbacks)
+}
+
+func (s *Server) maybeSnapshotLocked() {
+	if s.log == nil || s.st.Applied == 0 || s.st.Applied%uint64(s.cfg.SnapshotEvery) != 0 {
+		return
+	}
+	if err := s.log.Snapshot(s.st.EncodeSnapshot(), s.st.Applied); err != nil {
+		log.Printf("server: wal snapshot failed: %v", err)
+	}
 }
 
 // Registry exposes the server's metric registry, e.g. for an end-of-run
 // dump by the embedding process.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// StateDigest returns the hex SHA-256 of the state machine's canonical
+// snapshot encoding — the bit-identity check used by crash-recovery tests
+// and operational replay audits.
+func (s *Server) StateDigest() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Digest()
+}
+
+// Close flushes and closes the write-ahead log (a no-op for memory-only
+// servers). The HTTP mux stays mounted, but further mutations are not
+// durable; call it once the listener is drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
 
 // headerTracker remembers whether a handler already committed the response,
 // so the recovery middleware knows if a 500 can still be sent.
@@ -308,23 +439,19 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if req.Deadline <= s.tick {
-			httpError(w, http.StatusBadRequest, "deadline %d not after current tick %d", req.Deadline, s.tick)
+		if req.Deadline <= s.st.Tick {
+			httpError(w, http.StatusBadRequest, "deadline %d not after current tick %d", req.Deadline, s.st.Tick)
 			return
 		}
 		loc := s.cfg.Grid.Bounds().Clamp(geo.Pt(req.X, req.Y))
-		id := s.nextTask
-		s.nextTask++
-		s.tasks[id] = &taskState{
-			Task:   assign.Task{ID: id, Loc: loc, Arrival: s.tick, Deadline: req.Deadline},
-			Status: TaskOpen,
-		}
+		id := s.st.NextTask
+		s.commitLocked(core.TaskSubmitted{TaskID: id, X: loc.X, Y: loc.Y, Deadline: req.Deadline})
 		writeJSON(w, http.StatusCreated, s.taskResponseLocked(id))
 	case http.MethodGet:
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		out := make([]taskResponse, 0, len(s.tasks))
-		for id := range s.tasks {
+		out := make([]taskResponse, 0, len(s.st.Tasks))
+		for id := range s.st.Tasks {
 			out = append(out, s.taskResponseLocked(id))
 		}
 		writeJSON(w, http.StatusOK, out)
@@ -334,7 +461,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) taskResponseLocked(id int) taskResponse {
-	t := s.tasks[id]
+	t := s.st.Tasks[id]
 	resp := taskResponse{
 		ID: id, X: t.Task.Loc.X, Y: t.Task.Loc.Y,
 		Deadline: t.Task.Deadline, Status: t.Status,
@@ -356,7 +483,7 @@ func (s *Server) handleTaskByID(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, exists := s.tasks[id]
+	t, exists := s.st.Tasks[id]
 	if !exists {
 		httpError(w, http.StatusNotFound, "task %d not found", id)
 		return
@@ -372,8 +499,7 @@ func (s *Server) handleTaskByID(w http.ResponseWriter, r *http.Request) {
 		// Cancelling an offered task retracts the outstanding offer too, so
 		// the worker is immediately matchable again and a late accept on
 		// the dead offer cannot resurrect the task.
-		s.retractOfferLocked(t)
-		t.Status = TaskCancelled
+		s.commitLocked(core.TaskCancelled{TaskID: id})
 		writeJSON(w, http.StatusOK, s.taskResponseLocked(id))
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
@@ -412,30 +538,34 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "worker id must be positive")
 			return
 		}
-		if _, dup := s.workers[req.ID]; dup {
+		if _, dup := s.st.Workers[req.ID]; dup {
 			httpError(w, http.StatusConflict, "worker %d already registered", req.ID)
 			return
 		}
-		ws := &workerState{ID: req.ID, Detour: geo.KMToCells(s.cfg.DefaultDetourKM), Speed: s.cfg.DefaultSpeed}
+		// Defaults are resolved here, so the committed event carries the
+		// effective values and replay does not depend on server config.
+		detour := geo.KMToCells(s.cfg.DefaultDetourKM)
 		if req.DetourKM > 0 {
-			ws.Detour = geo.KMToCells(req.DetourKM)
+			detour = geo.KMToCells(req.DetourKM)
 		}
+		speed := s.cfg.DefaultSpeed
 		if req.Speed > 0 {
-			ws.Speed = req.Speed
+			speed = req.Speed
 		}
+		mr := 0.0
 		if m := s.cfg.Models[req.ID]; m != nil {
-			ws.MR = m.MR
+			mr = m.MR
 		}
 		if req.MR > 0 {
-			ws.MR = req.MR
+			mr = req.MR
 		}
-		s.workers[req.ID] = ws
-		writeJSON(w, http.StatusCreated, s.workerResponseLocked(ws))
+		s.commitLocked(core.WorkerRegistered{WorkerID: req.ID, Detour: detour, Speed: speed, MR: mr})
+		writeJSON(w, http.StatusCreated, s.workerResponseLocked(s.st.Workers[req.ID]))
 	case http.MethodGet:
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		out := make([]workerResponse, 0, len(s.workers))
-		for _, ws := range s.workers {
+		out := make([]workerResponse, 0, len(s.st.Workers))
+		for _, ws := range s.st.Workers {
 			out = append(out, s.workerResponseLocked(ws))
 		}
 		writeJSON(w, http.StatusOK, out)
@@ -444,7 +574,7 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) workerResponseLocked(ws *workerState) workerResponse {
+func (s *Server) workerResponseLocked(ws *core.Worker) workerResponse {
 	return workerResponse{
 		ID: ws.ID, DetourKM: geo.CellsToKM(ws.Detour), Speed: ws.Speed,
 		MR: ws.MR, Online: ws.Online, HasModel: s.cfg.Models[ws.ID] != nil,
@@ -474,7 +604,7 @@ func (s *Server) handleWorkerByID(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ws, exists := s.workers[id]
+	ws, exists := s.st.Workers[id]
 	if !exists {
 		httpError(w, http.StatusNotFound, "worker %d not registered", id)
 		return
@@ -492,17 +622,14 @@ func (s *Server) handleWorkerByID(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad json: %v", err)
 			return
 		}
-		ws.Online = true
-		ws.Trace = append(ws.Trace, s.cfg.Grid.Bounds().Clamp(geo.Pt(req.X, req.Y)))
-		if len(ws.Trace) > 256 {
-			ws.Trace = ws.Trace[len(ws.Trace)-256:]
-		}
+		loc := s.cfg.Grid.Bounds().Clamp(geo.Pt(req.X, req.Y))
+		s.commitLocked(core.WorkerReported{WorkerID: id, X: loc.X, Y: loc.Y})
 		writeJSON(w, http.StatusOK, map[string]int{"traceLen": len(ws.Trace)})
 	case r.Method == http.MethodGet && action == "offers":
 		var out []offerResponse
 		if ws.OfferID != 0 {
-			off := s.offers[ws.OfferID]
-			t := s.tasks[off.TaskID]
+			off := s.st.Offers[ws.OfferID]
+			t := s.st.Tasks[off.TaskID]
 			out = append(out, offerResponse{
 				OfferID: off.ID, TaskID: off.TaskID,
 				X: t.Task.Loc.X, Y: t.Task.Loc.Y, Deadline: t.Task.Deadline,
@@ -530,21 +657,19 @@ func (s *Server) handleOfferByID(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	off, exists := s.offers[id]
+	off, exists := s.st.Offers[id]
 	if !exists {
 		httpError(w, http.StatusNotFound, "offer %d not found", id)
 		return
 	}
-	t := s.tasks[off.TaskID]
 	// The offer is only actionable while its task is still in the offered
 	// state: a decision racing task expiry or cancellation must not flip an
-	// expired/cancelled task to accepted. The stale offer is discarded so
-	// the worker becomes matchable again.
+	// expired/cancelled task to accepted. The stale offer is retracted (a
+	// recorded transition, so replay sees it too) and the worker becomes
+	// matchable again.
+	t := s.st.Tasks[off.TaskID]
 	if t == nil || t.Status != TaskOffered || t.OfferID != id {
-		if ws := s.workers[off.Worker]; ws != nil && ws.OfferID == id {
-			ws.OfferID = 0
-		}
-		delete(s.offers, id)
+		s.commitLocked(core.OfferRetracted{OfferID: id})
 		if t == nil {
 			httpError(w, http.StatusConflict, "offer %d is stale: task gone", id)
 		} else {
@@ -552,28 +677,15 @@ func (s *Server) handleOfferByID(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	ws := s.workers[off.Worker]
-	delete(s.offers, id)
-	ws.OfferID = 0
-	t.OfferID = 0
 	switch parts[1] {
 	case "accept":
-		t.Status = TaskAccepted
-		t.Accepted = off.Worker
-		s.acceptsC.Inc()
+		s.commitLocked(core.OfferAccepted{OfferID: id})
 		writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
 	case "reject":
-		t.Status = TaskOpen
-		t.Offered = 0
-		// Never re-offer a declined pair.
-		t.Task.Excluded = append(t.Task.Excluded, off.Worker)
-		s.rejectsC.Inc()
+		s.commitLocked(core.OfferRejected{OfferID: id})
 		writeJSON(w, http.StatusOK, map[string]string{"status": "rejected"})
 	default:
-		// Unknown action: the offer stays pending.
-		s.offers[id] = off
-		ws.OfferID = id
-		t.OfferID = id
+		// Unknown action: nothing committed, the offer stays pending.
 		httpError(w, http.StatusBadRequest, "unknown action %q", parts[1])
 	}
 }
@@ -594,27 +706,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	made := s.runBatchLocked(r.Context())
-	open := 0
-	for _, t := range s.tasks {
-		if t.Status == TaskOpen {
-			open++
-		}
-	}
-	writeJSON(w, http.StatusOK, batchResponse{Tick: s.tick, Offers: made, Open: open})
+	writeJSON(w, http.StatusOK, batchResponse{Tick: s.st.Tick, Offers: made, Open: s.st.OpenTasks()})
 }
 
 func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		s.mu.Lock()
-		s.tick++
-		s.expireLocked()
-		tick := s.tick
+		s.commitLocked(core.TickAdvanced{})
+		tick := s.st.Tick
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]int{"tick": tick})
 	case http.MethodGet:
 		s.mu.Lock()
-		tick := s.tick
+		tick := s.st.Tick
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]int{"tick": tick})
 	default:
@@ -622,121 +727,49 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) expireLocked() {
-	for _, t := range s.tasks {
-		if (t.Status == TaskOpen || t.Status == TaskOffered) && t.Task.Deadline < s.tick {
-			s.retractOfferLocked(t)
-			t.Status = TaskExpired
-			s.expiredC.Inc()
-		}
-	}
-}
-
-// retractOfferLocked withdraws the task's pending offer, if any, freeing
-// the worker for the next batch. The task's pending offer id is stored on
-// taskState, so retraction is O(1) per task instead of a scan over every
-// outstanding offer.
-func (s *Server) retractOfferLocked(t *taskState) {
-	if t.OfferID == 0 {
-		return
-	}
-	if off := s.offers[t.OfferID]; off != nil {
-		if ws := s.workers[off.Worker]; ws != nil {
-			ws.OfferID = 0
-		}
-		delete(s.offers, off.ID)
-	}
-	t.OfferID = 0
-	t.Offered = 0
-}
-
-// runBatchLocked builds the assignment input from open tasks and online,
-// offer-free workers, runs the configured assigner, and converts the plan
-// into pending offers. It returns the number of offers made. The per-worker
-// trajectory rollouts — the expensive part of a batch — fan out on the
-// pool; a cancelled ctx (e.g. the requester of POST /api/batch hung up)
-// abandons the batch without making offers.
+// runBatchLocked builds the assignment input from the state (open tasks and
+// online, offer-free workers, model rollouts fanned out on the pool), runs
+// the configured assigner, and commits the plan as one BatchAssigned (or
+// DegradedBatch) event. It returns the number of offers made. A cancelled
+// ctx (e.g. the requester of POST /api/batch hung up) abandons the batch
+// without committing anything.
 func (s *Server) runBatchLocked(ctx context.Context) int {
 	// Route the batch's phase spans (assign.ppi/stage1..3 etc.) into this
 	// server's registry, and time the batch end to end — empty batches
-	// included, so the counter matches "batches the platform ran".
+	// included, so the histogram matches "batches the platform ran".
 	ctx = obs.WithRegistry(ctx, s.reg)
 	batchStart := time.Now()
 	defer func() {
-		s.batchesC.Inc()
 		s.batchSec.Observe(time.Since(batchStart).Seconds())
 	}()
-	var tasks []assign.Task
-	var taskIDs []int
-	for id, t := range s.tasks {
-		if t.Status == TaskOpen && t.Task.Deadline >= s.tick {
-			tasks = append(tasks, t.Task)
-			taskIDs = append(taskIDs, id)
-		}
-	}
-	// Candidate workers first (sorted so the batch order is stable across
-	// map iteration), then the model rollouts concurrently.
-	var workerIDs []int
-	for id, ws := range s.workers {
-		if !ws.Online || ws.OfferID != 0 || len(ws.Trace) == 0 {
-			continue
-		}
-		workerIDs = append(workerIDs, id)
-	}
-	sort.Ints(workerIDs)
-	if len(tasks) == 0 || len(workerIDs) == 0 {
+	in, err := core.BuildBatch(ctx, s.st, s.cfg.Models, s.cfg.PredHorizon, s.cfg.Parallelism)
+	if err != nil {
 		return 0
 	}
-	workers := make([]assign.Worker, len(workerIDs))
-	// fellBack is index-addressed per worker and reduced after the pool
-	// joins, so the counter needs no synchronization inside the closure.
-	fellBack := make([]bool, len(workerIDs))
-	if err := par.ForEach(ctx, len(workerIDs), s.cfg.Parallelism, func(i int) error {
-		id := workerIDs[i]
-		ws := s.workers[id]
-		cur := ws.Trace[len(ws.Trace)-1]
-		aw := assign.Worker{
-			ID: id, Loc: cur, Detour: ws.Detour, Speed: ws.Speed, MR: ws.MR,
-		}
-		if m := s.cfg.Models[id]; m != nil {
-			aw.Predicted = safeServerForecast(m, ws.Trace, s.cfg.PredHorizon)
-			if aw.Predicted == nil {
-				fellBack[i] = true
-			}
-		}
-		if aw.Predicted == nil {
-			// No model, or its forecast failed: the worker stands still
-			// rather than dropping out of the batch.
-			for j := 0; j < s.cfg.PredHorizon; j++ {
-				aw.Predicted = append(aw.Predicted, cur)
-			}
-		}
-		workers[i] = aw
-		return nil
-	}); err != nil {
+	if len(in.TaskIDs) == 0 {
+		// Nothing to match; still a recorded batch so replayed tallies agree.
+		s.commitLocked(core.BatchAssigned{})
 		return 0
 	}
-	for _, fb := range fellBack {
-		if fb {
-			s.fallbackC.Inc()
-		}
-	}
-	pairs := s.assignWithDeadline(ctx, tasks, workers)
+	pairs, degraded := s.assignWithDeadline(ctx, in.Tasks, in.Workers)
 	if ctx.Err() != nil {
 		// The matching may be partial; make no offers from it.
 		return 0
 	}
-	for _, pr := range pairs {
-		tid := taskIDs[pr.Task]
-		wid := workers[pr.Worker].ID
-		off := &offer{ID: s.nextOff, TaskID: tid, Worker: wid}
-		s.nextOff++
-		s.offers[off.ID] = off
-		s.tasks[tid].Status = TaskOffered
-		s.tasks[tid].Offered = wid
-		s.tasks[tid].OfferID = off.ID
-		s.workers[wid].OfferID = off.ID
-		s.offersC.Inc()
+	// Offer IDs are allocated here, in plan order, and carried inside the
+	// event — the log is self-contained and replays to identical IDs.
+	grants := make([]core.OfferIssued, len(pairs))
+	for i, pr := range pairs {
+		grants[i] = core.OfferIssued{
+			OfferID:  s.st.NextOffer + i,
+			TaskID:   in.TaskIDs[pr.Task],
+			WorkerID: in.Workers[pr.Worker].ID,
+		}
+	}
+	if degraded {
+		s.commitLocked(core.DegradedBatch{Offers: grants, PredFallbacks: in.PredFallbacks})
+	} else {
+		s.commitLocked(core.BatchAssigned{Offers: grants, PredFallbacks: in.PredFallbacks})
 	}
 	return len(pairs)
 }
@@ -747,14 +780,13 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 // a worse matching delivered on time beats a perfect one delivered late. A
 // panicking assigner degrades the same way. Degraded batches are counted
 // for /api/metrics.
-func (s *Server) assignWithDeadline(ctx context.Context, tasks []assign.Task, workers []assign.Worker) (pairs []assign.Pair) {
+func (s *Server) assignWithDeadline(ctx context.Context, tasks []assign.Task, workers []assign.Worker) (pairs []assign.Pair, degraded bool) {
 	bctx := ctx
 	if s.cfg.BatchTimeout > 0 {
 		var cancel context.CancelFunc
 		bctx, cancel = context.WithTimeout(ctx, s.cfg.BatchTimeout)
 		defer cancel()
 	}
-	degraded := false
 	func() {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -762,34 +794,15 @@ func (s *Server) assignWithDeadline(ctx context.Context, tasks []assign.Task, wo
 				degraded = true
 			}
 		}()
-		pairs = assign.Do(bctx, s.cfg.Assigner, tasks, workers, s.tick)
+		pairs = assign.Do(bctx, s.cfg.Assigner, tasks, workers, s.st.Tick)
 	}()
 	if bctx.Err() != nil && ctx.Err() == nil {
 		degraded = true // deadline hit, not a client hang-up: fall back
 	}
 	if degraded {
-		s.degradedC.Inc()
-		pairs = (assign.Greedy{}).Assign(tasks, workers, s.tick)
+		pairs = (assign.Greedy{}).Assign(tasks, workers, s.st.Tick)
 	}
-	return pairs
-}
-
-// safeServerForecast isolates one worker's predictor: a panic or a
-// non-finite forecast yields nil, and the caller degrades that worker — and
-// only that worker — to a stand-still prediction.
-func safeServerForecast(m *predict.WorkerModel, trace []geo.Point, horizon int) (pred []geo.Point) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			pred = nil
-		}
-	}()
-	pred = m.PredictFuture(trace, horizon)
-	for _, pt := range pred {
-		if math.IsNaN(pt.X) || math.IsNaN(pt.Y) || math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) {
-			return nil
-		}
-	}
-	return pred
+	return pairs, degraded
 }
 
 // AdvanceTick moves the platform clock forward one tick and expires
@@ -798,9 +811,8 @@ func safeServerForecast(m *predict.WorkerModel, trace []geo.Point, horizon int) 
 func (s *Server) AdvanceTick() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tick++
-	s.expireLocked()
-	return s.tick
+	s.commitLocked(core.TickAdvanced{})
+	return s.st.Tick
 }
 
 // RunBatch executes one assignment batch programmatically, returning the
@@ -879,16 +891,17 @@ type metricsResponse struct {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// The JSON view reads the same registry series the Prometheus endpoint
-	// exports; only the shape differs (it predates /metrics and clients
-	// depend on it).
+	// The JSON view reads the state machine's recovered-durable tallies
+	// (panics excepted — a recovered panic is a process fact, not a state
+	// transition); the Prometheus endpoint exports the mirrored series.
+	c := s.st.Counts
 	writeJSON(w, http.StatusOK, metricsResponse{
-		Tick: s.tick, Tasks: len(s.tasks),
-		Assigned: int(s.offersC.Value()), Accepted: int(s.acceptsC.Value()),
-		Rejected: int(s.rejectsC.Value()), Expired: int(s.expiredC.Value()),
-		Workers: len(s.workers),
-		Panics:  s.panicsC.Value(), DegradedBatches: int(s.degradedC.Value()),
-		PredFallbacks: int(s.fallbackC.Value()),
+		Tick: s.st.Tick, Tasks: len(s.st.Tasks),
+		Assigned: int(c.Offers), Accepted: int(c.Accepts),
+		Rejected: int(c.Rejects), Expired: int(c.Expired),
+		Workers: len(s.st.Workers),
+		Panics:  s.panicsC.Value(), DegradedBatches: int(c.DegradedBatches),
+		PredFallbacks: int(c.PredFallbacks),
 	})
 }
 

@@ -20,7 +20,10 @@ type client struct {
 
 func newClient(t *testing.T, cfg Config) *client {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return &client{t: t, srv: ts}

@@ -42,12 +42,14 @@ import (
 	"io"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/core"
 	"github.com/spatialcrowd/tamp/internal/dataset"
 	"github.com/spatialcrowd/tamp/internal/fault"
 	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/platform"
 	"github.com/spatialcrowd/tamp/internal/predict"
 	"github.com/spatialcrowd/tamp/internal/traj"
+	"github.com/spatialcrowd/tamp/internal/wal"
 )
 
 // Core spatial types.
@@ -153,6 +155,37 @@ func TrainPredictors(ctx context.Context, w *Workload, opts TrainOptions) (*Pred
 func Simulate(ctx context.Context, w *Workload, pred *Predictors, a Assigner) (Metrics, error) {
 	run := platform.Run{Workload: w, Models: pred.Models, Assigner: a}
 	return run.Simulate(ctx)
+}
+
+// SimulateRecorded is Simulate with every platform event — registrations,
+// reports, batch plans, decisions, tick advances — persisted to a
+// write-ahead log in dir (which should be fresh or hold a prior recording's
+// continuation). The recorded log replays offline through any assigner via
+// internal/replay or `tampbench -replay dir -assigner KM`, and is the same
+// event vocabulary a durable server (`tampserver -wal-dir`) records.
+func SimulateRecorded(ctx context.Context, w *Workload, pred *Predictors, a Assigner, dir string) (Metrics, error) {
+	// One fsync per tick-sized burst, not per event: the recorder is a
+	// simulation artifact, not a durability contract; Close flushes the tail.
+	log, _, err := wal.Open(dir, wal.Options{SyncEvery: 256})
+	if err != nil {
+		return Metrics{}, err
+	}
+	run := platform.Run{
+		Workload: w, Models: pred.Models, Assigner: a,
+		EventSink: func(ev core.Event) error {
+			b, err := core.EncodeEvent(ev)
+			if err != nil {
+				return err
+			}
+			_, err = log.Append(b)
+			return err
+		},
+	}
+	m, simErr := run.Simulate(ctx)
+	if cerr := log.Close(); simErr == nil {
+		simErr = cerr
+	}
+	return m, simErr
 }
 
 // SimulateChaos is Simulate under a deterministic fault injector: workers
