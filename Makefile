@@ -41,7 +41,7 @@ bench-assign:
 # warmed sparse-KM matcher must stay at 0 allocs per Match.
 perfcheck:
 	$(GO) test ./internal/nn -run 'AllocFree' -v
-	$(GO) test ./internal/assign -run 'TestMatcherSteadyStateAllocFree|TestMatcherAllocsDoNotGrowWithBatches' -v
+	$(GO) test ./internal/assign -run 'TestMatcherSteadyStateAllocFree|TestMatcherAllocsDoNotGrowWithBatches|TestMatchWarmSteadyStateAllocFree|TestMatchWarmColdPathAllocFree|TestSortPendingAllocFree' -v
 
 # Benchmark-regression gate: re-run the NN kernel and batch-assignment
 # suites and compare against the committed BENCH_nn.json / BENCH_assign.json

@@ -9,6 +9,7 @@
 //	tampbench -exp all -scale quick
 //	tampbench -json BENCH_nn.json
 //	tampbench -assign-json BENCH_assign.json
+//	tampbench -assign-json BENCH_assign.json -churn 0,1,10   # incremental-session churn levels
 //	tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -tolerance 0.25   # CI regression guard
 //	tampbench -replay /var/lib/tamp/wal -assigner KM   # re-run a recorded log offline
 //
@@ -59,6 +60,7 @@ func main() {
 		check    = flag.String("check", "", "run the NN kernel benchmarks and compare against the baseline in this file; exit 1 on regression")
 		assignJ  = flag.String("assign-json", "", "run the batch-assignment benchmarks and write before/after results to this file (a fresh file records the brute-force scan as baseline)")
 		checkAsg = flag.String("check-assign", "", "run the batch-assignment benchmarks and compare against the baseline in this file; exit 1 on regression")
+		churnF   = flag.String("churn", "0,1,10", "comma-separated churn percentages for the incremental-session benchmarks run by -assign-json/-check-assign")
 		tol      = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -check/-check-assign fails (allocs/op must never grow)")
 		metrics  = flag.Bool("metrics", false, "collect experiment metrics in a registry and dump it (Prometheus text) at end of run")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
@@ -123,7 +125,8 @@ func main() {
 			runCheck(*check, perf.Run(), *jsonOut, perf.WriteJSONWith, false)
 		}
 		if *checkAsg != "" {
-			runCheck(*checkAsg, perf.RunAssign(), *assignJ, perf.WriteAssignJSONWith, true)
+			cur := append(perf.RunAssign(), perf.RunAssignIncremental(churnLevels(*churnF), false)...)
+			runCheck(*checkAsg, cur, *assignJ, perf.WriteAssignJSONWith, true)
 		}
 		if failed {
 			os.Exit(1)
@@ -141,7 +144,10 @@ func main() {
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
 		if *assignJ != "" {
-			f, err := perf.WriteAssignJSON(*assignJ)
+			// Artifact runs (not the CI guard) include the large incremental
+			// datapoint; the guard tolerates names present on only one side.
+			cur := append(perf.RunAssign(), perf.RunAssignIncremental(churnLevels(*churnF), true)...)
+			f, err := perf.WriteAssignJSONWith(*assignJ, cur)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
 				os.Exit(1)
@@ -238,6 +244,24 @@ func main() {
 	if reg != nil {
 		fmt.Printf("== metric registry (Prometheus text) ==\n%s", reg.Dump())
 	}
+}
+
+// churnLevels parses the -churn flag; invalid entries abort.
+func churnLevels(s string) []int {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil || v < 0 || v > 100 {
+			fmt.Fprintf(os.Stderr, "tampbench: bad -churn entry %q (want 0-100)\n", part)
+			os.Exit(2)
+		}
+		levels = append(levels, v)
+	}
+	return levels
 }
 
 // runReplay feeds a recorded platform event log through the named assigner

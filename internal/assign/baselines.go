@@ -65,7 +65,8 @@ func (u UB) AssignContext(ctx context.Context, tasks []Task, workers []Worker, t
 	cv := buildCandidateView(ctx, ws, len(workers), u.Parallelism, u.BruteForce, actualEnvelope(workers))
 	edges := edgeRows(ctx, len(tasks), u.Parallelism, func(ti int) []Edge {
 		var row []Edge
-		for _, wi32 := range cv.at(tasks[ti].Loc) {
+		it := cv.iter(tasks[ti].Loc)
+		for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 			wi := int(wi32)
 			if tasks[ti].ExcludedWorker(workers[wi].ID) {
 				continue
@@ -94,9 +95,9 @@ func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, para
 	visited := make([]int, len(tasks))
 	edges := edgeRows(ctx, len(tasks), parallelism, func(ti int) []Edge {
 		var row []Edge
-		cands := cv.at(tasks[ti].Loc)
-		visited[ti] = len(cands)
-		for _, wi32 := range cands {
+		it := cv.iter(tasks[ti].Loc)
+		visited[ti] = it.total()
+		for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
@@ -143,7 +144,8 @@ func (l LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 	cv := buildCandidateView(ctx, ws, len(workers), 1, l.BruteForce, locEnvelope(workers))
 	edges := edgeRows(ctx, len(tasks), 1, func(ti int) []Edge {
 		var row []Edge
-		for _, wi32 := range cv.at(tasks[ti].Loc) {
+		it := cv.iter(tasks[ti].Loc)
+		for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
@@ -208,7 +210,8 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 	cv := buildCandidateView(ctx, ws, len(workers), 1, g.BruteForce, predictedEnvelope(workers))
 	cands := make([][]Edge, len(tasks))
 	for ti := range tasks {
-		for _, wi32 := range cv.at(tasks[ti].Loc) {
+		it := cv.iter(tasks[ti].Loc)
+		for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {

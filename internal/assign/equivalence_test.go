@@ -142,7 +142,11 @@ func TestCandidateViewSuperset(t *testing.T) {
 		ws := NewWorkspace()
 		cv := buildCandidateView(context.Background(), ws, len(workers), 4, false, predictedEnvelope(workers))
 		for ti := range tasks {
-			cands := cv.at(tasks[ti].Loc)
+			var cands []int32
+			it := cv.iter(tasks[ti].Loc)
+			for c, ok := it.next(); ok; c, ok = it.next() {
+				cands = append(cands, c)
+			}
 			for wi := range workers {
 				w := &workers[wi]
 				dmin := minDistTo(w.Predicted, tasks[ti].Loc)
@@ -170,7 +174,8 @@ func TestIndexedEdgeSetMatchesBrute(t *testing.T) {
 	buildEdges := func(tasks []Task, workers []Worker, tick int, cv candidateView) []Edge {
 		return edgeRows(context.Background(), len(tasks), 1, func(ti int) []Edge {
 			var row []Edge
-			for _, wi32 := range cv.at(tasks[ti].Loc) {
+			it := cv.iter(tasks[ti].Loc)
+			for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 				wi := int(wi32)
 				w := &workers[wi]
 				if tasks[ti].ExcludedWorker(w.ID) {

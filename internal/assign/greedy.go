@@ -58,10 +58,10 @@ func (g Greedy) AssignContext(ctx context.Context, tasks []Task, workers []Worke
 	var nVisited int
 	for _, ti := range order {
 		t := &tasks[ti]
-		cands := cv.at(t.Loc)
-		nVisited += len(cands)
+		it := cv.iter(t.Loc)
+		nVisited += it.total()
 		best, bestDist := -1, 0.0
-		for _, wi32 := range cands {
+		for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 			wi := int(wi32)
 			if used[wi] || t.ExcludedWorker(workers[wi].ID) {
 				continue

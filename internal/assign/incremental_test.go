@@ -1,0 +1,324 @@
+package assign
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+// churnWorld drives a Session through randomized population churn while
+// keeping enough regularity (positive speeds, finite detours in the calm
+// mode) that row caches have a chance to survive ticks.
+type churnWorld struct {
+	rng       *rand.Rand
+	hostile   bool
+	taskIDs   []int
+	workerIDs []int
+	nextTask  int
+	nextWork  int
+}
+
+func (cw *churnWorld) newWorker(id int) Worker {
+	rng := cw.rng
+	x, y := rng.Float64()*100, rng.Float64()*60
+	steps := 2 + rng.Intn(8)
+	pred := make([]geo.Point, 0, steps)
+	act := make([]geo.Point, 0, steps)
+	px, py := x, y
+	for j := 0; j < steps; j++ {
+		px += rng.NormFloat64() * 1.5
+		py += rng.NormFloat64() * 1.5
+		p := geo.Pt(px, py)
+		if cw.hostile && rng.Float64() < 0.02 {
+			p = geo.Pt(math.NaN(), py)
+		}
+		pred = append(pred, p)
+		act = append(act, geo.Pt(px+rng.NormFloat64()*0.5, py))
+	}
+	detour := 2 + rng.Float64()*8
+	speed := 0.5 + rng.Float64()*1.5
+	if cw.hostile {
+		switch rng.Intn(10) {
+		case 0:
+			detour = math.Inf(1) // flips the whole session into scan mode
+		case 1:
+			detour = 0
+		case 2:
+			speed = 0
+		}
+	}
+	return Worker{
+		ID: id, Loc: geo.Pt(x, y), Detour: detour, Speed: speed,
+		Predicted: pred, Actual: act, MR: rng.Float64() * 1.2,
+	}
+}
+
+func (cw *churnWorld) newTask(id, tick int) Task {
+	rng := cw.rng
+	t := Task{
+		ID:       id,
+		Loc:      geo.Pt(rng.Float64()*100, rng.Float64()*60),
+		Deadline: tick + 10 + rng.Intn(30),
+	}
+	if cw.hostile && rng.Intn(12) == 0 {
+		t.Deadline = tick - 1 - rng.Intn(3)
+	}
+	if cw.hostile && rng.Intn(15) == 0 {
+		t.Loc = geo.Pt(math.NaN(), t.Loc.Y)
+	}
+	for _, wid := range cw.workerIDs {
+		if rng.Float64() < 0.03 {
+			t.Excluded = append(t.Excluded, wid)
+		}
+	}
+	return t
+}
+
+// seedWorld populates the session with an initial batch.
+func (cw *churnWorld) seed(s *Session, nT, nW int) {
+	for i := 0; i < nW; i++ {
+		id := cw.nextWork
+		cw.nextWork++
+		cw.workerIDs = append(cw.workerIDs, id)
+		s.UpsertWorker(cw.newWorker(id))
+	}
+	for i := 0; i < nT; i++ {
+		id := cw.nextTask
+		cw.nextTask++
+		cw.taskIDs = append(cw.taskIDs, id)
+		s.UpsertTask(cw.newTask(id, 0))
+	}
+}
+
+// churn applies one tick's worth of random mutations: worker moves, worker
+// arrivals/departures, task arrivals/completions/edits.
+func (cw *churnWorld) churn(s *Session, tick int, ops int) {
+	rng := cw.rng
+	for k := 0; k < ops; k++ {
+		switch rng.Intn(10) {
+		case 0: // worker arrives
+			id := cw.nextWork
+			cw.nextWork++
+			cw.workerIDs = append(cw.workerIDs, id)
+			s.UpsertWorker(cw.newWorker(id))
+		case 1: // worker departs
+			if len(cw.workerIDs) > 1 {
+				i := rng.Intn(len(cw.workerIDs))
+				s.RemoveWorker(cw.workerIDs[i])
+				cw.workerIDs[i] = cw.workerIDs[len(cw.workerIDs)-1]
+				cw.workerIDs = cw.workerIDs[:len(cw.workerIDs)-1]
+			}
+		case 2, 3, 4: // worker moves (fresh trajectories, same id)
+			if len(cw.workerIDs) > 0 {
+				id := cw.workerIDs[rng.Intn(len(cw.workerIDs))]
+				s.UpsertWorker(cw.newWorker(id))
+			}
+		case 5: // task arrives
+			id := cw.nextTask
+			cw.nextTask++
+			cw.taskIDs = append(cw.taskIDs, id)
+			s.UpsertTask(cw.newTask(id, tick))
+		case 6: // task completes or expires
+			if len(cw.taskIDs) > 1 {
+				i := rng.Intn(len(cw.taskIDs))
+				s.RemoveTask(cw.taskIDs[i])
+				cw.taskIDs[i] = cw.taskIDs[len(cw.taskIDs)-1]
+				cw.taskIDs = cw.taskIDs[:len(cw.taskIDs)-1]
+			}
+		case 7: // task edited in place
+			if len(cw.taskIDs) > 0 {
+				id := cw.taskIDs[rng.Intn(len(cw.taskIDs))]
+				s.UpsertTask(cw.newTask(id, tick))
+			}
+		default: // quiet op — most of the fleet holds still
+		}
+	}
+}
+
+// TestSessionMatchesFromScratchPPI is the incremental engine's contract:
+// after every tick of randomized churn, Session.Assign must return exactly
+// the plan a from-scratch PPI (fresh workspace: fresh index Build, cold KM)
+// produces over the same task/worker arrays — at parallelism 1 and 8, in
+// calm and hostile (NaN, infinite-detour, expired, tiny-fleet) regimes.
+func TestSessionMatchesFromScratchPPI(t *testing.T) {
+	for _, mode := range []struct {
+		name    string
+		hostile bool
+		a       float64
+		nT, nW  int
+	}{
+		{"calm", false, 0.5, 60, 90},
+		{"negA", false, -1, 40, 70},
+		{"hostile", true, 0.5, 30, 20}, // straddles indexMinWorkers under churn
+	} {
+		for seed := int64(0); seed < 6; seed++ {
+			for _, parallelism := range []int{1, 8} {
+				cw := &churnWorld{rng: rand.New(rand.NewSource(seed*31 + 7)), hostile: mode.hostile}
+				cfg := PPI{A: mode.a, Parallelism: parallelism}
+				s := NewSession(cfg)
+				cw.seed(s, mode.nT, mode.nW)
+				ctx := context.Background()
+				var recomputed, total int
+				for tick := 0; tick < 14; tick++ {
+					if tick > 0 {
+						cw.churn(s, tick, 1+cw.rng.Intn(8))
+					}
+					got := s.Assign(ctx, tick)
+					want := cfg.AssignContext(context.Background(), s.Tasks(), s.Workers(), tick)
+					if !plansEqual(got, want) {
+						t.Fatalf("%s seed %d par %d tick %d: session plan differs from from-scratch PPI\nsession: %v\nscratch: %v",
+							mode.name, seed, parallelism, tick, got, want)
+					}
+					st := s.Stats()
+					recomputed += st.RecomputedRows
+					total += st.Tasks
+				}
+				if !mode.hostile && recomputed >= total {
+					t.Fatalf("%s seed %d par %d: no row cache reuse (%d/%d rows recomputed)",
+						mode.name, seed, parallelism, recomputed, total)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionQuiescentTick: with zero churn between ticks (and deadlines far
+// enough out to keep every reach cap pinned), the engine must do no
+// per-entity work at all — no recomputed rows, no patched cells, no rebuild
+// — and still produce the identical plan.
+func TestSessionQuiescentTick(t *testing.T) {
+	cw := &churnWorld{rng: rand.New(rand.NewSource(42))}
+	cfg := PPI{A: 0.5, Parallelism: 4}
+	s := NewSession(cfg)
+	cw.seed(s, 80, 120)
+	ctx := context.Background()
+	first := append([]Pair(nil), s.Assign(ctx, 1)...)
+	for tick := 2; tick <= 4; tick++ {
+		got := s.Assign(ctx, tick)
+		st := s.Stats()
+		if st.RecomputedRows != 0 || st.PatchedCells != 0 || st.RebuiltIndex {
+			t.Fatalf("tick %d: quiescent tick did work: %+v", tick, st)
+		}
+		want := cfg.AssignContext(context.Background(), s.Tasks(), s.Workers(), tick)
+		if !plansEqual(got, want) {
+			t.Fatalf("tick %d: quiescent plan diverged from from-scratch", tick)
+		}
+		if !plansEqual(got, first) {
+			t.Fatalf("tick %d: quiescent plan drifted from tick 1", tick)
+		}
+	}
+	if _, warm, cold := s.Workspace().WarmStats(); warm == 0 || cold > 1 {
+		t.Fatalf("quiescent ticks should warm-start the KM: warm=%d cold=%d", warm, cold)
+	}
+}
+
+// TestSessionChurnProportional: under light churn the recomputed-row count
+// must track the churn, not the population, and the index must be patched,
+// not rebuilt.
+func TestSessionChurnProportional(t *testing.T) {
+	cw := &churnWorld{rng: rand.New(rand.NewSource(7))}
+	cfg := PPI{A: 0.5, Parallelism: 4}
+	s := NewSession(cfg)
+	cw.seed(s, 300, 400)
+	ctx := context.Background()
+	s.Assign(ctx, 1)
+	for tick := 2; tick <= 8; tick++ {
+		// Move 4 workers (1% of the fleet): only rows whose buckets those
+		// envelopes touch may recompute.
+		for k := 0; k < 4; k++ {
+			id := cw.workerIDs[cw.rng.Intn(len(cw.workerIDs))]
+			s.UpsertWorker(cw.newWorker(id))
+		}
+		got := s.Assign(ctx, tick)
+		st := s.Stats()
+		if st.RebuiltIndex {
+			t.Fatalf("tick %d: 1%% churn should patch, not rebuild", tick)
+		}
+		if st.PatchedCells == 0 {
+			t.Fatalf("tick %d: moved workers but no cells patched", tick)
+		}
+		if st.RecomputedRows > st.Tasks/2 {
+			t.Fatalf("tick %d: %d/%d rows recomputed for 4 moved workers", tick, st.RecomputedRows, st.Tasks)
+		}
+		want := cfg.AssignContext(context.Background(), s.Tasks(), s.Workers(), tick)
+		if !plansEqual(got, want) {
+			t.Fatalf("tick %d: plan diverged under light churn", tick)
+		}
+	}
+	if s.Stats().TotalRebuilds != 1 {
+		t.Fatalf("expected exactly the initial rebuild, got %d", s.Stats().TotalRebuilds)
+	}
+}
+
+// TestSessionHeavyChurnFallsBack: past the churn threshold the session must
+// rebuild rather than patch — and still match from-scratch.
+func TestSessionHeavyChurnFallsBack(t *testing.T) {
+	cw := &churnWorld{rng: rand.New(rand.NewSource(11))}
+	cfg := PPI{A: 0.5, Parallelism: 2}
+	s := NewSession(cfg)
+	cw.seed(s, 50, 60)
+	ctx := context.Background()
+	s.Assign(ctx, 1)
+	// Rewrite well over 20% of the fleet.
+	for k := 0; k < 30; k++ {
+		id := cw.workerIDs[cw.rng.Intn(len(cw.workerIDs))]
+		s.UpsertWorker(cw.newWorker(id))
+	}
+	got := s.Assign(ctx, 2)
+	if st := s.Stats(); !st.RebuiltIndex || st.PatchedCells != 0 {
+		t.Fatalf("heavy churn should trigger a rebuild: %+v", st)
+	}
+	want := cfg.AssignContext(context.Background(), s.Tasks(), s.Workers(), 2)
+	if !plansEqual(got, want) {
+		t.Fatal("plan diverged after churn-fallback rebuild")
+	}
+}
+
+// TestSessionRemoveSemantics covers the id bookkeeping around swap-removal.
+func TestSessionRemoveSemantics(t *testing.T) {
+	s := NewSession(PPI{})
+	if s.RemoveTask(1) || s.RemoveWorker(1) {
+		t.Fatal("removing unknown ids must report false")
+	}
+	s.UpsertTask(Task{ID: 1})
+	s.UpsertTask(Task{ID: 2})
+	s.UpsertTask(Task{ID: 3})
+	if !s.RemoveTask(1) {
+		t.Fatal("remove existing task")
+	}
+	if len(s.Tasks()) != 2 || s.Tasks()[0].ID != 3 {
+		t.Fatalf("swap-remove should move the tail into the hole: %v", s.Tasks())
+	}
+	s.UpsertTask(Task{ID: 3, Deadline: 9})
+	if len(s.Tasks()) != 2 || s.Tasks()[0].Deadline != 9 {
+		t.Fatalf("upsert should edit in place: %v", s.Tasks())
+	}
+	s.UpsertWorker(Worker{ID: 7})
+	s.UpsertWorker(Worker{ID: 8})
+	if !s.RemoveWorker(7) || len(s.Workers()) != 1 || s.Workers()[0].ID != 8 {
+		t.Fatalf("worker swap-remove broken: %v", s.Workers())
+	}
+}
+
+// TestSortPendingAllocFree is the stage-2 satellite gate: the typed sort
+// must not allocate once the buffer exists (sort.Slice's closure and
+// interface header used to).
+func TestSortPendingAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pending := make([]candidate, 512)
+	fill := func() {
+		for i := range pending {
+			pending[i] = candidate{task: rng.Intn(64), worker: rng.Intn(64), conf: rng.Float64()}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		fill()
+		sortPending(pending)
+	})
+	if allocs != 0 {
+		t.Fatalf("sortPending allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -16,6 +16,15 @@ import "math"
 // row (adjacent only to that row), which replaces the dense padding matrix —
 // there is no O(rows·cols) cost allocation or traversal anywhere.
 //
+// Column labels: real column c is j = c+1; row i's virtual column is
+// j = vcap+i, where vcap is a sticky capacity that only grows (it starts at
+// the first batch's column count and is padded on growth). Keeping vcap
+// fixed across calls makes every column label independent of how many rows
+// and columns a later batch adds, which is what lets MatchWarm resume a
+// solve from a mid-stream checkpoint: the labels of a row prefix mean the
+// same thing in the next batch. The labelling is otherwise pure bookkeeping
+// — the matching is identical to the classic nc-offset formulation.
+//
 // Ids must be non-negative and slice-index-like (scratch is sized by the
 // largest id seen); negative ids and non-positive weights are ignored. A
 // Matcher is not safe for concurrent use.
@@ -32,7 +41,8 @@ type Matcher struct {
 	colPos   []int32 // per-row dedupe scratch: col → adj position+1
 
 	// solver state, 1-based like the classic formulation: columns 1..nc are
-	// real, nc+1..nc+nr virtual, 0 is the augmenting-tree root.
+	// real, vcap+1..vcap+nr virtual, 0 is the augmenting-tree root.
+	vcap     int32
 	u, v     []float64
 	p, way   []int32
 	minv     []float64
@@ -50,10 +60,33 @@ func (m *Matcher) Match(edges []Edge, out []Pair) []Pair {
 	if len(edges) == 0 {
 		return out
 	}
-	// Compact ids in first-appearance order and find the weight ceiling.
+	maxW := m.compact(edges)
+	if len(m.taskIDs) == 0 {
+		return out
+	}
+	// Orient the smaller side as rows: the outer loop runs once per row, so
+	// batches pooling far more tasks than workers (or vice versa) solve in
+	// O(smaller · reached) rather than O(larger · ...).
+	transposed := len(m.taskIDs) > len(m.workerIDs)
+	nr, nc := m.buildAdjacency(edges, transposed)
+	if int32(nc) > m.vcap {
+		m.vcap = int32(nc + nc/2 + 8)
+	}
+	m.initPotentials(nr, nc)
+	for i := 1; i <= nr; i++ {
+		m.runRow(i, maxW)
+	}
+	out = m.extract(out, nc, transposed)
+	m.resetSlots()
+	return out
+}
+
+// compact assigns dense indexes to task and worker ids in first-appearance
+// order over the valid edges and returns the weight ceiling. m.taskIDs is
+// left empty when no edge is valid.
+func (m *Matcher) compact(edges []Edge) (maxW float64) {
 	m.taskIDs = m.taskIDs[:0]
 	m.workerIDs = m.workerIDs[:0]
-	maxW := 0.0
 	for i := range edges {
 		e := &edges[i]
 		if e.Weight <= 0 || e.Task < 0 || e.Worker < 0 {
@@ -77,24 +110,20 @@ func (m *Matcher) Match(edges []Edge, out []Pair) []Pair {
 			maxW = e.Weight
 		}
 	}
-	if len(m.taskIDs) == 0 {
-		return out
-	}
-	// Orient the smaller side as rows: the outer loop runs once per row, so
-	// batches pooling far more tasks than workers (or vice versa) solve in
-	// O(smaller · reached) rather than O(larger · ...).
-	transposed := len(m.taskIDs) > len(m.workerIDs)
-	rowIDs, colIDs := m.taskIDs, m.workerIDs
-	rowSlot, colSlot := m.taskSlot, m.workerSlot
-	if transposed {
-		rowIDs, colIDs = m.workerIDs, m.taskIDs
-		rowSlot, colSlot = m.workerSlot, m.taskSlot
-	}
-	nr, nc := len(rowIDs), len(colIDs)
+	return maxW
+}
 
-	// CSR build: count, prefix, fill, then max-dedupe duplicate (row, col)
-	// edges in place (first occurrence keeps its slot, heaviest weight wins —
-	// the same reduction the dense matrix applied).
+// buildAdjacency builds the CSR adjacency over the chosen orientation:
+// count, prefix, fill, then max-dedupe duplicate (row, col) edges in place
+// (first occurrence keeps its slot, heaviest weight wins — the same
+// reduction the dense matrix applied).
+func (m *Matcher) buildAdjacency(edges []Edge, transposed bool) (nr, nc int) {
+	rowSlot, colSlot := m.taskSlot, m.workerSlot
+	nr, nc = len(m.taskIDs), len(m.workerIDs)
+	if transposed {
+		rowSlot, colSlot = m.workerSlot, m.taskSlot
+		nr, nc = nc, nr
+	}
 	m.rowStart = growInt32s(m.rowStart, nr+1)
 	m.rowEnd = growInt32s(m.rowEnd, nr)
 	for i := 0; i <= nr; i++ {
@@ -157,10 +186,13 @@ func (m *Matcher) Match(edges []Edge, out []Pair) []Pair {
 		}
 		m.rowEnd[r] = write
 	}
+	return nr, nc
+}
 
-	// Solve. Real column c is 1-based j=c+1; row i's virtual column is
-	// nc+i; M = nc+nr columns total, col 0 is the tree root.
-	M := nc + nr
+// initPotentials zeroes the solver state for a fresh solve over nr rows and
+// vcap+nr columns.
+func (m *Matcher) initPotentials(nr, nc int) {
+	M := int(m.vcap) + nr
 	m.u = growFloats(m.u, nr+1)
 	m.v = growFloats(m.v, M+1)
 	m.p = growInt32s(m.p, M+1)
@@ -171,104 +203,126 @@ func (m *Matcher) Match(edges []Edge, out []Pair) []Pair {
 	for i := 0; i <= nr; i++ {
 		m.u[i] = 0
 	}
-	for j := 0; j <= M; j++ {
+	// Only the columns this solve can touch need resetting: the root (0),
+	// the compacted real columns 1..nc, and the virtual band vcap+1..vcap+nr.
+	// runRow never reads or writes the gap in between, so small batches —
+	// the ε-sized stage-2 flushes — pay O(nr+nc), not O(vcap), regardless of
+	// how large a previous solve grew the arrays.
+	m.resetColRange(0, nc, inf)
+	m.resetColRange(int(m.vcap)+1, M, inf)
+}
+
+// resetColRange clears the per-column solver state for columns lo..hi.
+func (m *Matcher) resetColRange(lo, hi int, inf float64) {
+	for j := lo; j <= hi; j++ {
 		m.v[j] = 0
 		m.p[j] = 0
 		m.way[j] = 0
 		m.minv[j] = inf
 		m.used[j] = false
 	}
+}
 
-	for i := 1; i <= nr; i++ {
-		m.p[0] = int32(i)
-		m.touched = m.touched[:0]
-		m.reach = m.reach[:0]
-		m.pathCols = m.pathCols[:0]
-		j0 := 0
-		for {
-			m.used[j0] = true
-			m.pathCols = append(m.pathCols, int32(j0))
-			i0 := int(m.p[j0])
-			// Relax i0's sparse adjacency plus its virtual column.
-			row := i0 - 1
-			for k := m.rowStart[row]; k < m.rowEnd[row]; k++ {
-				j := int(m.adjCol[k]) + 1
-				if m.used[j] {
-					continue
+// runRow grows the alternating tree from row i until it augments, updating
+// potentials and the matching in place. Rows must be run in order 1..nr;
+// the state after row i depends only on rows 1..i (checkpointability).
+func (m *Matcher) runRow(i int, maxW float64) {
+	inf := math.Inf(1)
+	m.p[0] = int32(i)
+	m.touched = m.touched[:0]
+	m.reach = m.reach[:0]
+	m.pathCols = m.pathCols[:0]
+	j0 := 0
+	for {
+		m.used[j0] = true
+		m.pathCols = append(m.pathCols, int32(j0))
+		i0 := int(m.p[j0])
+		// Relax i0's sparse adjacency plus its virtual column.
+		row := i0 - 1
+		for k := m.rowStart[row]; k < m.rowEnd[row]; k++ {
+			j := int(m.adjCol[k]) + 1
+			if m.used[j] {
+				continue
+			}
+			cur := (maxW - m.adjW[k]) - m.u[i0] - m.v[j]
+			if cur < m.minv[j] {
+				if math.IsInf(m.minv[j], 1) {
+					m.touched = append(m.touched, int32(j))
+					m.reach = append(m.reach, int32(j))
 				}
-				cur := (maxW - m.adjW[k]) - m.u[i0] - m.v[j]
-				if cur < m.minv[j] {
-					if math.IsInf(m.minv[j], 1) {
-						m.touched = append(m.touched, int32(j))
-						m.reach = append(m.reach, int32(j))
-					}
-					m.minv[j] = cur
-					m.way[j] = int32(j0)
-				}
-			}
-			if jv := nc + i0; !m.used[jv] {
-				cur := maxW - m.u[i0] - m.v[jv]
-				if cur < m.minv[jv] {
-					if math.IsInf(m.minv[jv], 1) {
-						m.touched = append(m.touched, int32(jv))
-						m.reach = append(m.reach, int32(jv))
-					}
-					m.minv[jv] = cur
-					m.way[jv] = int32(j0)
-				}
-			}
-			// Delta scan over the live frontier, compacting out columns the
-			// tree has since absorbed.
-			delta, j1, w := inf, -1, 0
-			for _, j := range m.reach {
-				if m.used[j] {
-					continue
-				}
-				m.reach[w] = j
-				w++
-				if m.minv[j] < delta {
-					delta = m.minv[j]
-					j1 = int(j)
-				}
-			}
-			m.reach = m.reach[:w]
-			if j1 < 0 {
-				// Unreachable only if the virtual columns were exhausted,
-				// which the one-virtual-per-row construction rules out; kept
-				// as a defensive exit (row stays unmatched).
-				break
-			}
-			for _, j := range m.pathCols {
-				m.u[m.p[j]] += delta
-				m.v[j] -= delta
-			}
-			for _, j := range m.reach {
-				m.minv[j] -= delta
-			}
-			j0 = j1
-			if m.p[j0] == 0 {
-				break
+				m.minv[j] = cur
+				m.way[j] = int32(j0)
 			}
 		}
-		if m.p[j0] != 0 {
-			// Defensive-exit path above: nothing to augment.
-			j0 = 0
+		if jv := int(m.vcap) + i0; !m.used[jv] {
+			cur := maxW - m.u[i0] - m.v[jv]
+			if cur < m.minv[jv] {
+				if math.IsInf(m.minv[jv], 1) {
+					m.touched = append(m.touched, int32(jv))
+					m.reach = append(m.reach, int32(jv))
+				}
+				m.minv[jv] = cur
+				m.way[jv] = int32(j0)
+			}
 		}
-		for j0 != 0 {
-			j1 := int(m.way[j0])
-			m.p[j0] = m.p[j1]
-			j0 = j1
+		// Delta scan over the live frontier, compacting out columns the
+		// tree has since absorbed.
+		delta, j1, w := inf, -1, 0
+		for _, j := range m.reach {
+			if m.used[j] {
+				continue
+			}
+			m.reach[w] = j
+			w++
+			if m.minv[j] < delta {
+				delta = m.minv[j]
+				j1 = int(j)
+			}
 		}
-		// Per-row reset: only the columns this row's tree touched.
-		for _, j := range m.touched {
-			m.minv[j] = inf
-			m.used[j] = false
-			m.way[j] = 0
+		m.reach = m.reach[:w]
+		if j1 < 0 {
+			// Unreachable only if the virtual columns were exhausted,
+			// which the one-virtual-per-row construction rules out; kept
+			// as a defensive exit (row stays unmatched).
+			break
 		}
-		m.used[0] = false
+		for _, j := range m.pathCols {
+			m.u[m.p[j]] += delta
+			m.v[j] -= delta
+		}
+		for _, j := range m.reach {
+			m.minv[j] -= delta
+		}
+		j0 = j1
+		if m.p[j0] == 0 {
+			break
+		}
 	}
+	if m.p[j0] != 0 {
+		// Defensive-exit path above: nothing to augment.
+		j0 = 0
+	}
+	for j0 != 0 {
+		j1 := int(m.way[j0])
+		m.p[j0] = m.p[j1]
+		j0 = j1
+	}
+	// Per-row reset: only the columns this row's tree touched.
+	for _, j := range m.touched {
+		m.minv[j] = inf
+		m.used[j] = false
+		m.way[j] = 0
+	}
+	m.used[0] = false
+}
 
-	// Extract real-column matches; virtual columns are unmatched rows.
+// extract appends the real-column matches to out, sorted by task id;
+// virtual columns are unmatched rows.
+func (m *Matcher) extract(out []Pair, nc int, transposed bool) []Pair {
+	rowIDs, colIDs := m.taskIDs, m.workerIDs
+	if transposed {
+		rowIDs, colIDs = m.workerIDs, m.taskIDs
+	}
 	from := len(out)
 	for j := 1; j <= nc; j++ {
 		r := int(m.p[j])
@@ -290,15 +344,17 @@ func (m *Matcher) Match(edges []Edge, out []Pair) []Pair {
 		out = append(out, Pair{Task: task, Worker: worker, Weight: w})
 	}
 	sortPairsByTask(out[from:])
+	return out
+}
 
-	// Reset the compaction tables for the next call.
+// resetSlots clears the compaction tables for the next call.
+func (m *Matcher) resetSlots() {
 	for _, id := range m.taskIDs {
 		m.taskSlot[id] = 0
 	}
 	for _, id := range m.workerIDs {
 		m.workerSlot[id] = 0
 	}
-	return out
 }
 
 func rowOf(e *Edge, transposed bool, rowSlot []int32) int {

@@ -1,0 +1,284 @@
+package assign
+
+// WarmSlot carries warm-start state for one recurring edge-stream family
+// (e.g. PPI stage 1 across ticks): the previous batch's valid-edge stream
+// and a ladder of solver checkpoints taken at row boundaries.
+//
+// The warm start is an exact prefix-resume, not a heuristic reseed. The
+// Hungarian solve processes rows in order, and after the sticky-vcap column
+// relabelling the solver state after rows 1..r depends only on those rows'
+// edges (and the global weight ceiling maxW). So if the next batch's edge
+// stream begins with the same rows — byte-identical (task, worker, weight)
+// triples — the solve can restore the checkpointed state and re-run only
+// the rows past the common prefix. The result is bit-identical to a cold
+// Match by construction: it is the same deterministic computation with the
+// already-known prefix skipped.
+//
+// Warm eligibility is gated conservatively; any of the following falls back
+// to a cold solve (still through this entry point, so the slot re-arms):
+// maxW changed (it enters every reduced cost), the orientation flipped to
+// workers-as-rows (the stream is task-grouped, so row blocks are only
+// contiguous when tasks are rows), the column capacity grew (labels moved),
+// or the stream is not task-grouped.
+//
+// One fast path sits above all those gates: when the incoming valid-edge
+// stream is identical to the previous one, the stored plan is replayed
+// outright — the solve is deterministic, so same stream means same matching
+// — no matter the orientation or grouping. Quiescent ticks cost O(E) stream
+// comparison and nothing else.
+type WarmSlot struct {
+	valid bool
+	maxW  float64
+	vcap  int32
+
+	// Previous batch's full result, for the identical-stream replay.
+	prevPairs []Pair
+	havePairs bool
+
+	// Previous batch's valid-edge stream, task-grouped row-major.
+	prevTask, prevWorker []int32
+	prevW                []float64
+
+	// Current-batch stream scratch, swapped into prev after each call.
+	curTask, curWorker []int32
+	curW               []float64
+
+	ckpts  []warmCkpt // increasing rows; entries beyond nCkpts are spare capacity
+	nCkpts int
+}
+
+// warmCkpt is the solver state after rows 1..rows: the row potentials, plus
+// column potentials and matching for every column such a prefix can touch —
+// real columns 1..cols (cols = distinct columns in the prefix, dense by
+// first-appearance compaction) and virtual columns vcap+1..vcap+rows.
+// way/minv/used are per-row scratch, zero at row boundaries.
+type warmCkpt struct {
+	rows, cols int
+	u          []float64 // len rows+1, u[0] unused
+	vReal      []float64 // len cols
+	pReal      []int32   // len cols
+	vVirt      []float64 // len rows
+	pVirt      []int32   // len rows
+}
+
+// Invalidate drops all warm state; the next MatchWarm runs cold and re-arms.
+func (ws *WarmSlot) Invalidate() {
+	ws.valid = false
+	ws.havePairs = false
+	ws.nCkpts = 0
+	ws.prevTask = ws.prevTask[:0]
+	ws.prevWorker = ws.prevWorker[:0]
+	ws.prevW = ws.prevW[:0]
+}
+
+// MatchWarm is Match with warm-start bookkeeping through ws: it returns the
+// identical matching Match(edges, out) would (the equivalence tests assert
+// bit-identity over randomized tick sequences) plus the number of rows
+// skipped by checkpoint resume (0 = fully cold). Steady state allocates
+// nothing once the slot's buffers have grown to the working set.
+func (m *Matcher) MatchWarm(ws *WarmSlot, edges []Edge, out []Pair) ([]Pair, int) {
+	mark := len(out)
+	if len(edges) == 0 {
+		ws.Invalidate()
+		return out, 0
+	}
+	maxW := m.compact(edges)
+	if len(m.taskIDs) == 0 {
+		ws.Invalidate()
+		return out, 0
+	}
+	transposed := len(m.taskIDs) > len(m.workerIDs)
+	nr, nc := m.buildAdjacency(edges, transposed)
+	if int32(nc) > m.vcap {
+		m.vcap = int32(nc + nc/2 + 8)
+	}
+
+	// Record this batch's valid-edge stream and verify it is task-grouped:
+	// the k-th distinct task block must hold compaction slot k+1, i.e. rows
+	// appear in stream order exactly once.
+	ws.curTask = ws.curTask[:0]
+	ws.curWorker = ws.curWorker[:0]
+	ws.curW = ws.curW[:0]
+	grouped := true
+	lastTask, rowsSeen := int32(-1), int32(0)
+	for i := range edges {
+		e := &edges[i]
+		if e.Weight <= 0 || e.Task < 0 || e.Worker < 0 {
+			continue
+		}
+		t := int32(e.Task)
+		if t != lastTask {
+			rowsSeen++
+			if m.taskSlot[t] != rowsSeen {
+				grouped = false
+			}
+			lastTask = t
+		}
+		ws.curTask = append(ws.curTask, t)
+		ws.curWorker = append(ws.curWorker, int32(e.Worker))
+		ws.curW = append(ws.curW, e.Weight)
+	}
+
+	// Identical stream: replay the stored plan without solving. Invalid
+	// edges never reach the stream or the solver, so stream equality is
+	// result equality; this path needs none of the orientation/grouping
+	// gates below.
+	if ws.havePairs && ws.sameStream() {
+		m.resetSlots()
+		ws.prevTask, ws.curTask = ws.curTask, ws.prevTask
+		ws.prevWorker, ws.curWorker = ws.curWorker, ws.prevWorker
+		ws.prevW, ws.curW = ws.curW, ws.prevW
+		return append(out, ws.prevPairs...), int(rowsSeen)
+	}
+
+	warmOK := ws.valid && !transposed && grouped &&
+		maxW == ws.maxW && m.vcap == ws.vcap
+	prefix := 0
+	if warmOK {
+		prefix = ws.prefixRows()
+	}
+	// Retain the checkpoints the common prefix keeps valid (they describe
+	// identical computations in this batch) and resume from the deepest.
+	ws.truncate(prefix)
+	m.initPotentials(nr, nc)
+	start, maxCol := 1, 0
+	if ws.nCkpts > 0 {
+		ck := &ws.ckpts[ws.nCkpts-1]
+		copy(m.u[1:ck.rows+1], ck.u[1:])
+		for j := 1; j <= ck.cols; j++ {
+			m.v[j] = ck.vReal[j-1]
+			m.p[j] = ck.pReal[j-1]
+		}
+		for i := 1; i <= ck.rows; i++ {
+			jv := int(m.vcap) + i
+			m.v[jv] = ck.vVirt[i-1]
+			m.p[jv] = ck.pVirt[i-1]
+		}
+		start = ck.rows + 1
+		maxCol = ck.cols
+	}
+	warmRows := start - 1
+
+	// Run the remaining rows, dropping checkpoints at interval boundaries
+	// (and at the final row, so an unchanged batch resumes past everything).
+	g := nr / 8
+	if g < 16 {
+		g = 16
+	}
+	for i := start; i <= nr; i++ {
+		m.runRow(i, maxW)
+		for k := m.rowStart[i-1]; k < m.rowEnd[i-1]; k++ {
+			if c := int(m.adjCol[k]) + 1; c > maxCol {
+				maxCol = c
+			}
+		}
+		if (i%g == 0 || i == nr) && !transposed && grouped {
+			ws.pushCkpt(m, i, maxCol)
+		}
+	}
+
+	out = m.extract(out, nc, transposed)
+	m.resetSlots()
+
+	// Re-arm the slot for the next batch: the current stream becomes the
+	// comparison baseline (buffer swap, no copy).
+	ws.valid = !transposed && grouped
+	if !ws.valid {
+		ws.nCkpts = 0
+	}
+	ws.maxW = maxW
+	ws.vcap = m.vcap
+	ws.prevTask, ws.curTask = ws.curTask, ws.prevTask
+	ws.prevWorker, ws.curWorker = ws.curWorker, ws.prevWorker
+	ws.prevW, ws.curW = ws.curW, ws.prevW
+	ws.prevPairs = append(ws.prevPairs[:0], out[mark:]...)
+	ws.havePairs = true
+	return out, warmRows
+}
+
+// sameStream reports whether the current valid-edge stream equals the
+// previous one exactly (NaN weights compare unequal, keeping the replay
+// conservative on poisoned batches).
+func (ws *WarmSlot) sameStream() bool {
+	if len(ws.curTask) != len(ws.prevTask) {
+		return false
+	}
+	for i := range ws.curTask {
+		if ws.curTask[i] != ws.prevTask[i] ||
+			ws.curWorker[i] != ws.prevWorker[i] || ws.curW[i] != ws.prevW[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixRows counts the leading rows (task blocks) on which the previous
+// and current streams agree exactly. A row counts only when it is complete
+// in both streams: a block that one stream extends with more edges of the
+// same task is not a common row.
+func (ws *WarmSlot) prefixRows() int {
+	q, lim := 0, len(ws.curTask)
+	if len(ws.prevTask) < lim {
+		lim = len(ws.prevTask)
+	}
+	for q < lim && ws.curTask[q] == ws.prevTask[q] &&
+		ws.curWorker[q] == ws.prevWorker[q] && ws.curW[q] == ws.prevW[q] {
+		q++
+	}
+	rows := 0
+	for s := 0; s < q; {
+		t := ws.curTask[s]
+		e := s + 1
+		for e < len(ws.curTask) && ws.curTask[e] == t {
+			e++
+		}
+		if e > q {
+			break // the divergence falls inside this block
+		}
+		if e == q {
+			// Block ends exactly at the divergence point: complete only if
+			// neither stream continues the same task there.
+			if (q < len(ws.curTask) && ws.curTask[q] == t) ||
+				(q < len(ws.prevTask) && ws.prevTask[q] == t) {
+				break
+			}
+		}
+		rows++
+		s = e
+	}
+	return rows
+}
+
+// truncate drops checkpoints deeper than the given row prefix.
+func (ws *WarmSlot) truncate(prefix int) {
+	for ws.nCkpts > 0 && ws.ckpts[ws.nCkpts-1].rows > prefix {
+		ws.nCkpts--
+	}
+}
+
+// pushCkpt snapshots the solver state after rows 1..rows with cols distinct
+// real columns, reusing spare entries (and their buffers) past nCkpts.
+func (ws *WarmSlot) pushCkpt(m *Matcher, rows, cols int) {
+	if ws.nCkpts > 0 && ws.ckpts[ws.nCkpts-1].rows == rows {
+		return // identical state already on the ladder (resumed batch)
+	}
+	if ws.nCkpts == len(ws.ckpts) {
+		ws.ckpts = append(ws.ckpts, warmCkpt{})
+	}
+	ck := &ws.ckpts[ws.nCkpts]
+	ws.nCkpts++
+	ck.rows, ck.cols = rows, cols
+	ck.u = growFloats(ck.u, rows+1)
+	copy(ck.u, m.u[:rows+1])
+	ck.vReal = growFloats(ck.vReal, cols)
+	copy(ck.vReal, m.v[1:cols+1])
+	ck.pReal = growInt32s(ck.pReal, cols)
+	copy(ck.pReal, m.p[1:cols+1])
+	ck.vVirt = growFloats(ck.vVirt, rows)
+	ck.pVirt = growInt32s(ck.pVirt, rows)
+	for i := 1; i <= rows; i++ {
+		jv := int(m.vcap) + i
+		ck.vVirt[i-1] = m.v[jv]
+		ck.pVirt[i-1] = m.p[jv]
+	}
+}

@@ -2,7 +2,8 @@ package assign
 
 import (
 	"context"
-	"sort"
+	"math"
+	"slices"
 
 	"github.com/spatialcrowd/tamp/internal/geo"
 	"github.com/spatialcrowd/tamp/internal/obs"
@@ -47,6 +48,46 @@ type candidate struct {
 	conf         float64 // |B|·MR
 }
 
+// cmpCandidate is the stage-2 traversal order: descending confidence with
+// (task, worker) index as the tie-break — a strict total order, so the
+// sorted sequence is unique and, crucially, an incremental merge of
+// surviving and fresh candidates reproduces it exactly. NaN confidence
+// sorts last (after every real value) to keep the comparator consistent.
+func cmpCandidate(a, b candidate) int {
+	an, bn := math.IsNaN(a.conf), math.IsNaN(b.conf)
+	switch {
+	case an && bn:
+	case an:
+		return 1
+	case bn:
+		return -1
+	case a.conf > b.conf:
+		return -1
+	case a.conf < b.conf:
+		return 1
+	}
+	if a.task != b.task {
+		return a.task - b.task
+	}
+	return a.worker - b.worker
+}
+
+// sortPending orders stage-2 candidates by cmpCandidate. slices.SortFunc on
+// the typed slice allocates nothing, unlike the sort.Slice closure it
+// replaced (one interface header + closure per batch); the steady-state
+// alloc gate covers it.
+func sortPending(pending []candidate) {
+	slices.SortFunc(pending, cmpCandidate)
+}
+
+// growCandidates readies a reusable candidate buffer with capacity n.
+func growCandidates(buf []candidate, n int) []candidate {
+	if cap(buf) < n {
+		return make([]candidate, 0, n)
+	}
+	return buf[:0]
+}
+
 // edgeCounters bundles the tamp_assign_edges_total series the assigners
 // bump every batch; resolved once per registry through Memo because a
 // labelled lookup per batch would rival a small batch's matching work.
@@ -58,6 +99,13 @@ type edgeCounters struct {
 	ppiCandidates, ppiPruned         *obs.Counter
 	kmCandidates, kmPruned           *obs.Counter
 	greedyCandidates, greedyPruned   *obs.Counter
+
+	// Incremental-engine series: rows the warm-started KM resumed without
+	// re-solving, index cells patched in place by Update, and full index
+	// rebuilds (every from-scratch Build, including churn fallbacks).
+	kmWarmRows  *obs.Counter
+	idxPatched  *obs.Counter
+	idxRebuilds *obs.Counter
 }
 
 func edgeCountersFor(reg *obs.Registry) *edgeCounters {
@@ -76,6 +124,9 @@ func edgeCountersFor(reg *obs.Registry) *edgeCounters {
 			kmPruned:         edges("KM", "pruned"),
 			greedyCandidates: edges("Greedy", "candidates"),
 			greedyPruned:     edges("Greedy", "pruned"),
+			kmWarmRows:       r.Counter("tamp_km_warm_rows_total"),
+			idxPatched:       r.Counter("tamp_index_patched_cells_total"),
+			idxRebuilds:      r.Counter("tamp_index_rebuilds_total"),
 		}
 	}).(*edgeCounters)
 }
@@ -129,9 +180,9 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 	rows := make([]row, len(tasks))
 	par.ForEach(ctx, len(tasks), p.Parallelism, func(ti int) error {
 		r := &rows[ti]
-		cands := cv.at(tasks[ti].Loc)
-		r.visited = len(cands)
-		for _, wi32 := range cands {
+		it := cv.iter(tasks[ti].Loc)
+		r.visited = it.total()
+		for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 			wi := int(wi32)
 			w := &workers[wi]
 			if tasks[ti].ExcludedWorker(w.ID) {
@@ -168,16 +219,23 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		nVisited += rows[i].visited
 	}
 	confident := make([]Edge, 0, nConf)
-	pending := make([]candidate, 0, nPend)
+	pending := growCandidates(ws.pending, nPend)
 	for i := range rows {
 		confident = append(confident, rows[i].confident...)
 		pending = append(pending, rows[i].pending...)
 	}
+	ws.pending = pending[:0]
 	ec.confident.Add(int64(nConf))
 	ec.pending.Add(int64(nPend))
 	ec.ppiCandidates.Add(int64(nVisited))
 	ec.ppiPruned.Add(int64(len(tasks)*len(workers) - nVisited))
-	result := ws.m.Match(confident, nil)
+	// The confident stream is task-grouped (rows concatenated in task
+	// order), so a long-lived workspace warm-starts this solve from the
+	// previous batch's checkpoints; the result is bit-identical to a cold
+	// Match either way.
+	result, warmRows := ws.m.MatchWarm(&ws.warm, confident, nil)
+	ws.noteWarm(warmRows)
+	ec.kmWarmRows.Add(int64(warmRows))
 	endStage1()
 	// Dense index sets: both sides are small integer ranges, so []bool beats
 	// a map on lookup cost and avoids per-entry allocation.
@@ -192,7 +250,7 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 	// Stage 2 (lines 13–27): traverse 𝓑 in descending |B|·MR, batching ε
 	// candidates per KM call; after each call, drop everything touching the
 	// matched tasks and workers.
-	sort.Slice(pending, func(a, b int) bool { return pending[a].conf > pending[b].conf })
+	sortPending(pending)
 	batch := make([]Edge, 0, eps)
 	flush := func() {
 		if len(batch) == 0 {
@@ -229,7 +287,8 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 			return nil
 		}
 		var row []Edge
-		for _, wi32 := range cv.at(tasks[ti].Loc) {
+		it := cv.iter(tasks[ti].Loc)
+		for wi32, ok := it.next(); ok; wi32, ok = it.next() {
 			wi := int(wi32)
 			if assignedW[wi] {
 				continue

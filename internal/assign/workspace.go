@@ -23,10 +23,41 @@ type Workspace struct {
 	idx geo.GridIndex
 	m   Matcher
 	all []int32
+
+	// Warm-start state for the recurring stage-1 KM stream (see WarmSlot):
+	// persists row/column potentials and the previous matching across
+	// batches, so a long-lived workspace warm-starts ticks whose confident
+	// edges mostly survive. One-shot workspaces just run cold.
+	warm WarmSlot
+
+	// pending is the stage-2 candidate buffer, reused across batches.
+	pending []candidate
+
+	// Warm/cold accounting for the serving tier's /api/metrics.
+	lastWarmRows int
+	warmBatches  uint64
+	coldBatches  uint64
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// noteWarm records one stage-1 solve's warm-start depth.
+func (ws *Workspace) noteWarm(rows int) {
+	ws.lastWarmRows = rows
+	if rows > 0 {
+		ws.warmBatches++
+	} else {
+		ws.coldBatches++
+	}
+}
+
+// WarmStats reports how deep the last batch's KM warm start reached (rows
+// of the confident-edge solve resumed from checkpoints; 0 = cold) and the
+// cumulative warm/cold batch split since the workspace was created.
+func (ws *Workspace) WarmStats() (lastWarmRows int, warmBatches, coldBatches uint64) {
+	return ws.lastWarmRows, ws.warmBatches, ws.coldBatches
+}
 
 type wsCtxKey struct{}
 
@@ -53,14 +84,48 @@ type candidateView struct {
 	all []int32
 }
 
-func (cv candidateView) at(loc geo.Point) []int32 {
+// iter returns the candidate iterator for a task location: the grid bucket
+// merged with the overflow list (oversize envelopes kept off the grid), in
+// ascending worker order — the same order the brute scan walks.
+func (cv candidateView) iter(loc geo.Point) candIter {
 	if cv.idx == nil || math.IsNaN(loc.X) || math.IsNaN(loc.Y) {
 		// A NaN task location defeats every distance comparison, so the brute
 		// predicates can accept workers arbitrarily far away; scan them all.
-		return cv.all
+		return candIter{a: cv.all}
 	}
-	return cv.idx.Candidates(loc)
+	return candIter{a: cv.idx.Candidates(loc), b: cv.idx.Overflow()}
 }
+
+// candIter merges two ascending, disjoint id streams (grid bucket and
+// overflow list) into one ascending scan without materializing the union.
+type candIter struct {
+	a, b []int32
+	i, j int
+}
+
+// next returns the smallest unconsumed id, or ok=false when exhausted.
+func (it *candIter) next() (int32, bool) {
+	if it.i < len(it.a) {
+		if it.j < len(it.b) && it.b[it.j] < it.a[it.i] {
+			v := it.b[it.j]
+			it.j++
+			return v, true
+		}
+		v := it.a[it.i]
+		it.i++
+		return v, true
+	}
+	if it.j < len(it.b) {
+		v := it.b[it.j]
+		it.j++
+		return v, true
+	}
+	return 0, false
+}
+
+// total is the number of ids the full scan will visit (streams are
+// disjoint by construction).
+func (it candIter) total() int { return len(it.a) + len(it.b) }
 
 // indexMinWorkers is the batch size below which the index rebuild costs more
 // than the scan it prunes; smaller batches take the identical-plan brute
@@ -97,6 +162,7 @@ func buildCandidateView(ctx context.Context, ws *Workspace, nWorkers, parallelis
 	if err != nil || unbounded.Load() {
 		return candidateView{all: ws.all}
 	}
+	edgeCountersFor(obs.RegistryFrom(ctx)).idxRebuilds.Add(1)
 	return candidateView{idx: &ws.idx, all: ws.all}
 }
 

@@ -1,0 +1,261 @@
+package geo
+
+import "slices"
+
+// EnvDelta describes one id's new envelope state for GridIndex.Update:
+// Has=true moves or adds the id with the given envelope, Has=false removes
+// it from the index. Each id must appear at most once per Update call.
+type EnvDelta struct {
+	ID  int32
+	Env BBox
+	Has bool
+}
+
+// Patch thresholds: an Update that would touch more than half the grid, or
+// grow the overlay arena past a small multiple of the base CSR, reports
+// ok=false so the caller rebuilds — patching most of the index costs more
+// than a fresh parallel Build, and the arena (which only grows between
+// Builds) must stay bounded.
+const arenaSlack = 4096
+
+// Update patches the index in place from envelope deltas, under the grid
+// geometry frozen by the last Build: only the cells covered by each delta's
+// old and new envelopes are re-derived, into the current epoch's overlay,
+// so the cost is proportional to churn rather than index size. The
+// resulting buckets are exactly those a from-scratch fill of the updated
+// envelope set under the same frozen geometry would produce (the
+// incremental-maintenance property tests assert this), which keeps every
+// downstream plan bit-identical to the rebuild path.
+//
+// It returns the sorted cell indexes whose buckets changed (aliasing
+// internal scratch — valid until the next Update or Build), whether the
+// overflow list changed, and ok. When ok=false the index was not modified
+// in any way and the caller must fall back to Build: the delta set exceeded
+// the patch thresholds, or the index is unbuilt/gridless. Deltas whose new
+// envelope is oversize under the frozen geometry are routed to the overflow
+// list, exactly as Build would.
+//
+// Update must not race with Candidates; like Build, it is a writer.
+func (ix *GridIndex) Update(deltas []EnvDelta) (touched []int32, overflowChanged, ok bool) {
+	if !ix.built || ix.cols == 0 {
+		return nil, false, false
+	}
+	cells := ix.cols * ix.rows
+	ix.cellStamp = growUint32(ix.cellStamp, cells)
+	ix.cellLocal = growInt32Keep(ix.cellLocal, cells)
+
+	// Pass 1 — classify every delta and count the distinct touched cells and
+	// total bucket insertions, without mutating the index, so the fallback
+	// decision can be taken before any damage is done. Stamps double as the
+	// cell → local-slot map for the per-cell addition lists built below.
+	ix.stampGen++
+	ix.touched = ix.touched[:0]
+	addTotal := 0
+	maxID := -1
+	for _, d := range deltas {
+		id := int(d.ID)
+		if id < 0 {
+			return nil, false, false
+		}
+		if id > maxID {
+			maxID = id
+		}
+		oldHas, oldOver := ix.idState(id)
+		if oldHas && !oldOver {
+			ix.stampEnvelope(ix.envs[id])
+		}
+		newHas, newOver := ix.classify(d)
+		if newHas && !newOver {
+			c0, r0, c1, r1 := ix.cellRange(d.Env)
+			addTotal += (c1 - c0 + 1) * (r1 - r0 + 1)
+			ix.stampEnvelope(d.Env)
+		}
+	}
+	if 2*len(ix.touched) > cells {
+		return nil, false, false
+	}
+	projected := len(ix.arena) + addTotal
+	for _, c := range ix.touched {
+		projected += len(ix.bucketAt(int(c)))
+	}
+	if projected > 4*len(ix.entries)+arenaSlack {
+		return nil, false, false
+	}
+
+	// Pass 2 — apply. Grow the id-state arrays first (new ids may extend
+	// them; the exposed gap must read as absent), then stamp every
+	// grid-resident delta id for removal from its old buckets.
+	if maxID >= ix.n {
+		newN := maxID + 1
+		ix.envs = growBBox(ix.envs, newN)
+		ix.has = growBool(ix.has, newN)
+		ix.over = growBool(ix.over, newN)
+		for i := ix.n; i < newN; i++ {
+			ix.has[i], ix.over[i] = false, false
+		}
+		ix.n = newN
+	}
+	ix.remStamp = growUint32(ix.remStamp, ix.n)
+	ix.remGen++
+	for _, d := range deltas {
+		id := int(d.ID)
+		if ix.has[id] && !ix.over[id] {
+			ix.remStamp[id] = ix.remGen
+		}
+	}
+
+	// Per-cell addition lists (CSR over the touched cells, via the stamp
+	// map). Entry order within a cell follows delta order, but ids are
+	// unique and every rebuilt bucket is sorted, so the result does not
+	// depend on how the caller ordered the deltas.
+	slices.Sort(ix.touched)
+	for k, c := range ix.touched {
+		ix.cellLocal[c] = int32(k)
+	}
+	nt := len(ix.touched)
+	ix.addCount = growInt32(ix.addCount, nt)
+	for i := range ix.addCount {
+		ix.addCount[i] = 0
+	}
+	for _, d := range deltas {
+		if newHas, newOver := ix.classify(d); !newHas || newOver {
+			continue
+		}
+		c0, r0, c1, r1 := ix.cellRange(d.Env)
+		for r := r0; r <= r1; r++ {
+			base := r * ix.cols
+			for c := c0; c <= c1; c++ {
+				ix.addCount[ix.cellLocal[base+c]]++
+			}
+		}
+	}
+	ix.addStart = growInt32(ix.addStart, nt+1)
+	var total int32
+	for i := 0; i < nt; i++ {
+		ix.addStart[i] = total
+		total += ix.addCount[i]
+		ix.addCount[i] = 0 // reused as the fill cursor
+	}
+	ix.addStart[nt] = total
+	ix.addList = growInt32(ix.addList, int(total))
+	for _, d := range deltas {
+		if newHas, newOver := ix.classify(d); !newHas || newOver {
+			continue
+		}
+		c0, r0, c1, r1 := ix.cellRange(d.Env)
+		for r := r0; r <= r1; r++ {
+			base := r * ix.cols
+			for c := c0; c <= c1; c++ {
+				k := ix.cellLocal[base+c]
+				ix.addList[ix.addStart[k]+ix.addCount[k]] = d.ID
+				ix.addCount[k]++
+			}
+		}
+	}
+
+	// Rebuild each touched cell into a fresh arena segment: survivors from
+	// the current bucket (base or prior overlay) minus the removal-stamped
+	// ids, merged with this cell's additions, ascending. Survivors are
+	// already sorted, so only the (typically tiny) addition run needs a sort
+	// before the linear merge; the two are disjoint because every
+	// grid-resident delta id was removal-stamped above. Reading an old arena
+	// segment while appending is safe — append never overwrites live prefix
+	// data, and on reallocation the old backing array stays intact.
+	for k, c := range ix.touched {
+		adds := ix.addList[ix.addStart[k]:ix.addStart[k+1]]
+		if len(adds) > 1 {
+			slices.Sort(adds)
+		}
+		off := int32(len(ix.arena))
+		ai := 0
+		for _, id := range ix.bucketAt(int(c)) {
+			if ix.remStamp[id] != ix.remGen {
+				for ai < len(adds) && adds[ai] < id {
+					ix.arena = append(ix.arena, adds[ai])
+					ai++
+				}
+				ix.arena = append(ix.arena, id)
+			}
+		}
+		ix.arena = append(ix.arena, adds[ai:]...)
+		ix.overlayOff[c] = off
+		ix.overlayLen[c] = int32(len(ix.arena)) - off
+		ix.overlayVer[c] = ix.epoch
+	}
+
+	// Commit the per-id state and collect overflow membership changes.
+	ovAdd := ix.ovScratch[:0]
+	ovRemoved := false
+	ix.remGen++ // reuse the stamp array for overflow-list removals
+	for _, d := range deltas {
+		id := int(d.ID)
+		newHas, newOver := ix.classify(d)
+		if ix.over[id] && !newOver {
+			ix.remStamp[id] = ix.remGen
+			ovRemoved = true
+		} else if newOver && !ix.over[id] {
+			ovAdd = append(ovAdd, d.ID)
+		}
+		ix.envs[id] = d.Env
+		ix.has[id] = newHas
+		ix.over[id] = newOver
+	}
+	overflowChanged = ovRemoved || len(ovAdd) > 0
+	if overflowChanged {
+		keep := ix.overflow[:0]
+		for _, id := range ix.overflow {
+			if ix.remStamp[id] != ix.remGen {
+				keep = append(keep, id)
+			}
+		}
+		ix.overflow = append(keep, ovAdd...)
+		slices.Sort(ix.overflow)
+	}
+	ix.ovScratch = ovAdd[:0]
+	return ix.touched, overflowChanged, true
+}
+
+// idState reports whether id is currently indexed and, if so, whether it
+// lives on the overflow list; ids beyond the tracked range are absent.
+func (ix *GridIndex) idState(id int) (has, over bool) {
+	if id >= ix.n {
+		return false, false
+	}
+	return ix.has[id], ix.over[id]
+}
+
+// classify normalizes a delta the way Build validates envelopes: non-finite
+// or inverted boxes are treated as absent, and present envelopes are routed
+// to the grid or the overflow list under the frozen geometry.
+func (ix *GridIndex) classify(d EnvDelta) (has, over bool) {
+	if !d.Has || !finiteBox(d.Env) || d.Env.Min.X > d.Env.Max.X || d.Env.Min.Y > d.Env.Max.Y {
+		return false, false
+	}
+	return true, ix.oversized(d.Env)
+}
+
+// stampEnvelope marks every cell covered by e as touched in the current
+// stamp generation, appending first-seen cells to ix.touched.
+func (ix *GridIndex) stampEnvelope(e BBox) {
+	c0, r0, c1, r1 := ix.cellRange(e)
+	for r := r0; r <= r1; r++ {
+		base := r * ix.cols
+		for c := c0; c <= c1; c++ {
+			if ix.cellStamp[base+c] != ix.stampGen {
+				ix.cellStamp[base+c] = ix.stampGen
+				ix.touched = append(ix.touched, int32(base+c))
+			}
+		}
+	}
+}
+
+// growInt32Keep grows s to n preserving contents (unlike growInt32, whose
+// callers always overwrite the slice).
+func growInt32Keep(s []int32, n int) []int32 {
+	if cap(s) < n {
+		ns := make([]int32, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}

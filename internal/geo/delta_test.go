@@ -1,0 +1,265 @@
+package geo
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// mirrorState is the oracle for Update tests: the plain envelope set the
+// index should currently represent, maintained alongside the deltas.
+type mirrorState struct {
+	envs []BBox
+	has  []bool
+}
+
+func newMirror(envs []BBox) *mirrorState {
+	m := &mirrorState{envs: slices.Clone(envs), has: make([]bool, len(envs))}
+	for i := range m.has {
+		m.has[i] = true
+	}
+	return m
+}
+
+func (m *mirrorState) apply(deltas []EnvDelta) {
+	for _, d := range deltas {
+		id := int(d.ID)
+		for id >= len(m.envs) {
+			m.envs = append(m.envs, BBox{})
+			m.has = append(m.has, false)
+		}
+		m.envs[id], m.has[id] = d.Env, d.Has
+	}
+}
+
+// frozenFill rebuilds the index's buckets from scratch under the SAME grid
+// geometry (bounds, cell size, oversize cut) as ix, over ix's current
+// envelope state. This is the oracle for the delta protocol: Update must
+// leave the buckets exactly as a from-scratch fill would.
+func frozenFill(t *testing.T, ix *GridIndex) *GridIndex {
+	t.Helper()
+	c := &GridIndex{
+		bounds:      ix.bounds,
+		cell:        ix.cell,
+		cols:        ix.cols,
+		rows:        ix.rows,
+		oversizeCut: ix.oversizeCut,
+		n:           ix.n,
+		envs:        slices.Clone(ix.envs[:ix.n]),
+		has:         slices.Clone(ix.has[:ix.n]),
+		over:        make([]bool, ix.n),
+		epoch:       1,
+	}
+	if err := c.fillFrozen(context.Background(), 1); err != nil {
+		t.Fatalf("fillFrozen: %v", err)
+	}
+	c.built = true
+	return c
+}
+
+func sameBuckets(t *testing.T, got, want *GridIndex, label string) {
+	t.Helper()
+	if got.cols != want.cols || got.rows != want.rows {
+		t.Fatalf("%s: dims %dx%d vs %dx%d", label, got.cols, got.rows, want.cols, want.rows)
+	}
+	for c := 0; c < got.cols*got.rows; c++ {
+		g, w := got.bucketAt(c), want.bucketAt(c)
+		if !slices.Equal(g, w) {
+			t.Fatalf("%s: cell %d bucket %v, frozen rebuild has %v", label, c, g, w)
+		}
+	}
+	if !slices.Equal(got.Overflow(), want.Overflow()) {
+		t.Fatalf("%s: overflow %v, frozen rebuild has %v", label, got.Overflow(), want.Overflow())
+	}
+	for i := 0; i < got.n; i++ {
+		if got.has[i] != want.has[i] || got.over[i] != want.over[i] {
+			t.Fatalf("%s: id %d state has=%v over=%v, want has=%v over=%v",
+				label, i, got.has[i], got.over[i], want.has[i], want.over[i])
+		}
+	}
+}
+
+// randDeltas mutates a random subset of ids: mostly small moves, some
+// removals, some additions of brand-new ids past the current range, and the
+// occasional giant envelope that must be routed to the overflow list.
+func randDeltas(rng *rand.Rand, m *mirrorState, maxNew int) []EnvDelta {
+	n := len(m.envs)
+	k := 1 + rng.Intn(n/4+1)
+	perm := rng.Perm(n)
+	var deltas []EnvDelta
+	for _, id := range perm[:k] {
+		d := EnvDelta{ID: int32(id)}
+		switch {
+		case rng.Float64() < 0.15: // remove
+		case rng.Float64() < 0.08: // heavy-tailed envelope → overflow
+			x, y := rng.Float64()*100, rng.Float64()*60
+			r := 30 + rng.Float64()*40
+			d.Env, d.Has = BBox{Min: Pt(x-r, y-r), Max: Pt(x+r, y+r)}, true
+		default: // move
+			x, y := rng.Float64()*100, rng.Float64()*60
+			rx, ry := rng.Float64()*4, rng.Float64()*4
+			d.Env, d.Has = BBox{Min: Pt(x-rx, y-ry), Max: Pt(x+rx, y+ry)}, true
+		}
+		deltas = append(deltas, d)
+	}
+	for a := 0; a < maxNew; a++ {
+		if rng.Float64() < 0.5 {
+			continue
+		}
+		x, y := rng.Float64()*100, rng.Float64()*60
+		deltas = append(deltas, EnvDelta{
+			ID:  int32(len(m.envs) + a),
+			Env: BBox{Min: Pt(x-1, y-1), Max: Pt(x+1, y+1)},
+			Has: true,
+		})
+	}
+	return deltas
+}
+
+// The delta-protocol property: after any sequence of Updates, every bucket
+// and the overflow list are exactly what a from-scratch fill of the updated
+// envelope set under the frozen geometry produces.
+func TestUpdateMatchesFrozenRebuild(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		envs := randEnvelopes(60+rng.Intn(300), seed+100)
+		m := newMirror(envs)
+		var ix GridIndex
+		buildOver(t, &ix, envs, 0)
+		for step := 0; step < 6; step++ {
+			deltas := randDeltas(rng, m, 3)
+			m.apply(deltas)
+			if _, _, ok := ix.Update(deltas); !ok {
+				// Over the patch threshold: the caller's contract is a full
+				// rebuild over the updated envelope set.
+				err := ix.Build(context.Background(), len(m.envs), 1, func(i int) (BBox, bool) {
+					return m.envs[i], m.has[i]
+				})
+				if err != nil {
+					t.Fatalf("seed %d step %d: rebuild: %v", seed, step, err)
+				}
+				continue
+			}
+			sameBuckets(t, &ix, frozenFill(t, &ix), "after update")
+
+			// Black-box superset check against the mirror: every indexed id
+			// whose envelope contains a query point must be discoverable via
+			// Candidates ∪ Overflow.
+			for q := 0; q < 200; q++ {
+				p := Pt(rng.Float64()*120-10, rng.Float64()*80-10)
+				cand := ix.Candidates(p)
+				ovf := ix.Overflow()
+				for id := range m.envs {
+					if !m.has[id] || !m.envs[id].Contains(p) {
+						continue
+					}
+					id32 := int32(id)
+					if !slices.Contains(cand, id32) && !slices.Contains(ovf, id32) {
+						t.Fatalf("seed %d step %d: id %d contains %v but missing from candidates %v and overflow %v",
+							seed, step, id, p, cand, ovf)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A rejected Update must leave the index bit-identical to before the call.
+func TestUpdateRejectedLeavesIndexUntouched(t *testing.T) {
+	envs := randEnvelopes(200, 42)
+	var ix GridIndex
+	buildOver(t, &ix, envs, 0)
+	before := frozenFill(t, &ix)
+
+	// Move every id to a fresh location: touches nearly every cell, which
+	// must trip the half-grid threshold.
+	rng := rand.New(rand.NewSource(43))
+	deltas := make([]EnvDelta, len(envs))
+	for i := range deltas {
+		x, y := rng.Float64()*100, rng.Float64()*60
+		deltas[i] = EnvDelta{ID: int32(i), Env: BBox{Min: Pt(x-3, y-3), Max: Pt(x+3, y+3)}, Has: true}
+	}
+	if _, _, ok := ix.Update(deltas); ok {
+		t.Skip("full-churn update unexpectedly under threshold; nothing to assert")
+	}
+	sameBuckets(t, &ix, before, "after rejected update")
+}
+
+// Update must be insensitive to delta order: buckets are sorted sets.
+func TestUpdateOrderIndependent(t *testing.T) {
+	envs := randEnvelopes(150, 7)
+	var a, b GridIndex
+	buildOver(t, &a, envs, 0)
+	buildOver(t, &b, envs, 0)
+
+	rng := rand.New(rand.NewSource(8))
+	m := newMirror(envs)
+	deltas := randDeltas(rng, m, 2)
+	shuffled := slices.Clone(deltas)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	_, _, okA := a.Update(deltas)
+	_, _, okB := b.Update(shuffled)
+	if okA != okB {
+		t.Fatalf("ok mismatch: %v vs %v", okA, okB)
+	}
+	if !okA {
+		t.Skip("update over threshold for this seed")
+	}
+	sameBuckets(t, &a, &b, "shuffled deltas")
+}
+
+// An id updated to a heavy-tailed envelope must migrate to the overflow
+// list (and stay discoverable), then migrate back on a later update.
+func TestUpdateOverflowMigration(t *testing.T) {
+	envs := randEnvelopes(100, 11)
+	var ix GridIndex
+	buildOver(t, &ix, envs, 0)
+	if len(ix.Overflow()) != 0 {
+		t.Fatalf("uniform envelopes should not overflow, got %v", ix.Overflow())
+	}
+
+	giant := BBox{Min: Pt(-50, -50), Max: Pt(150, 110)}
+	_, changed, ok := ix.Update([]EnvDelta{{ID: 5, Env: giant, Has: true}})
+	if !ok {
+		t.Fatalf("giant-envelope update rejected")
+	}
+	if !changed {
+		t.Fatalf("overflow change not reported")
+	}
+	if !slices.Contains(ix.Overflow(), 5) {
+		t.Fatalf("id 5 not on overflow list: %v", ix.Overflow())
+	}
+	for c := 0; c < ix.cols*ix.rows; c++ {
+		if slices.Contains(ix.bucketAt(c), 5) {
+			t.Fatalf("id 5 still bucketed in cell %d after migrating to overflow", c)
+		}
+	}
+
+	_, changed, ok = ix.Update([]EnvDelta{{ID: 5, Env: envs[5], Has: true}})
+	if !ok || !changed {
+		t.Fatalf("migration back rejected (ok=%v changed=%v)", ok, changed)
+	}
+	if slices.Contains(ix.Overflow(), 5) {
+		t.Fatalf("id 5 still on overflow list after shrinking: %v", ix.Overflow())
+	}
+	sameBuckets(t, &ix, frozenFill(t, &ix), "after round trip")
+}
+
+// Build must invalidate every overlay in O(1): a patched index rebuilt over
+// different envelopes shows no trace of the patches.
+func TestBuildInvalidatesOverlays(t *testing.T) {
+	envs := randEnvelopes(120, 21)
+	var ix GridIndex
+	buildOver(t, &ix, envs, 0)
+	if _, _, ok := ix.Update([]EnvDelta{{ID: 3, Env: BBox{Min: Pt(0, 0), Max: Pt(2, 2)}, Has: true}}); !ok {
+		t.Fatalf("small update rejected")
+	}
+
+	envs2 := randEnvelopes(80, 22)
+	buildOver(t, &ix, envs2, 0)
+	var fresh GridIndex
+	buildOver(t, &fresh, envs2, 0)
+	sameBuckets(t, &ix, frozenFill(t, &fresh), "rebuild after patches")
+}

@@ -9,7 +9,7 @@ import (
 	"github.com/spatialcrowd/tamp/internal/par"
 )
 
-// GridIndex is a uniform cell-bucket spatial index over axis-aligned
+// GridIndex is a two-level cell-bucket spatial index over axis-aligned
 // envelopes: each id is inserted into every grid cell its envelope overlaps,
 // and a point query returns the ids bucketed in the cell containing the
 // point. Callers pad envelopes by their query radius up front (a reach disk
@@ -18,31 +18,85 @@ import (
 // padded envelope contains the query point — exact predicates filter the
 // rest.
 //
+// The second level is the overflow list: envelopes whose half-extent is far
+// above the batch's typical value (or that would cover an excessive number
+// of cells) are kept off the grid entirely and returned by Overflow for
+// every query. Without it, a handful of heavy-tailed detour envelopes would
+// inflate the mean half-extent that picks the cell size, coarsening every
+// bucket; with it, the grid is sized for the typical envelope and the few
+// giants cost each query a short sorted-merge instead. Callers must
+// consider Candidates ∪ Overflow the candidate set.
+//
 // The index is rebuilt per batch with Build, which reuses the receiver's
 // internal slices: steady-state rebuilds do not grow allocations. Build fans
 // out on the par pool but the resulting structure is bit-identical at every
 // parallelism level (per-cell buckets are sorted ascending), so consumers
 // that iterate candidates in bucket order stay deterministic.
 //
-// A GridIndex is single-writer: Build must not race with Candidates, but
-// once built, Candidates is safe for concurrent readers.
+// Between full Builds, Update patches the index in place from envelope
+// deltas: only the cells the old and new envelopes cover are re-derived,
+// into an epoch-versioned overlay (one epoch per Build; a Build invalidates
+// every overlay in O(1) by bumping the epoch). Per-tick maintenance cost is
+// therefore proportional to churn, not fleet size.
+//
+// A GridIndex is single-writer: Build and Update must not race with
+// Candidates, but once built or patched, Candidates is safe for concurrent
+// readers.
 type GridIndex struct {
-	bounds     BBox
-	cell       float64
-	cols, rows int
-	built      bool
+	bounds      BBox
+	cell        float64
+	cols, rows  int
+	built       bool
+	oversizeCut float64 // half-extent above which an envelope overflows (frozen per Build)
 
-	envs    []BBox
-	has     []bool
+	n    int // ids tracked (grows via Update; reset by Build)
+	envs []BBox
+	has  []bool
+	over []bool // id is on the overflow list, not the grid
+
 	counts  []int32
 	starts  []int32
 	cursors []int32
 	entries []int32
+
+	overflow []int32 // sorted ids visible to every query
+
+	// Epoch-versioned per-cell overlays written by Update: a cell whose
+	// overlayVer matches the current epoch reads its bucket from the arena
+	// instead of the base CSR. Build bumps the epoch, invalidating every
+	// overlay at once without touching them.
+	epoch      uint32
+	overlayVer []uint32
+	overlayOff []int32
+	overlayLen []int32
+	arena      []int32
+
+	// Update scratch (see delta.go).
+	touched   []int32
+	cellStamp []uint32
+	cellLocal []int32
+	stampGen  uint32
+	remStamp  []uint32
+	remGen    uint32
+	addCount  []int32
+	addStart  []int32
+	addList   []int32
+	ovScratch []int32
 }
 
 // maxIndexCells caps the grid resolution so degenerate inputs (one huge
 // envelope next to many tiny ones) cannot blow up rebuild cost or memory.
 const maxIndexCells = 1 << 18
+
+// overflowFactor is the half-extent multiple of the batch mean above which
+// an envelope is routed to the overflow list instead of the grid.
+const overflowFactor = 4.0
+
+// maxCoverCells caps how many cells a single grid-resident envelope may
+// occupy; wider envelopes overflow even when their half-extent passes the
+// factor test (the geometry was chosen before per-envelope coverage is
+// known, so this is the insertion-time backstop).
+const maxCoverCells = 2048
 
 // Build (re)constructs the index over n envelopes. envelope(i) returns the
 // padded envelope of id i, or ok=false to leave i out of the index entirely
@@ -56,24 +110,28 @@ const maxIndexCells = 1 << 18
 func (ix *GridIndex) Build(ctx context.Context, n, parallelism int, envelope func(i int) (BBox, bool)) error {
 	ix.built = false
 	ix.cols, ix.rows = 0, 0
+	ix.epoch++ // lazily invalidates every overlay from the previous epoch
+	ix.arena = ix.arena[:0]
+	ix.overflow = ix.overflow[:0]
+	ix.n = n
 	ix.envs = growBBox(ix.envs, n)
 	ix.has = growBool(ix.has, n)
+	ix.over = growBool(ix.over, n)
 	if n == 0 {
 		ix.built = true
 		return ctx.Err()
 	}
 	if err := par.ForEach(ctx, n, parallelism, func(i int) error {
 		ix.envs[i], ix.has[i] = envelope(i)
+		ix.over[i] = false
 		return nil
 	}); err != nil {
 		return err
 	}
 
-	// Bounds union and mean half-extent, reduced sequentially in index order
-	// so the grid geometry is parallelism-independent.
+	// Validation plus the mean half-extent, reduced sequentially in index
+	// order so the grid geometry is parallelism-independent.
 	var (
-		bounds  BBox
-		any     bool
 		sumHalf float64
 		kept    int
 	)
@@ -86,6 +144,31 @@ func (ix *GridIndex) Build(ctx context.Context, n, parallelism int, envelope fun
 			ix.has[i] = false
 			continue
 		}
+		sumHalf += halfExtent(e)
+		kept++
+	}
+	if kept == 0 {
+		// Nothing indexable: a valid, empty index (all queries miss).
+		ix.built = true
+		return ctx.Err()
+	}
+
+	// Oversize classification: the cut is a multiple of the all-envelope
+	// mean, then bounds and the cell-size statistic are re-derived over the
+	// grid-resident population only, so heavy-tailed envelopes stop
+	// coarsening cell size for everyone.
+	ix.oversizeCut = overflowFactor * (sumHalf / float64(kept))
+	var (
+		bounds   BBox
+		any      bool
+		sumGrid  float64
+		keptGrid int
+	)
+	for i := 0; i < n; i++ {
+		if !ix.has[i] || halfExtent(ix.envs[i]) > ix.oversizeCut {
+			continue
+		}
+		e := ix.envs[i]
 		if !any {
 			bounds, any = e, true
 		} else {
@@ -94,26 +177,33 @@ func (ix *GridIndex) Build(ctx context.Context, n, parallelism int, envelope fun
 			bounds.Max.X = math.Max(bounds.Max.X, e.Max.X)
 			bounds.Max.Y = math.Max(bounds.Max.Y, e.Max.Y)
 		}
-		sumHalf += (e.Max.X - e.Min.X + e.Max.Y - e.Min.Y) / 4
-		kept++
+		sumGrid += halfExtent(e)
+		keptGrid++
 	}
-	if !any {
-		// Nothing indexable: a valid, empty index (all queries miss).
+	if keptGrid == 0 {
+		// Every envelope is oversize: a gridless index where the overflow
+		// list is the whole candidate set.
+		for i := 0; i < n; i++ {
+			if ix.has[i] {
+				ix.over[i] = true
+				ix.overflow = append(ix.overflow, int32(i))
+			}
+		}
 		ix.built = true
 		return ctx.Err()
 	}
 	ix.bounds = bounds
 
-	// Cell size: the mean envelope half-extent keeps the typical envelope on
-	// ~3×3 cells (cheap insertion) while a query cell holds only nearby ids.
-	// Resolution is clamped relative to the id count — finer grids would
-	// spend more time zeroing buckets than they save on queries.
+	// Cell size: the mean grid-resident half-extent keeps the typical
+	// envelope on ~3×3 cells (cheap insertion) while a query cell holds only
+	// nearby ids. Resolution is clamped relative to the id count — finer
+	// grids would spend more time zeroing buckets than they save on queries.
 	w, h := bounds.Width(), bounds.Height()
-	cell := sumHalf / float64(kept)
+	cell := sumGrid / float64(keptGrid)
 	if cell <= 0 || math.IsNaN(cell) {
 		cell = math.Max(math.Max(w, h), 1)
 	}
-	limit := 8 * kept
+	limit := 8 * keptGrid
 	if limit < 64 {
 		limit = 64
 	}
@@ -134,17 +224,48 @@ func (ix *GridIndex) Build(ctx context.Context, n, parallelism int, envelope fun
 		}
 	}
 	ix.cell, ix.cols, ix.rows = cell, cols, rows
-	cells := cols * rows
+
+	if err := ix.fillFrozen(ctx, parallelism); err != nil {
+		return err
+	}
+	ix.built = true
+	return nil
+}
+
+// fillFrozen classifies overflow membership and fills the CSR buckets under
+// the already-chosen grid geometry (bounds, cell, cols, rows, oversizeCut)
+// from ix.envs/ix.has. Build calls it after geometry selection; the
+// incremental-maintenance property tests call it directly on a clone with
+// frozen geometry to prove Update-patched buckets match a from-scratch fill.
+func (ix *GridIndex) fillFrozen(ctx context.Context, parallelism int) error {
+	n := ix.n
+	cols := ix.cols
+
+	// Final overflow classification: the half-extent cut plus the
+	// insertion-time coverage cap (computable only now that cell size is
+	// fixed). Sequential, in id order, so the overflow list is sorted.
+	ix.overflow = ix.overflow[:0]
+	for i := 0; i < n; i++ {
+		if !ix.has[i] {
+			ix.over[i] = false
+			continue
+		}
+		ix.over[i] = ix.oversized(ix.envs[i])
+		if ix.over[i] {
+			ix.overflow = append(ix.overflow, int32(i))
+		}
+	}
 
 	// CSR fill: count per cell (atomic), prefix-sum, slot ids (atomic
 	// cursors), then sort each bucket ascending so the structure — and every
 	// iteration over it — is identical at any parallelism level.
+	cells := ix.cols * ix.rows
 	ix.counts = growInt32(ix.counts, cells)
 	for i := range ix.counts {
 		ix.counts[i] = 0
 	}
 	if err := par.ForEach(ctx, n, parallelism, func(i int) error {
-		if !ix.has[i] {
+		if !ix.has[i] || ix.over[i] {
 			return nil
 		}
 		c0, r0, c1, r1 := ix.cellRange(ix.envs[i])
@@ -169,7 +290,7 @@ func (ix *GridIndex) Build(ctx context.Context, n, parallelism int, envelope fun
 	copy(ix.cursors, ix.starts[:cells])
 	ix.entries = growInt32(ix.entries, int(total))
 	if err := par.ForEach(ctx, n, parallelism, func(i int) error {
-		if !ix.has[i] {
+		if !ix.has[i] || ix.over[i] {
 			return nil
 		}
 		c0, r0, c1, r1 := ix.cellRange(ix.envs[i])
@@ -192,24 +313,89 @@ func (ix *GridIndex) Build(ctx context.Context, n, parallelism int, envelope fun
 	}); err != nil {
 		return err
 	}
-	ix.built = true
+
+	// Per-cell overlay bookkeeping for the Update path. Freshly covered
+	// cells come from grow zeroed (epoch starts above zero), and stale
+	// values from earlier epochs never match the current one.
+	ix.overlayVer = growUint32(ix.overlayVer, cells)
+	ix.overlayOff = growInt32(ix.overlayOff, cells)
+	ix.overlayLen = growInt32(ix.overlayLen, cells)
 	return nil
+}
+
+// oversized reports whether e belongs on the overflow list under the frozen
+// geometry: its half-extent is far above the batch mean, or it would occupy
+// more grid cells than the coverage cap allows.
+func (ix *GridIndex) oversized(e BBox) bool {
+	if halfExtent(e) > ix.oversizeCut {
+		return true
+	}
+	if ix.cols == 0 {
+		return false
+	}
+	c0, r0, c1, r1 := ix.cellRange(e)
+	return (c1-c0+1)*(r1-r0+1) > maxCoverCells
+}
+
+func halfExtent(e BBox) float64 {
+	return (e.Max.X - e.Min.X + e.Max.Y - e.Min.Y) / 4
 }
 
 // Candidates returns the ids whose envelope overlaps the cell containing p,
 // in ascending id order. The result aliases the index's internal storage:
-// it is valid until the next Build and must not be mutated. It is a superset
-// of the ids whose envelope contains p; points outside the indexed bounds
-// clamp to the nearest cell (any extra ids are filtered by the caller's
-// exact predicate).
+// it is valid until the next Build or Update and must not be mutated. It is
+// a superset of the grid-resident ids whose envelope contains p; points
+// outside the indexed bounds clamp to the nearest cell (any extra ids are
+// filtered by the caller's exact predicate). Oversize ids are NOT included —
+// callers must merge Overflow into every query's candidate set.
 func (ix *GridIndex) Candidates(p Point) []int32 {
-	if !ix.built || ix.cols == 0 {
+	c := ix.CellOf(p)
+	if c < 0 {
 		return nil
+	}
+	return ix.bucketAt(c)
+}
+
+// Overflow returns the ids held off the grid because their envelopes are
+// oversize, in ascending id order; they are candidates for every query. The
+// result aliases internal storage, valid until the next Build or Update.
+func (ix *GridIndex) Overflow() []int32 {
+	if !ix.built {
+		return nil
+	}
+	return ix.overflow
+}
+
+// CellOf returns the grid cell index containing p (clamped to the grid), or
+// -1 when the index is unbuilt, empty, or p has a NaN coordinate.
+func (ix *GridIndex) CellOf(p Point) int {
+	if !ix.built || ix.cols == 0 || math.IsNaN(p.X) || math.IsNaN(p.Y) {
+		return -1
 	}
 	c := clampInt(int((p.X-ix.bounds.Min.X)/ix.cell), 0, ix.cols-1)
 	r := clampInt(int((p.Y-ix.bounds.Min.Y)/ix.cell), 0, ix.rows-1)
-	i := r*ix.cols + c
-	return ix.entries[ix.starts[i]:ix.starts[i+1]]
+	return r*ix.cols + c
+}
+
+// Bucket returns cell c's id bucket (ascending, read-only, valid until the
+// next Build or Update). Out-of-range cells — including the -1 CellOf returns
+// for NaN points or a gridless index — yield an empty bucket, so callers can
+// chain CellOf straight into Bucket.
+func (ix *GridIndex) Bucket(c int) []int32 {
+	if !ix.built || c < 0 || c >= ix.cols*ix.rows {
+		return nil
+	}
+	return ix.bucketAt(c)
+}
+
+// bucketAt resolves cell c's bucket through the overlay: a cell patched in
+// the current epoch reads from the arena, everything else from the base CSR.
+func (ix *GridIndex) bucketAt(c int) []int32 {
+	if ix.overlayVer[c] == ix.epoch {
+		off := ix.overlayOff[c]
+		return ix.arena[off : off+ix.overlayLen[c]]
+	}
+	return ix.entries[ix.starts[c]:ix.starts[c+1]]
 }
 
 // Dims reports the grid resolution of the last Build (0×0 when empty).
@@ -218,8 +404,9 @@ func (ix *GridIndex) Dims() (cols, rows int) { return ix.cols, ix.rows }
 // CellSize reports the cell edge length of the last Build.
 func (ix *GridIndex) CellSize() float64 { return ix.cell }
 
-// Entries reports the total number of (cell, id) slots, i.e. the index's
-// memory footprint in bucket entries.
+// Entries reports the total number of (cell, id) slots in the base CSR,
+// i.e. the index's memory footprint in bucket entries (overlay patches and
+// the overflow list excluded).
 func (ix *GridIndex) Entries() int {
 	if !ix.built || ix.cols == 0 {
 		return 0
@@ -228,7 +415,7 @@ func (ix *GridIndex) Entries() int {
 }
 
 // cellRange returns the inclusive cell-index rectangle covered by e, clamped
-// to the grid. The same subtract-divide-truncate arithmetic as Candidates
+// to the grid. The same subtract-divide-truncate arithmetic as CellOf
 // guarantees any point inside e queries a cell within this range.
 func (ix *GridIndex) cellRange(e BBox) (c0, r0, c1, r1 int) {
 	c0 = clampInt(int((e.Min.X-ix.bounds.Min.X)/ix.cell), 0, ix.cols-1)
@@ -246,14 +433,18 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func growBBox(s []BBox, n int) []BBox {
 	if cap(s) < n {
-		return make([]BBox, n)
+		ns := make([]BBox, n)
+		copy(ns, s)
+		return ns
 	}
 	return s[:n]
 }
 
 func growBool(s []bool, n int) []bool {
 	if cap(s) < n {
-		return make([]bool, n)
+		ns := make([]bool, n)
+		copy(ns, s)
+		return ns
 	}
 	return s[:n]
 }
@@ -261,6 +452,15 @@ func growBool(s []bool, n int) []bool {
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growUint32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		ns := make([]uint32, n)
+		copy(ns, s)
+		return ns
 	}
 	return s[:n]
 }

@@ -122,6 +122,12 @@ type Server struct {
 	st  *core.State
 	log *wal.Log // nil when WALDir is unset or after a disk failure
 
+	// One long-lived assignment workspace shared by every batch (guarded by
+	// s.mu like the state): the spatial index, matcher arrays, and KM warm
+	// checkpoints persist across batches, so steady-state batches warm-start
+	// instead of rebuilding from scratch.
+	ws *assign.Workspace
+
 	// Every counter lives in reg; commitLocked mirrors the state machine's
 	// monotonic tallies into them (single code path), and both /api/metrics
 	// (JSON) and /metrics (Prometheus) read the same series. Counter
@@ -176,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 		cfg: cfg,
 		reg: reg,
 		st:  core.NewState(),
+		ws:  assign.NewWorkspace(),
 	}
 	fault := func(kind string) *obs.Counter {
 		return reg.Counter("tamp_server_faults_total", obs.L("kind", kind))
@@ -735,9 +742,11 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 // without committing anything.
 func (s *Server) runBatchLocked(ctx context.Context) int {
 	// Route the batch's phase spans (assign.ppi/stage1..3 etc.) into this
-	// server's registry, and time the batch end to end — empty batches
-	// included, so the histogram matches "batches the platform ran".
+	// server's registry, reuse the server's long-lived workspace (we hold
+	// s.mu, which serializes batches), and time the batch end to end — empty
+	// batches included, so the histogram matches "batches the platform ran".
 	ctx = obs.WithRegistry(ctx, s.reg)
+	ctx = assign.WithWorkspace(ctx, s.ws)
 	batchStart := time.Now()
 	defer func() {
 		s.batchSec.Observe(time.Since(batchStart).Seconds())
@@ -886,6 +895,12 @@ type metricsResponse struct {
 	Panics          int64 `json:"panics"`
 	DegradedBatches int   `json:"degradedBatches"`
 	PredFallbacks   int   `json:"predFallbacks"`
+	// KM warm-start accounting from the server's long-lived assignment
+	// workspace: how deep the last batch's confident-edge solve resumed, and
+	// the cumulative warm/cold batch split since the server started.
+	LastWarmRows int    `json:"lastWarmRows"`
+	WarmBatches  uint64 `json:"warmBatches"`
+	ColdBatches  uint64 `json:"coldBatches"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -895,6 +910,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// (panics excepted — a recovered panic is a process fact, not a state
 	// transition); the Prometheus endpoint exports the mirrored series.
 	c := s.st.Counts
+	lastWarm, warmB, coldB := s.ws.WarmStats()
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Tick: s.st.Tick, Tasks: len(s.st.Tasks),
 		Assigned: int(c.Offers), Accepted: int(c.Accepts),
@@ -902,6 +918,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Workers: len(s.st.Workers),
 		Panics:  s.panicsC.Value(), DegradedBatches: int(c.DegradedBatches),
 		PredFallbacks: int(c.PredFallbacks),
+		LastWarmRows:  lastWarm, WarmBatches: warmB, ColdBatches: coldB,
 	})
 }
 
