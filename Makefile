@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos replay fuzz-smoke fmt fmt-check ci
+.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos cluster cluster-smoke replay fuzz-smoke fmt fmt-check ci
 
 all: build test
 
@@ -60,6 +60,25 @@ chaos:
 	$(GO) test -race ./internal/platform/ -run 'Chaos|PanicModel' -v
 	$(GO) test -race ./internal/server/ -run 'Panic|Degrade|BatchDeadline|OfferOutstanding' -v
 	$(GO) test -race ./internal/par/ -run 'Panic|Retry' -v
+
+# Bring up the region-sharded serving tier end to end: two durable tampserver
+# shards, a tamprouter fronting them, and a tampgen -drive load run through
+# the router, reporting latency percentiles and the error budget.
+cluster:
+	scripts/cluster.sh
+
+# The resilience gate, blocking in CI. Two layers:
+#   1. In-process deterministic chaos: kill a durable shard under router
+#      traffic (listener drop and mid-WAL-append crash injection), assert the
+#      breaker opens, traffic degrades (queue/shed/failover), and the
+#      WAL-recovered shard's state digest matches a never-killed oracle with
+#      zero acked ops lost.
+#   2. Multi-process smoke: real processes, kill -9, WAL rejoin on the same
+#      address, readiness-gated readmission, availability asserted from the
+#      drive report.
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/tier/ -run 'TestClusterChaosFailoverDigest|TestShardCrashMidAppendRejoins|TestRouterClosedShardTripsBreaker|TestRouterQueueShedAndFlush|TestRouterBorderFailover' -v
+	CLUSTER_SMOKE=1 scripts/cluster.sh
 
 # End-to-end replay demo: record a small simulation as a platform event log,
 # then re-run the identical batches offline through two assigners and report

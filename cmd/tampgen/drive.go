@@ -1,0 +1,322 @@
+// Drive mode: instead of dumping the generated workload to CSV, replay it
+// live against a serving endpoint (a tamprouter or a single tampserver) —
+// concurrent task submissions and worker location reports, offer polling
+// and acceptance, with per-operation latency percentiles and an error
+// budget summary written as JSON. This is the load half of the cluster
+// smoke test: it does not assert, it measures; the caller decides what
+// availability is acceptable.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/spatialcrowd/tamp"
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+// driveReport is the JSON artifact of one drive run.
+type driveReport struct {
+	Target   string              `json:"target"`
+	Seconds  float64             `json:"seconds"`
+	Workers  int                 `json:"workers"`
+	Tasks    int                 `json:"tasks"`
+	Accepted int                 `json:"accepted"`
+	Ops      map[string]*opStats `json:"ops"`
+	Budget   errorBudget         `json:"errorBudget"`
+}
+
+// opStats summarizes one operation class (submit, report, offers, accept,
+// batch). Latencies are reported as percentiles in milliseconds — the raw
+// histogram the percentiles come from also feeds the router's /metrics, so
+// the JSON stays compact.
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"` // transport failures and 5xx other than 503
+	Sheds  int     `json:"sheds"`  // 503: deliberate load-shedding
+	P50ms  float64 `json:"p50Ms"`
+	P90ms  float64 `json:"p90Ms"`
+	P99ms  float64 `json:"p99Ms"`
+	MaxMs  float64 `json:"maxMs"`
+
+	mu      sync.Mutex
+	samples []float64
+}
+
+// errorBudget is the run's bottom line: of everything attempted, how much
+// was served. Sheds burn budget too — a 503 is still a request the platform
+// did not serve — but they are broken out so a degraded-by-design window
+// reads differently from a broken one.
+type errorBudget struct {
+	Total        int     `json:"total"`
+	Served       int     `json:"served"`
+	Errors       int     `json:"errors"`
+	Sheds        int     `json:"sheds"`
+	Availability float64 `json:"availability"`
+}
+
+type driver struct {
+	base string
+	hc   *http.Client
+
+	mu  sync.Mutex
+	ops map[string]*opStats
+
+	accepted int
+}
+
+func (d *driver) stats(op string) *opStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.ops[op]
+	if !ok {
+		s = &opStats{}
+		d.ops[op] = s
+	}
+	return s
+}
+
+// call performs one JSON request and records its latency and outcome under
+// op. 2xx and the expected contention statuses (404/409 on offer races) are
+// "served"; 503 is a shed; anything else, including transport errors, burns
+// the error budget.
+func (d *driver) call(ctx context.Context, op, method, path string, in, out any) (int, error) {
+	s := d.stats(op)
+	var body []byte
+	if in != nil {
+		body, _ = json.Marshal(in)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, d.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := d.hc.Do(req)
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	if err != nil && ctx.Err() != nil {
+		// The run is shutting down and cancelled this request mid-flight:
+		// that is the driver's doing, not the platform's, so it neither
+		// counts nor burns error budget.
+		return 0, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Count++
+	s.samples = append(s.samples, ms)
+	if err != nil {
+		s.Errors++
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		s.Sheds++
+	case resp.StatusCode >= 500:
+		s.Errors++
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+func (s *opStats) finalize() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Float64s(s.samples)
+	s.P50ms = percentile(s.samples, 0.50)
+	s.P90ms = percentile(s.samples, 0.90)
+	s.P99ms = percentile(s.samples, 0.99)
+	if n := len(s.samples); n > 0 {
+		s.MaxMs = s.samples[n-1]
+	}
+	s.samples = nil
+}
+
+// runDrive replays the workload against base: every established worker
+// walks its first test-day routine reporting locations and accepting the
+// offers it is granted, a submitter pool posts the test tasks, and a single
+// pacer goroutine advances ticks and batches. It returns the report and
+// writes it to outDir/drive_report.json.
+func runDrive(base string, w *tamp.Workload, conc, nTasks int, outDir string) (*driveReport, error) {
+	if conc <= 0 {
+		conc = 8
+	}
+	d := &driver{
+		base: base,
+		hc:   &http.Client{Timeout: 10 * time.Second},
+		ops:  map[string]*opStats{},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Registration is sequential — it is setup, not load.
+	workers := w.Workers
+	if len(workers) > 64 {
+		workers = workers[:64]
+	}
+	for _, wk := range workers {
+		reg := map[string]any{
+			"id":       wk.ID + 1, // worker IDs in the workload are 0-based; the platform wants positive
+			"detourKm": wk.Detour * geo.CellKM,
+			"speed":    wk.Speed,
+			"mr":       0.8,
+		}
+		// 409 means the worker is already on the platform from an earlier
+		// drive run against the same fleet — that is fine, keep using it.
+		if code, err := d.call(ctx, "register", "POST", "/api/workers", reg, nil); err != nil ||
+			(code != http.StatusCreated && code != http.StatusConflict) {
+			return nil, fmt.Errorf("register worker %d: status %d, err %v", wk.ID+1, code, err)
+		}
+	}
+
+	tasks := w.TestTasks
+	if nTasks > 0 && nTasks < len(tasks) {
+		tasks = tasks[:nTasks]
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Worker loops: walk the routine, poll offers, accept what is granted.
+	workCtx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	for _, wk := range workers {
+		if len(wk.TestDays) == 0 || wk.TestDays[0].Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(id int, pts []geo.Point) {
+			defer wg.Done()
+			for i := 0; workCtx.Err() == nil; i++ {
+				p := pts[i%len(pts)]
+				d.call(workCtx, "report", "POST", fmt.Sprintf("/api/workers/%d/location", id),
+					map[string]float64{"x": p.X, "y": p.Y}, nil)
+				var offers []struct {
+					OfferID int `json:"offerId"`
+				}
+				d.call(workCtx, "offers", "GET", fmt.Sprintf("/api/workers/%d/offers", id), nil, &offers)
+				for _, o := range offers {
+					if code, _ := d.call(workCtx, "accept", "POST",
+						fmt.Sprintf("/api/offers/%d/accept", o.OfferID), nil, nil); code == http.StatusOK {
+						d.mu.Lock()
+						d.accepted++
+						d.mu.Unlock()
+					}
+				}
+				select {
+				case <-workCtx.Done():
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}(wk.ID+1, wk.TestDays[0].Points)
+	}
+
+	// Pacer: ticks and batches at a steady cadence while load runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-workCtx.Done():
+				return
+			case <-t.C:
+				d.call(workCtx, "tick", "POST", "/api/tick", nil, nil)
+				d.call(workCtx, "batch", "POST", "/api/batch", nil, nil)
+			}
+		}
+	}()
+
+	// Submitter pool: the measured foreground load.
+	taskCh := make(chan int, len(tasks))
+	for i := range tasks {
+		taskCh <- i
+	}
+	close(taskCh)
+	var subWG sync.WaitGroup
+	for g := 0; g < conc; g++ {
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for i := range taskCh {
+				tk := tasks[i]
+				d.call(ctx, "submit", "POST", "/api/tasks", map[string]any{
+					"x": tk.Loc.X, "y": tk.Loc.Y, "deadline": tk.Deadline + 120,
+				}, nil)
+			}
+		}()
+	}
+	subWG.Wait()
+
+	// Short drain so in-flight offers settle, then stop the background load.
+	select {
+	case <-time.After(500 * time.Millisecond):
+	case <-ctx.Done():
+	}
+	stopWorkers()
+	wg.Wait()
+
+	rep := &driveReport{
+		Target:  base,
+		Seconds: time.Since(start).Seconds(),
+		Workers: len(workers),
+		Tasks:   len(tasks),
+		Ops:     d.ops,
+	}
+	d.mu.Lock()
+	rep.Accepted = d.accepted
+	d.mu.Unlock()
+	for _, s := range d.ops {
+		s.finalize()
+		rep.Budget.Total += s.Count
+		rep.Budget.Errors += s.Errors
+		rep.Budget.Sheds += s.Sheds
+	}
+	rep.Budget.Served = rep.Budget.Total - rep.Budget.Errors - rep.Budget.Sheds
+	if rep.Budget.Total > 0 {
+		rep.Budget.Availability = float64(rep.Budget.Served) / float64(rep.Budget.Total)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "drive_report.json"), data, 0o644); err != nil {
+		return nil, err
+	}
+	os.Stdout.Write(data)
+	return rep, nil
+}

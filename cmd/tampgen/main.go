@@ -6,6 +6,14 @@
 //
 //	tampgen -workload 1 -out /tmp/wl1            # writes workers.csv, tasks.csv, summary.json
 //	tampgen -workload 2 -tasks 500 -out /tmp/wl2
+//
+// With -drive the workload is replayed live against a serving endpoint (a
+// tamprouter or a bare tampserver) instead of dumped: concurrent task
+// submissions, worker location reports, offer accepts, and tick/batch
+// pacing, with per-operation latency percentiles and an error-budget
+// summary written to drive_report.json and stdout:
+//
+//	tampgen -tasks 200 -drive http://127.0.0.1:8090 -drive-conc 8 -out /tmp/run
 package main
 
 import (
@@ -29,6 +37,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generation seed")
 		out      = flag.String("out", ".", "output directory")
 		showMap  = flag.Bool("viz", false, "print an ASCII map of the workload (trajectory density, x = tasks, O = hotspots)")
+		drive    = flag.String("drive", "", "replay the workload as live load against this base URL (router or server) instead of dumping CSV")
+		driveC   = flag.Int("drive-conc", 8, "with -drive, concurrent task submitters")
 	)
 	flag.Parse()
 
@@ -45,6 +55,13 @@ func main() {
 
 	if *showMap {
 		viz.WorkloadMap(w, 100, 30).Render(os.Stdout)
+	}
+
+	if *drive != "" {
+		if _, err := runDrive(*drive, w, *driveC, *tasks, *out); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

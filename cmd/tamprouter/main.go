@@ -1,0 +1,85 @@
+// Command tamprouter fronts a fleet of region-sharded tampserver processes:
+// it terminates the same HTTP API the shards speak, routes every request to
+// the shard(s) owning the locations involved, and keeps serving through
+// shard failures — capped-backoff retries with deterministic jitter, a
+// per-shard circuit breaker, health-probe driven admission, bounded
+// queueing for interior traffic, and border-task failover to the neighbor
+// shard.
+//
+// Usage:
+//
+//	tamprouter -addr :8090 -map shards.json
+//	tamprouter -addr :8090 -map shards.json -probe-interval 250ms -queue-limit 512
+//
+// The shard map file declares the grid, the border width, and one entry per
+// shard (name, URL, and the half-open column stripe [xmin, xmax) it owns):
+//
+//	{
+//	  "grid": {"cols": 100, "rows": 50},
+//	  "borderKm": 1,
+//	  "shards": [
+//	    {"name": "west", "url": "http://127.0.0.1:8081", "xmin": 0,  "xmax": 50},
+//	    {"name": "east", "url": "http://127.0.0.1:8082", "xmin": 50, "xmax": 100}
+//	  ]
+//	}
+//
+// Each shard should run with -offer-base $((ONE_BASED_INDEX * 1000000000))
+// so offer IDs are globally unique and route back to their issuing shard,
+// and with -wal-dir so a crashed shard rejoins by replaying its log.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/par"
+	"github.com/spatialcrowd/tamp/internal/tier"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		mapPath   = flag.String("map", "", "shard map JSON file (required)")
+		probe     = flag.Duration("probe-interval", 250*time.Millisecond, "readiness probe cadence per shard")
+		threshold = flag.Int("breaker-threshold", 3, "consecutive failures that open a shard's circuit breaker")
+		cooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "time an open breaker waits before admitting a half-open trial")
+		attemptTO = flag.Duration("attempt-timeout", 2*time.Second, "deadline for each individual shard call attempt")
+		attempts  = flag.Int("retry-attempts", 3, "max attempts per shard call (transient failures only)")
+		baseDelay = flag.Duration("retry-base", 10*time.Millisecond, "first retry backoff; doubles per retry with deterministic jitter")
+		queue     = flag.Int("queue-limit", 256, "interior tasks buffered per down shard before shedding (negative = shed immediately)")
+	)
+	flag.Parse()
+	if *mapPath == "" {
+		log.Fatal("tamprouter: -map is required")
+	}
+	m, err := tier.LoadMap(*mapPath)
+	if err != nil {
+		log.Fatalf("tamprouter: %v", err)
+	}
+	rt, err := tier.NewRouter(tier.Config{
+		Map:              m,
+		Retry:            par.RetryConfig{Attempts: *attempts, BaseDelay: *baseDelay},
+		AttemptTimeout:   *attemptTO,
+		BreakerThreshold: *threshold,
+		BreakerCooldown:  *cooldown,
+		ProbeInterval:    *probe,
+		QueueLimit:       *queue,
+	})
+	if err != nil {
+		log.Fatalf("tamprouter: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("router listening on %s fronting %d shards (map %s)", *addr, m.NumShards(), *mapPath)
+	if err := rt.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("tamprouter: %v", err)
+	}
+	log.Printf("shut down cleanly")
+}

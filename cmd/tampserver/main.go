@@ -51,6 +51,8 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (metrics at GET /metrics are always on)")
 		walDir   = flag.String("wal-dir", "", "write-ahead log directory: every platform event is persisted before it is acknowledged, and a restart replays snapshot + log back to the exact pre-crash state (empty = memory-only)")
 		snapN    = flag.Int("snapshot-every", 1024, "with -wal-dir, write a state snapshot every N events to bound restart replay")
+		offBase  = flag.Int("offer-base", 0, "smallest offer ID this instance issues; shard i of a routed fleet uses (i+1)*1000000000 so offers route by ID range (0 = standalone)")
+		deferRec = flag.Bool("defer-recovery", false, "with -wal-dir, recover in the background and answer /readyz 503 until replay completes, so a router admits the shard only once it is caught up")
 	)
 	flag.Parse()
 
@@ -59,6 +61,7 @@ func main() {
 		BatchTimeout: *batchTO, RequestTimeout: *reqTO, MaxBodyBytes: *maxBody,
 		EnablePprof: *pprofOn,
 		WALDir:      *walDir, SnapshotEvery: *snapN,
+		OfferBase: *offBase, DeferRecovery: *deferRec,
 	}
 	switch *assigner {
 	case "PPI":

@@ -52,6 +52,15 @@ func (c *Crasher) Hit(point string) {
 	}
 }
 
+// Fired reports whether the armed crash has gone off — the test-side check
+// that an injected kill actually happened before asserting on recovery.
+func (c *Crasher) Fired() bool {
+	if c == nil {
+		return false
+	}
+	return c.hits.Load() >= c.after
+}
+
 // Hits returns how many times the armed point has been reached.
 func (c *Crasher) Hits() int {
 	if c == nil {

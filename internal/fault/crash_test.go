@@ -36,4 +36,25 @@ func TestNilCrasherIsInert(t *testing.T) {
 	if c.Hits() != 0 {
 		t.Fatal("nil crasher counted")
 	}
+	if c.Fired() {
+		t.Fatal("nil crasher reports fired")
+	}
+}
+
+func TestFiredTracksTheArmedHit(t *testing.T) {
+	c := NewCrasher("p", 2)
+	if c.Fired() {
+		t.Fatal("fired before any hit")
+	}
+	c.Hit("p")
+	if c.Fired() {
+		t.Fatal("fired one hit early")
+	}
+	func() {
+		defer func() { recover() }()
+		c.Hit("p")
+	}()
+	if !c.Fired() {
+		t.Fatal("not fired after the armed hit")
+	}
 }

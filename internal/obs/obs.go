@@ -116,6 +116,14 @@ var DefSecondsBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60,
 }
 
+// DefRequestBuckets resolves the millisecond band where HTTP request
+// latencies live — the serving tier (router hops, shard round-trips, load
+// generator percentiles) needs finer steps there than DefSecondsBuckets and
+// nothing above a few seconds.
+var DefRequestBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
 // metric kinds, also the TYPE strings of the Prometheus exposition.
 const (
 	kindCounter   = "counter"

@@ -3,13 +3,15 @@ package par
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"time"
 )
 
 // RetryConfig parameterizes Retry. Delays follow capped exponential backoff:
 // the k-th retry (k = 0, 1, ...) waits min(BaseDelay << k, MaxDelay). The
-// schedule is fully deterministic — no jitter — so tests can assert it, and
-// the Sleep hook lets them run without touching the wall clock at all.
+// schedule is fully deterministic — even with jitter enabled the delays are
+// a pure function of (JitterKey, k) — so tests can assert it, and the Sleep
+// hook lets them run without touching the wall clock at all.
 type RetryConfig struct {
 	// Attempts is the maximum number of calls to fn (≥ 1; 0 defaults to 3).
 	Attempts int
@@ -17,6 +19,14 @@ type RetryConfig struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential growth (default 1s).
 	MaxDelay time.Duration
+	// JitterKey, when non-empty, enables deterministic "equal jitter": the
+	// k-th backoff becomes d/2 + r·d/2 where d is the capped exponential
+	// delay and r ∈ [0,1) is derived by hashing (JitterKey, k). Callers that
+	// hand every request its own key (shard name + path + request id, say)
+	// spread fleet-wide retries across the window instead of letting them
+	// synchronize into waves, while tests replaying the same key see the
+	// exact same schedule. Empty keeps the unjittered schedule bit-identical.
+	JitterKey string
 	// Sleep waits out one backoff delay; nil uses a timer that aborts early
 	// when ctx is cancelled. Tests inject a recording stub here so retry
 	// schedules are asserted without wall-clock sleeps.
@@ -55,6 +65,34 @@ func (c RetryConfig) Delay(k int) time.Duration {
 	return d
 }
 
+// DelayJittered returns the backoff before retry k with JitterKey applied.
+// With an empty JitterKey it equals Delay(k) exactly; otherwise the delay is
+// drawn deterministically from [Delay(k)/2, Delay(k)) — "equal jitter", so a
+// jittered fleet still backs off at least half the nominal schedule.
+func (c RetryConfig) DelayJittered(k int) time.Duration {
+	d := c.Delay(k)
+	if c.JitterKey == "" || d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(jitterFrac(c.JitterKey, k)*float64(d-half))
+}
+
+// jitterFrac hashes (key, k) to a fraction in [0, 1) with FNV-1a. The hash
+// is stable across processes and Go versions, so a retry schedule asserted
+// in a test is the schedule production runs.
+func jitterFrac(key string, k int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var kb [8]byte
+	for i := 0; i < 8; i++ {
+		kb[i] = byte(k >> (8 * i))
+	}
+	h.Write(kb[:])
+	// Top 53 bits → float64 mantissa: uniform in [0, 1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -90,7 +128,7 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func(attempt int) error) err
 		if attempt == cfg.Attempts-1 {
 			break
 		}
-		if err := cfg.Sleep(ctx, cfg.Delay(attempt)); err != nil {
+		if err := cfg.Sleep(ctx, cfg.DelayJittered(attempt)); err != nil {
 			return fmt.Errorf("par: retry aborted by context after %d attempts: %w", attempt+1, last)
 		}
 	}

@@ -143,3 +143,66 @@ func TestRetryCapturesPanic(t *testing.T) {
 		t.Fatalf("err = %v, want wrapped *PanicError", err)
 	}
 }
+
+func TestJitteredDelayDeterministicAndBounded(t *testing.T) {
+	cfg := RetryConfig{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, JitterKey: "shard-west /api/tasks"}
+	for k := 0; k < 6; k++ {
+		d1, d2 := cfg.DelayJittered(k), cfg.DelayJittered(k)
+		if d1 != d2 {
+			t.Fatalf("DelayJittered(%d) not deterministic: %v vs %v", k, d1, d2)
+		}
+		full := cfg.Delay(k)
+		if d1 < full/2 || d1 >= full {
+			t.Errorf("DelayJittered(%d) = %v, want in [%v, %v)", k, d1, full/2, full)
+		}
+	}
+}
+
+func TestJitterEmptyKeyBitIdentical(t *testing.T) {
+	cfg := RetryConfig{BaseDelay: 7 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	for k := 0; k < 8; k++ {
+		if cfg.DelayJittered(k) != cfg.Delay(k) {
+			t.Fatalf("zero-value jitter changed the schedule at k=%d: %v != %v",
+				k, cfg.DelayJittered(k), cfg.Delay(k))
+		}
+	}
+}
+
+func TestJitterKeysDesynchronize(t *testing.T) {
+	// Two fleet members retrying the same schedule with distinct keys must
+	// not sleep in lockstep (that is the whole point of the jitter).
+	a := RetryConfig{BaseDelay: 16 * time.Millisecond, MaxDelay: time.Second, JitterKey: "shard-a"}
+	b := a
+	b.JitterKey = "shard-b"
+	same := 0
+	for k := 0; k < 8; k++ {
+		if a.DelayJittered(k) == b.DelayJittered(k) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("distinct jitter keys produced an identical schedule")
+	}
+}
+
+func TestRetrySleepsJitteredSchedule(t *testing.T) {
+	rec := &recordingSleep{}
+	cfg := RetryConfig{Attempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second,
+		JitterKey: "req-42", Sleep: rec.sleep}
+	boom := errors.New("boom")
+	if err := Retry(context.Background(), cfg, func(int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(rec.delays) != 3 {
+		t.Fatalf("slept %d times, want 3", len(rec.delays))
+	}
+	for k, d := range rec.delays {
+		if want := cfg.DelayJittered(k); d != want {
+			t.Errorf("delay[%d] = %v, want the deterministic jittered %v", k, d, want)
+		}
+		full := cfg.Delay(k)
+		if d < full/2 || d >= full {
+			t.Errorf("delay[%d] = %v outside jitter window [%v, %v)", k, d, full/2, full)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
@@ -110,6 +111,19 @@ type Config struct {
 	// WALHook, when non-nil, receives the WAL's crash-point callbacks; the
 	// fault-injection tests arm an internal/fault.Crasher here.
 	WALHook func(point string)
+	// DeferRecovery runs WAL recovery in the background instead of inside
+	// New: the server binds and answers /healthz immediately, /readyz and
+	// every /api route answer 503 until the replay finishes, and the router
+	// tier only re-admits the shard once /readyz flips. Only used with
+	// WALDir; the default (synchronous recovery) keeps New's contract that a
+	// returned server is fully recovered.
+	DeferRecovery bool
+
+	// OfferBase is the smallest offer ID this instance may issue (0 keeps
+	// the default dense allocation from 1). In the sharded tier every shard
+	// gets a disjoint base (shard i uses (i+1)·tier.OfferStride) so a router
+	// can route an offer decision to the issuing shard from the ID alone.
+	OfferBase int
 }
 
 // Server is the HTTP platform. The zero value is not usable; construct
@@ -118,9 +132,18 @@ type Server struct {
 	cfg Config
 	reg *obs.Registry
 
-	mu  sync.Mutex
-	st  *core.State
-	log *wal.Log // nil when WALDir is unset or after a disk failure
+	// ready gates /readyz and the /api routes: it flips true once WAL
+	// recovery has completed and the batch workspace is wired, and false
+	// again on Close. The router tier probes it before routing traffic.
+	ready atomic.Bool
+	// recoverErr records a failed deferred recovery so /readyz can report
+	// why the shard will never become ready.
+	recoverErr atomic.Pointer[string]
+
+	mu     sync.Mutex
+	st     *core.State
+	closed bool     // Close ran; mutations are rejected and readyz stays 503
+	log    *wal.Log // nil when WALDir is unset or after a disk failure
 
 	// One long-lived assignment workspace shared by every batch (guarded by
 	// s.mu like the state): the spatial index, matcher arrays, and KM warm
@@ -196,12 +219,33 @@ func New(cfg Config) (*Server, error) {
 	s.degradedC = fault("degraded_batch")
 	s.fallbackC = fault("pred_fallback")
 	s.batchSec = reg.Histogram("tamp_server_batch_seconds", obs.DefSecondsBuckets)
-	if cfg.WALDir != "" {
+	s.routes()
+	switch {
+	case cfg.WALDir != "" && cfg.DeferRecovery:
+		// Serve /healthz (and 503 everything gated on readiness) while the
+		// log replays in the background; readiness flips when it completes.
+		go func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.closed {
+				return
+			}
+			if err := s.recoverWAL(); err != nil {
+				msg := err.Error()
+				s.recoverErr.Store(&msg)
+				log.Printf("server: deferred wal recovery failed, staying unready: %v", err)
+				return
+			}
+			s.ready.Store(true)
+		}()
+	case cfg.WALDir != "":
 		if err := s.recoverWAL(); err != nil {
 			return nil, err
 		}
+		s.ready.Store(true)
+	default:
+		s.ready.Store(true)
 	}
-	s.routes()
 	return s, nil
 }
 
@@ -320,12 +364,22 @@ func (s *Server) StateDigest() string {
 	return s.st.Digest()
 }
 
-// Close flushes and closes the write-ahead log (a no-op for memory-only
-// servers). The HTTP mux stays mounted, but further mutations are not
-// durable; call it once the listener is drained.
+// Ready reports whether the server would answer /readyz with 200: WAL
+// recovery has completed, the batch workspace is wired, and Close has not
+// run. The router tier only routes traffic to ready shards.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Close marks the server unready, then flushes and closes the write-ahead
+// log (a no-op for memory-only servers). It is idempotent — a second Close
+// returns nil — and safe to race an in-flight batch: Close waits for the
+// batch to release the state lock before tearing the log down. The HTTP mux
+// stays mounted so health probes keep answering (readyz reports 503),
+// letting a router tier observe the shard as down instead of hanging.
 func (s *Server) Close() error {
+	s.ready.Store(false)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	if s.log == nil {
 		return nil
 	}
@@ -369,14 +423,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(ht, r.Body, s.cfg.MaxBodyBytes)
 	}
-	// pprof endpoints stream for as long as the client asks (?seconds=N);
-	// the request deadline would truncate any profile longer than it.
-	if s.cfg.RequestTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+	// An unready server (WAL still replaying, or closed) refuses platform
+	// traffic outright instead of serving from a half-recovered state; the
+	// probe and metrics endpoints stay up so operators and the router tier
+	// can watch the recovery progress.
+	if !s.ready.Load() && strings.HasPrefix(r.URL.Path, "/api/") {
+		ht.Header().Set("Retry-After", "1")
+		httpError(ht, http.StatusServiceUnavailable, "not ready")
+		return
+	}
+	// pprof endpoints stream for as long as the client asks (?seconds=N) and
+	// the health probes must answer even when a wedged batch would blow the
+	// deadline; neither gets the request timeout.
+	if s.cfg.RequestTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof/") &&
+		r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
 	s.mux.ServeHTTP(ht, r)
+}
+
+// handleHealthz is the liveness probe: the process is up and the handler
+// stack responds. It says nothing about recovery — a replaying shard is
+// alive but not ready.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only once WAL recovery has
+// completed and the batch workspace is wired, 503 while recovering, after a
+// failed recovery (with the reason), and after Close. Routers gate
+// (re-)admission of a shard on this endpoint.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	if msg := s.recoverErr.Load(); msg != nil {
+		httpError(w, http.StatusServiceUnavailable, "recovery failed: %s", *msg)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, "not ready")
 }
 
 func (s *Server) routes() {
@@ -389,6 +478,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/batch", s.handleBatch)
 	s.mux.HandleFunc("/api/tick", s.handleTick)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", s.reg.Handler())
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -422,6 +513,10 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 // --- tasks ---
 
 type taskRequest struct {
+	// ID, when positive, is a caller-chosen task id (the router tier
+	// allocates globally unique ids so a border task keeps one identity on
+	// both shards it is offered to). Zero lets the server allocate.
+	ID       int     `json:"id,omitempty"`
 	X        float64 `json:"x"`
 	Y        float64 `json:"y"`
 	Deadline int     `json:"deadline"` // absolute tick
@@ -452,6 +547,13 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		}
 		loc := s.cfg.Grid.Bounds().Clamp(geo.Pt(req.X, req.Y))
 		id := s.st.NextTask
+		if req.ID > 0 {
+			if _, dup := s.st.Tasks[req.ID]; dup {
+				httpError(w, http.StatusConflict, "task %d already exists", req.ID)
+				return
+			}
+			id = req.ID
+		}
 		s.commitLocked(core.TaskSubmitted{TaskID: id, X: loc.X, Y: loc.Y, Deadline: req.Deadline})
 		writeJSON(w, http.StatusCreated, s.taskResponseLocked(id))
 	case http.MethodGet:
@@ -650,11 +752,34 @@ func (s *Server) handleWorkerByID(w http.ResponseWriter, r *http.Request) {
 
 // --- offers ---
 
+type offerRecord struct {
+	OfferID  int `json:"offerId"`
+	TaskID   int `json:"taskId"`
+	WorkerID int `json:"workerId"`
+}
+
 func (s *Server) handleOfferByID(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/api/offers/")
 	parts := strings.Split(rest, "/")
 	id, err := strconv.Atoi(parts[0])
-	if err != nil || len(parts) < 2 {
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "use /api/offers/{id}/accept or /reject")
+		return
+	}
+	// GET /api/offers/{id}: the pending offer's (task, worker) pair — the
+	// router tier reads it to learn which task an accept is about to commit.
+	if r.Method == http.MethodGet && (len(parts) == 1 || parts[1] == "") {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		off, exists := s.st.Offers[id]
+		if !exists {
+			httpError(w, http.StatusNotFound, "offer %d not found", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, offerRecord{OfferID: off.ID, TaskID: off.TaskID, WorkerID: off.WorkerID})
+		return
+	}
+	if len(parts) < 2 {
 		httpError(w, http.StatusBadRequest, "use /api/offers/{id}/accept or /reject")
 		return
 	}
@@ -766,11 +891,16 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 		return 0
 	}
 	// Offer IDs are allocated here, in plan order, and carried inside the
-	// event — the log is self-contained and replays to identical IDs.
+	// event — the log is self-contained and replays to identical IDs. With
+	// OfferBase set the allocation starts in this shard's disjoint range.
+	next := s.st.NextOffer
+	if next < s.cfg.OfferBase {
+		next = s.cfg.OfferBase
+	}
 	grants := make([]core.OfferIssued, len(pairs))
 	for i, pr := range pairs {
 		grants[i] = core.OfferIssued{
-			OfferID:  s.st.NextOffer + i,
+			OfferID:  next + i,
 			TaskID:   in.TaskIDs[pr.Task],
 			WorkerID: in.Workers[pr.Worker].ID,
 		}

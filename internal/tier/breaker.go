@@ -1,0 +1,144 @@
+package tier
+
+import (
+	"sync"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/obs"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+// Breaker states, in escalation order. The numeric values are exported to
+// the tamp_router_breaker_state gauge, so keep them stable.
+const (
+	BreakerClosed   BreakerState = 0 // traffic flows; failures are counted
+	BreakerHalfOpen BreakerState = 1 // cooldown elapsed; one trial in flight
+	BreakerOpen     BreakerState = 2 // failing fast; no traffic until cooldown
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "invalid"
+	}
+}
+
+// Breaker is a per-shard circuit breaker. Threshold consecutive failures
+// open it; after Cooldown it admits a single trial request (half-open) and
+// one success closes it again, one failure re-opens it. All methods are safe
+// for concurrent use. The zero value is not usable; construct with
+// NewBreaker.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for deterministic tests
+	gauge     *obs.Gauge       // mirrors the state; nil is valid
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	trial    bool      // a half-open trial request is in flight
+}
+
+// NewBreaker builds a closed breaker. threshold ≤ 0 defaults to 3 and
+// cooldown ≤ 0 to 2s; gauge, when non-nil, tracks the numeric state.
+func NewBreaker(threshold int, cooldown time.Duration, gauge *obs.Gauge) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	b := &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now, gauge: gauge}
+	b.setState(BreakerClosed)
+	return b
+}
+
+// setState must be called with b.mu held (or from the constructor).
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	if b.gauge != nil {
+		b.gauge.Set(float64(s))
+	}
+}
+
+// Allow reports whether a request may proceed. In the open state it flips to
+// half-open once the cooldown has elapsed and admits exactly one trial; the
+// trial's Success or Failure decides what happens to everyone else.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(BreakerHalfOpen)
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success records a completed request: it resets the failure run and closes
+// a half-open breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.trial = false
+	if b.state != BreakerClosed {
+		b.setState(BreakerClosed)
+	}
+}
+
+// Failure records a failed request: the Threshold-th consecutive failure
+// opens a closed breaker, and any failure re-opens a half-open one.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerOpen:
+		// Already failing fast; a straggler's failure restarts nothing.
+	}
+}
+
+// open must be called with b.mu held.
+func (b *Breaker) open() {
+	b.setState(BreakerOpen)
+	b.openedAt = b.now()
+	b.failures = 0
+}
+
+// State returns the current state without mutating it (unlike Allow, which
+// may begin the half-open transition).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

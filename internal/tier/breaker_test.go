@@ -1,0 +1,123 @@
+package tier
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/obs"
+)
+
+// testBreaker returns a breaker on a manual clock the test can advance.
+func testBreaker(threshold int, cooldown time.Duration, g *obs.Gauge) (*Breaker, *time.Time) {
+	b := NewBreaker(threshold, cooldown, g)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Second, nil)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := testBreaker(3, time.Second, nil)
+	b.Failure()
+	b.Failure()
+	b.Success() // interleaved success: the run is not consecutive anymore
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed (failures were not consecutive)", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	b, now := testBreaker(1, time.Second, nil)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but trial not admitted")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while the trial is in flight")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("trial success: state %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, now := testBreaker(1, time.Second, nil)
+	b.Failure()
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("trial not admitted")
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("trial failure: state %v, want open", got)
+	}
+	// The cooldown restarts from the re-open.
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a request immediately")
+	}
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second trial not admitted after fresh cooldown")
+	}
+}
+
+func TestBreakerGaugeMirrorsState(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("tamp_router_breaker_state", obs.L("shard", "west"))
+	b, now := testBreaker(1, time.Second, g)
+	if g.Value() != float64(BreakerClosed) {
+		t.Fatalf("gauge %g, want closed", g.Value())
+	}
+	b.Failure()
+	if g.Value() != float64(BreakerOpen) {
+		t.Fatalf("gauge %g, want open", g.Value())
+	}
+	*now = now.Add(time.Second)
+	b.Allow()
+	if g.Value() != float64(BreakerHalfOpen) {
+		t.Fatalf("gauge %g, want half-open", g.Value())
+	}
+	b.Success()
+	if g.Value() != float64(BreakerClosed) {
+		t.Fatalf("gauge %g, want closed again", g.Value())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open", BreakerOpen: "open", BreakerState(9): "invalid",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

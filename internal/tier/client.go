@@ -1,0 +1,162 @@
+package tier
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/obs"
+	"github.com/spatialcrowd/tamp/internal/par"
+)
+
+// ErrShardDown reports that the shard's circuit breaker refused the request
+// before any network traffic: the shard is known-bad and the router should
+// degrade (fail over, queue, or shed) instead of waiting out another
+// timeout.
+var ErrShardDown = errors.New("tier: shard unavailable (circuit breaker open)")
+
+// Client is the router's HTTP client for one shard: every call propagates
+// the caller's deadline, runs capped exponential backoff with deterministic
+// per-request jitter (par.RetryConfig), and consults the shard's circuit
+// breaker before each attempt. Transient failures — network errors and
+// 502/503/504 — are retried and feed the breaker; any other response is the
+// shard's answer and returns as-is.
+type Client struct {
+	name    string
+	base    string // shard base URL, no trailing slash
+	hc      *http.Client
+	breaker *Breaker
+	retry   par.RetryConfig
+	// attemptTimeout bounds each individual attempt so one black-holed
+	// connection cannot eat the whole request deadline; the caller's ctx
+	// still caps the total.
+	attemptTimeout time.Duration
+
+	retriesC *obs.Counter // tamp_router_retries_total{shard}
+}
+
+// NewClient builds a shard client. hc nil uses a private client; retry's
+// zero value gives the par defaults (3 attempts, 10ms base); attemptTimeout
+// ≤ 0 defaults to 2s.
+func NewClient(name, baseURL string, hc *http.Client, breaker *Breaker, retry par.RetryConfig, attemptTimeout time.Duration, retriesC *obs.Counter) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	if attemptTimeout <= 0 {
+		attemptTimeout = 2 * time.Second
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{
+		name: name, base: baseURL, hc: hc, breaker: breaker,
+		retry: retry, attemptTimeout: attemptTimeout, retriesC: retriesC,
+	}
+}
+
+// URL returns the shard base URL.
+func (c *Client) URL() string { return c.base }
+
+// transientStatus reports responses worth retrying: the shard (or something
+// between us and it) says "not right now", not "no".
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+// Do issues method path against the shard and returns the final status and
+// body. in, when non-nil, is marshalled to JSON once and replayed on every
+// attempt. The error is non-nil only when no response was obtained at all
+// (breaker open, retries exhausted, or ctx done) — HTTP error statuses are
+// returned to the caller to interpret.
+func (c *Client) Do(ctx context.Context, method, path string, in any) (status int, body []byte, err error) {
+	var reqBody []byte
+	if in != nil {
+		if reqBody, err = json.Marshal(in); err != nil {
+			return 0, nil, fmt.Errorf("tier: marshal %s %s: %w", method, path, err)
+		}
+	}
+	cfg := c.retry
+	// One jitter key per (shard, route): two routers hammering the same
+	// recovering shard back off on different schedules, deterministically.
+	cfg.JitterKey = c.name + " " + method + " " + path
+	var final struct {
+		status int
+		body   []byte
+		down   bool
+	}
+	rerr := par.Retry(ctx, cfg, func(attempt int) error {
+		if attempt > 0 && c.retriesC != nil {
+			c.retriesC.Inc()
+		}
+		if !c.breaker.Allow() {
+			// Not an attempt worth retrying: the breaker holds longer than
+			// any backoff budget. Report success to stop the retry loop and
+			// let the outer error say why.
+			final.down = true
+			return nil
+		}
+		actx := ctx
+		if c.attemptTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, c.attemptTimeout)
+			defer cancel()
+		}
+		req, err := http.NewRequestWithContext(actx, method, c.base+path, bytes.NewReader(reqBody))
+		if err != nil {
+			final.down = true // malformed target: retrying cannot fix it
+			return nil
+		}
+		if reqBody != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			c.breaker.Failure()
+			if ctx.Err() != nil {
+				return ctx.Err() // caller gave up; par.Retry stops on it
+			}
+			return fmt.Errorf("tier: %s %s%s: %w", method, c.name, path, err)
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			c.breaker.Failure()
+			return fmt.Errorf("tier: %s %s%s: read body: %w", method, c.name, path, rerr)
+		}
+		if transientStatus(resp.StatusCode) {
+			c.breaker.Failure()
+			return fmt.Errorf("tier: %s %s%s: status %d", method, c.name, path, resp.StatusCode)
+		}
+		c.breaker.Success()
+		final.status, final.body, final.down = resp.StatusCode, b, false
+		return nil
+	})
+	switch {
+	case final.down:
+		return 0, nil, ErrShardDown
+	case rerr != nil:
+		return 0, nil, rerr
+	default:
+		return final.status, final.body, nil
+	}
+}
+
+// DoJSON is Do plus decoding of a 2xx response body into out (out nil skips
+// decoding). Non-2xx responses return the status with out untouched.
+func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) (int, error) {
+	status, body, err := c.Do(ctx, method, path, in)
+	if err != nil {
+		return 0, err
+	}
+	if out != nil && status >= 200 && status < 300 {
+		if err := json.Unmarshal(body, out); err != nil {
+			return status, fmt.Errorf("tier: %s %s%s: decode: %w", method, c.name, path, err)
+		}
+	}
+	return status, nil
+}

@@ -1,0 +1,1010 @@
+package tier
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/obs"
+	"github.com/spatialcrowd/tamp/internal/par"
+)
+
+// Config parameterizes the Router.
+type Config struct {
+	// Map is the validated shard map (required).
+	Map *ShardMap
+	// Retry is the per-request backoff schedule for shard calls; the router
+	// stamps a deterministic jitter key per (shard, route) on top. The zero
+	// value gives 3 attempts from 10ms.
+	Retry par.RetryConfig
+	// AttemptTimeout bounds each individual shard call attempt (default 2s).
+	AttemptTimeout time.Duration
+	// BreakerThreshold consecutive transient failures open a shard's
+	// circuit breaker (default 3); BreakerCooldown later it goes half-open.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeInterval is the health-prober cadence (default 250ms). A shard
+	// is only routable while its latest /readyz probe succeeded.
+	ProbeInterval time.Duration
+	// QueueLimit bounds the per-shard buffer of interior task submissions
+	// accepted (202) while the shard is down, flushed on readmission.
+	// Default 256; negative disables queueing so everything sheds.
+	QueueLimit int
+	// RetryAfter is the Retry-After hint stamped on 503 sheds (default 1s).
+	RetryAfter time.Duration
+	// Registry receives the router metrics; nil gets a private registry.
+	Registry *obs.Registry
+	// HTTPClient overrides the transport used for shard calls and probes
+	// (tests inject short timeouts); nil uses a default client.
+	HTTPClient *http.Client
+}
+
+// Router is the serving tier's front door: it terminates the same HTTP API
+// the shards speak and routes every call to the shard(s) owning the
+// locations involved. It holds only soft state — task→shard placement,
+// worker homes, and the border-reconciliation table — so a restarted router
+// re-learns the world from the shard map file and the shards themselves.
+type Router struct {
+	cfg    Config
+	reg    *obs.Registry
+	shards []*shardState
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	nextTask int
+	tasks    map[int]*routedTask
+	workers  map[int]*routedWorker
+
+	shedsC      *obs.Counter // tamp_router_sheds_total
+	failoversC  *obs.Counter // tamp_router_failovers_total
+	reconcilesC *obs.Counter // tamp_router_border_reconciled_total
+	borderC     *obs.Counter // tamp_router_border_tasks_total
+	queuedC     *obs.Counter // tamp_router_queued_total
+	routeSec    *obs.Histogram
+}
+
+// shardState is the router's view of one shard.
+type shardState struct {
+	idx     int
+	def     ShardDef
+	client  *Client
+	breaker *Breaker
+	ready   atomic.Bool // latest /readyz probe verdict
+
+	queueMu sync.Mutex
+	queue   []queuedTask
+	depth   *obs.Gauge // tamp_router_queue_depth{shard}
+}
+
+type queuedTask struct {
+	id  int
+	req taskRequest
+}
+
+// routable reports whether the router may send ordinary traffic to the
+// shard: the last readiness probe passed and the breaker is not open.
+func (ss *shardState) routable() bool {
+	return ss.ready.Load() && ss.breaker.State() != BreakerOpen
+}
+
+// routedTask is the router's placement record for one task.
+type routedTask struct {
+	mu    sync.Mutex
+	home  int  // shard index of the authoritative copy
+	ghost int  // neighbor shard holding the border duplicate; -1 = interior
+	won   int  // shard whose worker accepted first; -1 = still open
+	dead  bool // cancelled via the router
+}
+
+// routedWorker pins a worker to the shard of its first location report and
+// remembers its registration so late-recovering shards can be backfilled.
+type routedWorker struct {
+	mu         sync.Mutex
+	home       int // -1 until the first location report
+	reg        workerRequest
+	registered []bool // per shard
+}
+
+// Wire types mirrored from the shard API (internal/server keeps its own
+// unexported copies; this is the protocol, stated twice on purpose so the
+// tier can only depend on the wire contract).
+type taskRequest struct {
+	ID       int     `json:"id,omitempty"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Deadline int     `json:"deadline"`
+}
+
+type workerRequest struct {
+	ID       int     `json:"id"`
+	DetourKM float64 `json:"detourKm"`
+	Speed    float64 `json:"speed"`
+	MR       float64 `json:"mr"`
+}
+
+type locationRequest struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type offerRecord struct {
+	OfferID  int `json:"offerId"`
+	TaskID   int `json:"taskId"`
+	WorkerID int `json:"workerId"`
+}
+
+type batchResponse struct {
+	Tick   int `json:"tick"`
+	Offers int `json:"offers"`
+	Open   int `json:"open"`
+}
+
+// NewRouter builds a Router over the shard map.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.Map == nil || cfg.Map.NumShards() == 0 {
+		return nil, fmt.Errorf("tier: router needs a shard map")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	rt := &Router{
+		cfg: cfg, reg: reg,
+		nextTask: 1,
+		tasks:    map[int]*routedTask{},
+		workers:  map[int]*routedWorker{},
+
+		shedsC:      reg.Counter("tamp_router_sheds_total"),
+		failoversC:  reg.Counter("tamp_router_failovers_total"),
+		reconcilesC: reg.Counter("tamp_router_border_reconciled_total"),
+		borderC:     reg.Counter("tamp_router_border_tasks_total"),
+		queuedC:     reg.Counter("tamp_router_queued_total"),
+		routeSec:    reg.Histogram("tamp_router_request_seconds", obs.DefRequestBuckets),
+	}
+	retriesTotal := reg.Counter("tamp_router_retries_total")
+	for i, def := range cfg.Map.Shards {
+		br := NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+			reg.Gauge("tamp_router_breaker_state", obs.L("shard", def.Name)))
+		ss := &shardState{
+			idx: i, def: def, breaker: br,
+			client: NewClient(def.Name, def.URL, hc, br, cfg.Retry, cfg.AttemptTimeout, retriesTotal),
+			depth:  reg.Gauge("tamp_router_queue_depth", obs.L("shard", def.Name)),
+		}
+		rt.shards = append(rt.shards, ss)
+	}
+	rt.routes()
+	return rt, nil
+}
+
+// Registry exposes the router's metric registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+func (rt *Router) routes() {
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/api/tasks", rt.handleTasks)
+	rt.mux.HandleFunc("/api/tasks/", rt.handleTaskByID)
+	rt.mux.HandleFunc("/api/workers", rt.handleWorkers)
+	rt.mux.HandleFunc("/api/workers/", rt.handleWorkerByID)
+	rt.mux.HandleFunc("/api/offers/", rt.handleOfferByID)
+	rt.mux.HandleFunc("/api/tick", rt.handleFanout)
+	rt.mux.HandleFunc("/api/batch", rt.handleFanout)
+	rt.mux.HandleFunc("/api/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	rt.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		for _, ss := range rt.shards {
+			if ss.routable() {
+				writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+				return
+			}
+		}
+		httpError(w, http.StatusServiceUnavailable, "no routable shard")
+	})
+	rt.mux.Handle("/metrics", rt.reg.Handler())
+}
+
+// ServeHTTP implements http.Handler with the same panic hardening the
+// shards use: one bad request must not take the routing tier down.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		rt.routeSec.Observe(time.Since(start).Seconds())
+		if rec := recover(); rec != nil {
+			log.Printf("tier: recovered panic in %s %s: %v", r.Method, r.URL.Path, rec)
+			httpError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Run starts the health probers and blocks until ctx is done. Tests drive
+// ProbeOnce directly instead for determinism.
+func (rt *Router) Run(ctx context.Context) {
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		rt.ProbeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ProbeOnce probes every shard's /readyz once and updates routability. A
+// passing probe counts as the half-open trial success that closes an open
+// breaker, re-admitting a recovered shard; it also flushes the shard's
+// queued interior tasks. Safe to call concurrently with request traffic.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	for _, ss := range rt.shards {
+		ss := ss
+		up := rt.probeShard(ctx, ss)
+		wasReady := ss.ready.Swap(up)
+		if up {
+			// The shard answered readyz: whatever the breaker thought, the
+			// shard is demonstrably serving again.
+			ss.breaker.Success()
+			if !wasReady {
+				log.Printf("tier: shard %s admitted (readyz ok)", ss.def.Name)
+			}
+			rt.flushQueue(ctx, ss)
+		} else if wasReady {
+			log.Printf("tier: shard %s removed from rotation (readyz failing)", ss.def.Name)
+		}
+	}
+}
+
+// probeShard is a single bare GET /readyz — no retries, no breaker: the
+// prober itself must see the shard exactly as it is.
+func (rt *Router) probeShard(ctx context.Context, ss *shardState) bool {
+	pctx, cancel := context.WithTimeout(ctx, rt.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, ss.client.URL()+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	hc := rt.cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (rt *Router) probeTimeout() time.Duration {
+	if rt.cfg.AttemptTimeout > 0 {
+		return rt.cfg.AttemptTimeout
+	}
+	return 2 * time.Second
+}
+
+// flushQueue replays the interior tasks buffered while the shard was down,
+// in arrival order. Tasks carry their router-allocated IDs, so a flush after
+// several probe cycles is idempotent: a duplicate submit answers 409 and is
+// dropped.
+func (rt *Router) flushQueue(ctx context.Context, ss *shardState) {
+	for {
+		ss.queueMu.Lock()
+		if len(ss.queue) == 0 {
+			ss.queueMu.Unlock()
+			return
+		}
+		qt := ss.queue[0]
+		ss.queue = ss.queue[1:]
+		ss.depth.Set(float64(len(ss.queue)))
+		ss.queueMu.Unlock()
+		status, _, err := ss.client.Do(ctx, http.MethodPost, "/api/tasks", qt.req)
+		if err != nil {
+			// Shard went away again mid-flush: put the task back in front
+			// and let the next successful probe resume.
+			ss.queueMu.Lock()
+			ss.queue = append([]queuedTask{qt}, ss.queue...)
+			ss.depth.Set(float64(len(ss.queue)))
+			ss.queueMu.Unlock()
+			return
+		}
+		if status != http.StatusCreated && status != http.StatusConflict {
+			log.Printf("tier: queued task %d rejected by %s: status %d", qt.id, ss.def.Name, status)
+		}
+	}
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("tier: writeJSON: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// passthrough copies a shard response (status + JSON body) to the client.
+func passthrough(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// shed answers 503 with the Retry-After hint and counts it.
+func (rt *Router) shed(w http.ResponseWriter, why string) {
+	rt.shedsC.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int((rt.cfg.RetryAfter+time.Second-1)/time.Second)))
+	httpError(w, http.StatusServiceUnavailable, "%s", why)
+}
+
+func trailingID(path, prefix string) (int, bool) {
+	rest := strings.TrimPrefix(path, prefix)
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	id, err := strconv.Atoi(rest)
+	return id, err == nil
+}
+
+// --- tasks ---
+
+func (rt *Router) handleTasks(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		rt.submitTask(w, r)
+	case http.MethodGet:
+		rt.listTasks(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+// submitTask is the heart of the tier: place the task on the shard owning
+// its location, duplicate border tasks onto the neighbor, and degrade
+// gracefully — failover, queue, or shed — when the home shard is down.
+func (rt *Router) submitTask(w http.ResponseWriter, r *http.Request) {
+	var req taskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	loc := rt.cfg.Map.Grid.Bounds().Clamp(geo.Pt(req.X, req.Y))
+	span := rt.cfg.Map.Spanning(loc)
+	home := span[0]
+	ghost := -1
+	if len(span) > 1 {
+		ghost = span[1]
+	}
+
+	rt.mu.Lock()
+	if req.ID > 0 {
+		if _, dup := rt.tasks[req.ID]; dup {
+			rt.mu.Unlock()
+			httpError(w, http.StatusConflict, "task %d already exists", req.ID)
+			return
+		}
+		if req.ID >= rt.nextTask {
+			rt.nextTask = req.ID + 1
+		}
+	} else {
+		req.ID = rt.nextTask
+		rt.nextTask++
+	}
+	id := req.ID
+	rec := &routedTask{home: home, ghost: -1, won: -1}
+	rt.tasks[id] = rec
+	rt.mu.Unlock()
+
+	homeUp := rt.shards[home].routable()
+	if !homeUp {
+		switch {
+		case ghost >= 0 && rt.shards[ghost].routable():
+			// Border failover: the neighbor can plausibly serve the task, so
+			// it becomes the (only) home rather than the request failing.
+			rec.home, ghost = ghost, -1
+			rt.failoversC.Inc()
+			home = rec.home
+			homeUp = true
+		case rt.cfg.QueueLimit > 0:
+			ss := rt.shards[home]
+			ss.queueMu.Lock()
+			if len(ss.queue) < rt.cfg.QueueLimit {
+				ss.queue = append(ss.queue, queuedTask{id: id, req: req})
+				ss.depth.Set(float64(len(ss.queue)))
+				ss.queueMu.Unlock()
+				rt.queuedC.Inc()
+				writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "status": "queued"})
+				return
+			}
+			ss.queueMu.Unlock()
+			fallthrough
+		default:
+			rt.forgetTask(id)
+			rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[home].def.Name))
+			return
+		}
+	}
+
+	status, body, err := rt.shards[home].client.Do(r.Context(), http.MethodPost, "/api/tasks", req)
+	if err != nil {
+		rt.forgetTask(id)
+		rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[home].def.Name))
+		return
+	}
+	if status == http.StatusCreated && ghost >= 0 {
+		rt.borderC.Inc()
+		// Offer the border task to the neighbor too (same ID — one task, two
+		// shards bidding). A failed ghost submit degrades the task to
+		// interior; the home copy alone is still a correct outcome.
+		if gs, _, gerr := rt.shards[ghost].client.Do(r.Context(), http.MethodPost, "/api/tasks", req); gerr == nil && gs == http.StatusCreated {
+			rec.mu.Lock()
+			rec.ghost = ghost
+			rec.mu.Unlock()
+		}
+	}
+	if status != http.StatusCreated {
+		rt.forgetTask(id)
+	}
+	passthrough(w, status, body)
+}
+
+func (rt *Router) forgetTask(id int) {
+	rt.mu.Lock()
+	delete(rt.tasks, id)
+	rt.mu.Unlock()
+}
+
+func (rt *Router) lookupTask(id int) *routedTask {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tasks[id]
+}
+
+// listTasks fans GET /api/tasks across the routable shards and merges by
+// task ID; for a border task both shards answer and the decided copy (or
+// the home's) wins.
+func (rt *Router) listTasks(w http.ResponseWriter, r *http.Request) {
+	merged := map[int]json.RawMessage{}
+	decided := map[int]bool{}
+	for _, ss := range rt.shards {
+		if !ss.routable() {
+			continue
+		}
+		status, body, err := ss.client.Do(r.Context(), http.MethodGet, "/api/tasks", nil)
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var tasks []struct {
+			ID     int    `json:"id"`
+			Status string `json:"status"`
+		}
+		if json.Unmarshal(body, &tasks) != nil {
+			continue
+		}
+		var raw []json.RawMessage
+		if json.Unmarshal(body, &raw) != nil {
+			continue
+		}
+		for i, t := range tasks {
+			isDecided := t.Status == "accepted" || t.Status == "offered"
+			if _, seen := merged[t.ID]; !seen || (isDecided && !decided[t.ID]) {
+				merged[t.ID] = raw[i]
+				decided[t.ID] = isDecided
+			}
+		}
+	}
+	out := make([]json.RawMessage, 0, len(merged))
+	for _, m := range merged {
+		out = append(out, m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleTaskByID(w http.ResponseWriter, r *http.Request) {
+	id, ok := trailingID(r.URL.Path, "/api/tasks/")
+	if !ok {
+		httpError(w, http.StatusBadRequest, "bad task id")
+		return
+	}
+	rec := rt.lookupTask(id)
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "task %d not found", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		rec.mu.Lock()
+		target := rec.home
+		if rec.won >= 0 {
+			target = rec.won
+		}
+		rec.mu.Unlock()
+		status, body, err := rt.shards[target].client.Do(r.Context(), http.MethodGet, r.URL.Path, nil)
+		if err != nil {
+			rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[target].def.Name))
+			return
+		}
+		passthrough(w, status, body)
+	case http.MethodDelete:
+		// Cancel every copy; the client's answer is the home shard's.
+		rec.mu.Lock()
+		targets := []int{rec.home}
+		if rec.ghost >= 0 {
+			targets = append(targets, rec.ghost)
+		}
+		rec.dead = true
+		rec.mu.Unlock()
+		var status int
+		var body []byte
+		var err error
+		for i, t := range targets {
+			s, b, e := rt.shards[t].client.Do(r.Context(), http.MethodDelete, r.URL.Path, nil)
+			if i == 0 {
+				status, body, err = s, b, e
+			}
+		}
+		if err != nil {
+			rt.shed(w, "home shard down")
+			return
+		}
+		passthrough(w, status, body)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+// --- workers ---
+
+func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req workerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		if req.ID <= 0 {
+			httpError(w, http.StatusBadRequest, "worker id must be positive")
+			return
+		}
+		rt.mu.Lock()
+		if _, dup := rt.workers[req.ID]; dup {
+			rt.mu.Unlock()
+			httpError(w, http.StatusConflict, "worker %d already registered", req.ID)
+			return
+		}
+		rw := &routedWorker{home: -1, reg: req, registered: make([]bool, len(rt.shards))}
+		rt.workers[req.ID] = rw
+		rt.mu.Unlock()
+
+		// Register on every shard that is up — the worker's home is decided
+		// by its first location report, and a shard that is down now is
+		// backfilled lazily when the worker first touches it.
+		var status int
+		var body []byte
+		ok := false
+		for i, ss := range rt.shards {
+			if !ss.routable() {
+				continue
+			}
+			s, b, err := ss.client.Do(r.Context(), http.MethodPost, "/api/workers", req)
+			if err != nil {
+				continue
+			}
+			if s == http.StatusCreated || s == http.StatusConflict {
+				rw.mu.Lock()
+				rw.registered[i] = true
+				rw.mu.Unlock()
+			}
+			if !ok {
+				status, body, ok = s, b, true
+			}
+		}
+		if !ok {
+			rt.mu.Lock()
+			delete(rt.workers, req.ID)
+			rt.mu.Unlock()
+			rt.shed(w, "no routable shard")
+			return
+		}
+		passthrough(w, status, body)
+	case http.MethodGet:
+		rt.listWorkers(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+func (rt *Router) listWorkers(w http.ResponseWriter, r *http.Request) {
+	merged := map[int]json.RawMessage{}
+	online := map[int]bool{}
+	for _, ss := range rt.shards {
+		if !ss.routable() {
+			continue
+		}
+		status, body, err := ss.client.Do(r.Context(), http.MethodGet, "/api/workers", nil)
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var workers []struct {
+			ID     int  `json:"id"`
+			Online bool `json:"online"`
+		}
+		var raw []json.RawMessage
+		if json.Unmarshal(body, &workers) != nil || json.Unmarshal(body, &raw) != nil {
+			continue
+		}
+		for i, wk := range workers {
+			if _, seen := merged[wk.ID]; !seen || (wk.Online && !online[wk.ID]) {
+				merged[wk.ID] = raw[i]
+				online[wk.ID] = wk.Online
+			}
+		}
+	}
+	out := make([]json.RawMessage, 0, len(merged))
+	for _, m := range merged {
+		out = append(out, m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) lookupWorker(id int) *routedWorker {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.workers[id]
+}
+
+// ensureRegistered lazily backfills the worker's registration on a shard
+// that was down when the worker registered. 409 means "already there".
+func (rt *Router) ensureRegistered(ctx context.Context, rw *routedWorker, shard int) error {
+	rw.mu.Lock()
+	already := rw.registered[shard]
+	req := rw.reg
+	rw.mu.Unlock()
+	if already {
+		return nil
+	}
+	status, _, err := rt.shards[shard].client.Do(ctx, http.MethodPost, "/api/workers", req)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusCreated || status == http.StatusConflict {
+		rw.mu.Lock()
+		rw.registered[shard] = true
+		rw.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("tier: register worker %d on shard %d: status %d", req.ID, shard, status)
+}
+
+func (rt *Router) handleWorkerByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/workers/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad worker id")
+		return
+	}
+	rw := rt.lookupWorker(id)
+	if rw == nil {
+		httpError(w, http.StatusNotFound, "worker %d not registered", id)
+		return
+	}
+	action := ""
+	if len(parts) > 1 {
+		action = parts[1]
+	}
+	switch {
+	case r.Method == http.MethodPost && action == "location":
+		var req locationRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		// The first report pins the worker to the shard owning that spot;
+		// the platform's mobility predictors live where the worker does.
+		rw.mu.Lock()
+		if rw.home < 0 {
+			rw.home = rt.cfg.Map.Home(geo.Pt(req.X, req.Y))
+		}
+		home := rw.home
+		rw.mu.Unlock()
+		if !rt.shards[home].routable() {
+			rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[home].def.Name))
+			return
+		}
+		if err := rt.ensureRegistered(r.Context(), rw, home); err != nil {
+			rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[home].def.Name))
+			return
+		}
+		status, body, err := rt.shards[home].client.Do(r.Context(), http.MethodPost, r.URL.Path, req)
+		if err != nil {
+			rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[home].def.Name))
+			return
+		}
+		passthrough(w, status, body)
+	case r.Method == http.MethodGet && (action == "" || action == "offers"):
+		rw.mu.Lock()
+		home := rw.home
+		rw.mu.Unlock()
+		if home < 0 {
+			// Never reported: no shard owns it yet; answer what is known.
+			if action == "offers" {
+				writeJSON(w, http.StatusOK, []any{})
+			} else {
+				writeJSON(w, http.StatusOK, rw.reg)
+			}
+			return
+		}
+		if !rt.shards[home].routable() {
+			rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[home].def.Name))
+			return
+		}
+		status, body, err := rt.shards[home].client.Do(r.Context(), http.MethodGet, r.URL.Path, nil)
+		if err != nil {
+			rt.shed(w, fmt.Sprintf("shard %s down", rt.shards[home].def.Name))
+			return
+		}
+		passthrough(w, status, body)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s %s", r.Method, action)
+	}
+}
+
+// --- offers: first-accept-wins reconciliation ---
+
+func (rt *Router) handleOfferByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/offers/")
+	parts := strings.Split(rest, "/")
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad offer id")
+		return
+	}
+	shard := ShardOfOffer(id, len(rt.shards))
+	if shard < 0 {
+		httpError(w, http.StatusNotFound, "offer %d outside every shard's id range", id)
+		return
+	}
+	ss := rt.shards[shard]
+	action := ""
+	if len(parts) > 1 {
+		action = parts[1]
+	}
+	switch {
+	case r.Method == http.MethodGet && action == "":
+		status, body, err := ss.client.Do(r.Context(), http.MethodGet, r.URL.Path, nil)
+		if err != nil {
+			rt.shed(w, fmt.Sprintf("shard %s down", ss.def.Name))
+			return
+		}
+		passthrough(w, status, body)
+	case r.Method == http.MethodPost && action == "accept":
+		rt.acceptOffer(w, r, ss, id)
+	case r.Method == http.MethodPost && action == "reject":
+		status, body, err := ss.client.Do(r.Context(), http.MethodPost, r.URL.Path, nil)
+		if err != nil {
+			rt.shed(w, fmt.Sprintf("shard %s down", ss.def.Name))
+			return
+		}
+		passthrough(w, status, body)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s %s", r.Method, action)
+	}
+}
+
+// acceptOffer forwards an accept with border reconciliation: the first
+// accept across the task's copies wins, and the losing copy is retracted by
+// cancelling the duplicate task — TaskCancelled retracts the pending offer
+// inside the same state transition, and re-cancelling is idempotent, so a
+// lost retraction is safely retried at the next accept attempt.
+func (rt *Router) acceptOffer(w http.ResponseWriter, r *http.Request, ss *shardState, offerID int) {
+	// Learn which task the offer would commit before forwarding.
+	var rec offerRecord
+	status, err := ss.client.DoJSON(r.Context(), http.MethodGet, "/api/offers/"+strconv.Itoa(offerID), nil, &rec)
+	if err != nil {
+		rt.shed(w, fmt.Sprintf("shard %s down", ss.def.Name))
+		return
+	}
+	if status != http.StatusOK {
+		httpError(w, status, "offer %d not found", offerID)
+		return
+	}
+	rtask := rt.lookupTask(rec.TaskID)
+	if rtask == nil {
+		// Not a router-managed task (shard driven directly): plain forward.
+		s, body, err := ss.client.Do(r.Context(), http.MethodPost, r.URL.Path, nil)
+		if err != nil {
+			rt.shed(w, fmt.Sprintf("shard %s down", ss.def.Name))
+			return
+		}
+		passthrough(w, s, body)
+		return
+	}
+
+	rtask.mu.Lock()
+	defer rtask.mu.Unlock()
+	if rtask.won >= 0 && rtask.won != ss.idx {
+		// The race is already decided on the other shard. Retract this
+		// side's copy (idempotent: cancel of a cancelled task is a no-op
+		// transition) and tell the worker the offer is gone.
+		rt.retractCopy(r.Context(), ss, rec.TaskID)
+		rt.reconcilesC.Inc()
+		httpError(w, http.StatusConflict, "task %d already accepted on shard %s",
+			rec.TaskID, rt.shards[rtask.won].def.Name)
+		return
+	}
+	s, body, err := ss.client.Do(r.Context(), http.MethodPost, r.URL.Path, nil)
+	if err != nil {
+		rt.shed(w, fmt.Sprintf("shard %s down", ss.def.Name))
+		return
+	}
+	if s == http.StatusOK {
+		rtask.won = ss.idx
+		// First accept wins: withdraw the duplicate from the other shard so
+		// its worker pool stops bidding on a task that is already committed.
+		other := -1
+		if rtask.ghost >= 0 && rtask.ghost != ss.idx {
+			other = rtask.ghost
+		} else if rtask.ghost == ss.idx {
+			other = rtask.home
+		}
+		if other >= 0 {
+			rt.retractCopy(r.Context(), rt.shards[other], rec.TaskID)
+			rt.reconcilesC.Inc()
+		}
+	}
+	passthrough(w, s, body)
+}
+
+// retractCopy cancels a task copy on a shard, best-effort: DELETE on an
+// open or offered task cancels it and retracts its offer in one transition;
+// on an already-cancelled copy it is a no-op, and a failure leaves the copy
+// to be retracted at the next reconciliation touch.
+func (rt *Router) retractCopy(ctx context.Context, ss *shardState, taskID int) {
+	status, _, err := ss.client.Do(ctx, http.MethodDelete, "/api/tasks/"+strconv.Itoa(taskID), nil)
+	if err != nil {
+		log.Printf("tier: retract task %d on %s: %v (will retry on next touch)", taskID, ss.def.Name, err)
+		return
+	}
+	if status != http.StatusOK && status != http.StatusConflict && status != http.StatusNotFound {
+		log.Printf("tier: retract task %d on %s: status %d", taskID, ss.def.Name, status)
+	}
+}
+
+// --- fan-out: tick and batch ---
+
+// handleFanout forwards /api/tick and /api/batch to every routable shard
+// and aggregates: ticks advance everywhere (max reported), batch offers and
+// open counts sum.
+func (rt *Router) handleFanout(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && !(r.Method == http.MethodGet && r.URL.Path == "/api/tick") {
+		httpError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var agg batchResponse
+	any := false
+	for _, ss := range rt.shards {
+		if !ss.routable() {
+			continue
+		}
+		status, body, err := ss.client.Do(r.Context(), r.Method, r.URL.Path, nil)
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		any = true
+		var br batchResponse
+		if json.Unmarshal(body, &br) == nil {
+			if br.Tick > agg.Tick {
+				agg.Tick = br.Tick
+			}
+			agg.Offers += br.Offers
+			agg.Open += br.Open
+		}
+	}
+	if !any {
+		rt.shed(w, "no routable shard")
+		return
+	}
+	if r.URL.Path == "/api/tick" {
+		writeJSON(w, http.StatusOK, map[string]int{"tick": agg.Tick})
+		return
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// --- metrics ---
+
+type shardMetrics struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Ready   bool   `json:"ready"`
+	Breaker string `json:"breaker"`
+	Queued  int    `json:"queued"`
+}
+
+type routerMetrics struct {
+	Shards      []shardMetrics `json:"shards"`
+	Tasks       int            `json:"tasks"`
+	Workers     int            `json:"workers"`
+	Sheds       int64          `json:"sheds"`
+	Failovers   int64          `json:"failovers"`
+	BorderTasks int64          `json:"borderTasks"`
+	Reconciled  int64          `json:"reconciled"`
+	Queued      int64          `json:"queued"`
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := routerMetrics{
+		Sheds:       rt.shedsC.Value(),
+		Failovers:   rt.failoversC.Value(),
+		BorderTasks: rt.borderC.Value(),
+		Reconciled:  rt.reconcilesC.Value(),
+		Queued:      rt.queuedC.Value(),
+	}
+	rt.mu.Lock()
+	m.Tasks, m.Workers = len(rt.tasks), len(rt.workers)
+	rt.mu.Unlock()
+	for _, ss := range rt.shards {
+		ss.queueMu.Lock()
+		depth := len(ss.queue)
+		ss.queueMu.Unlock()
+		m.Shards = append(m.Shards, shardMetrics{
+			Name: ss.def.Name, URL: ss.def.URL,
+			Ready: ss.ready.Load(), Breaker: ss.breaker.State().String(),
+			Queued: depth,
+		})
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// ListenAndServe serves the router on addr with the probers running, until
+// ctx is cancelled; then it drains in-flight requests.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string) error {
+	go rt.Run(ctx)
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     rt,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		<-errc
+		return err
+	case err := <-errc:
+		return err
+	}
+}

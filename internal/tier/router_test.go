@@ -1,0 +1,492 @@
+package tier
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/par"
+	"github.com/spatialcrowd/tamp/internal/server"
+)
+
+// restartableShard runs a real server.Server on a fixed address so tests can
+// kill it and bring a replacement back on the same endpoint — exactly what a
+// supervised process does in production.
+type restartableShard struct {
+	t    *testing.T
+	addr string
+	cfg  server.Config
+	srv  *server.Server
+	ts   *httptest.Server
+}
+
+func newRestartableShard(t *testing.T, cfg server.Config) *restartableShard {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &restartableShard{t: t, addr: l.Addr().String(), cfg: cfg}
+	rs.start(l)
+	t.Cleanup(func() { rs.ts.Close() })
+	return rs
+}
+
+func (rs *restartableShard) start(l net.Listener) {
+	rs.t.Helper()
+	s, err := server.New(rs.cfg)
+	if err != nil {
+		rs.t.Fatal(err)
+	}
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: s}}
+	ts.Start()
+	rs.srv, rs.ts = s, ts
+}
+
+// kill closes the listener and drops live connections: from the router's
+// side the shard is simply gone. The server.Server object is closed too so
+// its WAL handle releases the directory for the successor.
+func (rs *restartableShard) kill() {
+	rs.ts.CloseClientConnections()
+	rs.ts.Close()
+	rs.srv.Close()
+}
+
+// restart brings a fresh server up on the shard's original address.
+func (rs *restartableShard) restart() {
+	rs.t.Helper()
+	var l net.Listener
+	var err error
+	for i := 0; i < 200; i++ {
+		if l, err = net.Listen("tcp", rs.addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		rs.t.Fatalf("re-listen on %s: %v", rs.addr, err)
+	}
+	rs.start(l)
+}
+
+func (rs *restartableShard) url() string { return "http://" + rs.addr }
+
+// testCluster is a 2-shard fleet (west|east split at x=50) plus a router.
+type testCluster struct {
+	t      *testing.T
+	shards []*restartableShard
+	router *Router
+	front  *httptest.Server
+}
+
+func shardConfig(i int) server.Config {
+	return server.Config{
+		Grid:      geo.Grid{Cols: 100, Rows: 50},
+		Assigner:  assign.PPI{A: 1.5},
+		OfferBase: OfferBase(i),
+	}
+}
+
+// noSleep removes wall-clock waits from the retry schedule under test.
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func newTestCluster(t *testing.T, borderKM float64, queueLimit int) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t}
+	for i := 0; i < 2; i++ {
+		tc.shards = append(tc.shards, newRestartableShard(t, shardConfig(i)))
+	}
+	m, err := NewMap(MapConfig{
+		Grid:     geo.Grid{Cols: 100, Rows: 50},
+		BorderKM: borderKM,
+		Shards: []ShardDef{
+			{Name: "west", URL: tc.shards[0].url(), XMin: 0, XMax: 50},
+			{Name: "east", URL: tc.shards[1].url(), XMin: 50, XMax: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(Config{
+		Map:              m,
+		Retry:            par.RetryConfig{Attempts: 3, BaseDelay: time.Millisecond, Sleep: noSleep},
+		AttemptTimeout:   2 * time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		QueueLimit:       queueLimit,
+		HTTPClient:       &http.Client{Timeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = rt
+	rt.ProbeOnce(context.Background())
+	tc.front = httptest.NewServer(rt)
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+// do issues a JSON request against the router front door.
+func (tc *testCluster) do(method, path string, body, out any) int {
+	tc.t.Helper()
+	return doJSON(tc.t, tc.front.URL, method, path, body, out)
+}
+
+// doShard issues a JSON request directly against shard i, bypassing the
+// router — the test's view of ground truth.
+func (tc *testCluster) doShard(i int, method, path string, body, out any) int {
+	tc.t.Helper()
+	return doJSON(tc.t, tc.shards[i].url(), method, path, body, out)
+}
+
+func doJSON(t *testing.T, base, method, path string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, base+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type taskView struct {
+	ID       int     `json:"id"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Deadline int     `json:"deadline"`
+	Status   string  `json:"status"`
+	Worker   int     `json:"worker"`
+}
+
+type offerView struct {
+	OfferID int `json:"offerId"`
+	TaskID  int `json:"taskId"`
+}
+
+// walk reports a short straight trace through the router so the worker is
+// batch-eligible on its home shard.
+func (tc *testCluster) walk(worker int, x0, y float64, steps int, dx float64) {
+	tc.t.Helper()
+	for i := 0; i < steps; i++ {
+		code := tc.do("POST", fmt.Sprintf("/api/workers/%d/location", worker),
+			locationRequest{X: x0 + float64(i)*dx, Y: y}, nil)
+		if code != http.StatusOK {
+			tc.t.Fatalf("worker %d location report %d: status %d", worker, i, code)
+		}
+	}
+}
+
+func TestRouterInteriorFlow(t *testing.T) {
+	tc := newTestCluster(t, 0, 4)
+
+	if code := tc.do("POST", "/api/workers", workerRequest{ID: 1, DetourKM: 8, Speed: 1, MR: 0.8}, nil); code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+	tc.walk(1, 10, 10, 6, 1)
+
+	var task taskView
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 18, Y: 10, Deadline: 30}, &task); code != http.StatusCreated {
+		t.Fatalf("post task status %d", code)
+	}
+
+	// Interior task: on the west shard, absent from the east shard.
+	if code := tc.doShard(0, "GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, nil); code != http.StatusOK {
+		t.Fatalf("west shard should hold task %d: status %d", task.ID, code)
+	}
+	if code := tc.doShard(1, "GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("east shard should not hold interior west task: status %d", code)
+	}
+
+	var batch batchResponse
+	if code := tc.do("POST", "/api/batch", nil, &batch); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if batch.Offers != 1 {
+		t.Fatalf("batch offers = %d, want 1", batch.Offers)
+	}
+
+	var offers []offerView
+	tc.do("GET", "/api/workers/1/offers", nil, &offers)
+	if len(offers) != 1 {
+		t.Fatalf("offers = %+v", offers)
+	}
+	// The offer ID is in the west shard's range, so the router can route
+	// the decision without any table.
+	if got := ShardOfOffer(offers[0].OfferID, 2); got != 0 {
+		t.Fatalf("offer %d maps to shard %d, want 0", offers[0].OfferID, got)
+	}
+	if code := tc.do("POST", fmt.Sprintf("/api/offers/%d/accept", offers[0].OfferID), nil, nil); code != http.StatusOK {
+		t.Fatalf("accept status %d", code)
+	}
+	var got taskView
+	tc.do("GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, &got)
+	if got.Status != string(server.TaskAccepted) || got.Worker != 1 {
+		t.Fatalf("task after accept = %+v", got)
+	}
+
+	// Aggregated listing sees the task once.
+	var all []taskView
+	tc.do("GET", "/api/tasks", nil, &all)
+	if len(all) != 1 || all[0].ID != task.ID {
+		t.Fatalf("GET /api/tasks = %+v", all)
+	}
+}
+
+func TestRouterBorderFirstAcceptWins(t *testing.T) {
+	tc := newTestCluster(t, 1, 4) // 1 km border: x in [45, 55) spans the cut
+
+	for id := 1; id <= 2; id++ {
+		if code := tc.do("POST", "/api/workers", workerRequest{ID: id, DetourKM: 8, Speed: 1, MR: 0.8}, nil); code != http.StatusCreated {
+			t.Fatalf("register worker %d: status %d", id, code)
+		}
+	}
+	tc.walk(1, 41, 25, 6, 1)  // worker 1 ends at x=46 → home west
+	tc.walk(2, 56, 25, 6, -1) // worker 2 ends at x=51 → home east
+
+	var task taskView
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 48, Y: 25, Deadline: 30}, &task); code != http.StatusCreated {
+		t.Fatalf("post border task: status %d", code)
+	}
+	// The border task is live on both shards under one ID.
+	for i := 0; i < 2; i++ {
+		if code := tc.doShard(i, "GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, nil); code != http.StatusOK {
+			t.Fatalf("shard %d should hold border task: status %d", i, code)
+		}
+	}
+	if v := tc.router.borderC.Value(); v != 1 {
+		t.Fatalf("border counter = %d, want 1", v)
+	}
+
+	var batch batchResponse
+	tc.do("POST", "/api/batch", nil, &batch)
+	if batch.Offers != 2 {
+		t.Fatalf("fan-out batch offers = %d, want 2 (one per shard)", batch.Offers)
+	}
+
+	var west, east []offerView
+	tc.do("GET", "/api/workers/1/offers", nil, &west)
+	tc.do("GET", "/api/workers/2/offers", nil, &east)
+	if len(west) != 1 || len(east) != 1 {
+		t.Fatalf("offers west=%+v east=%+v", west, east)
+	}
+	if ShardOfOffer(west[0].OfferID, 2) != 0 || ShardOfOffer(east[0].OfferID, 2) != 1 {
+		t.Fatalf("offer id ranges wrong: west=%d east=%d", west[0].OfferID, east[0].OfferID)
+	}
+
+	// Worker 2 accepts first and wins.
+	if code := tc.do("POST", fmt.Sprintf("/api/offers/%d/accept", east[0].OfferID), nil, nil); code != http.StatusOK {
+		t.Fatalf("first accept status %d", code)
+	}
+	// The west copy was retracted: cancelled on the shard, its offer gone.
+	var westCopy taskView
+	tc.doShard(0, "GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, &westCopy)
+	if westCopy.Status != string(server.TaskCancelled) {
+		t.Fatalf("losing copy status = %s, want cancelled", westCopy.Status)
+	}
+	// Worker 1's late accept loses cleanly: the retraction already withdrew
+	// the west offer, so the shard itself reports it gone.
+	if code := tc.do("POST", fmt.Sprintf("/api/offers/%d/accept", west[0].OfferID), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("late accept status %d, want 404 (offer retracted)", code)
+	}
+	var got taskView
+	tc.do("GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, &got)
+	if got.Status != string(server.TaskAccepted) || got.Worker != 2 {
+		t.Fatalf("task after race = %+v", got)
+	}
+	if v := tc.router.reconcilesC.Value(); v < 1 {
+		t.Fatalf("reconcile counter = %d, want ≥ 1", v)
+	}
+}
+
+func TestRouterQueueShedAndFlush(t *testing.T) {
+	tc := newTestCluster(t, 0, 2)
+
+	tc.shards[0].kill()
+	tc.router.ProbeOnce(context.Background())
+
+	// Interior west tasks queue up to the limit, then shed with Retry-After.
+	var first, second map[string]any
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 10, Y: 10, Deadline: 30}, &first); code != http.StatusAccepted {
+		t.Fatalf("first task during outage: status %d, want 202", code)
+	}
+	if first["status"] != "queued" {
+		t.Fatalf("first task response = %v", first)
+	}
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 11, Y: 10, Deadline: 30}, &second); code != http.StatusAccepted {
+		t.Fatalf("second task during outage: status %d, want 202", code)
+	}
+
+	req, _ := http.NewRequest("POST", tc.front.URL+"/api/tasks",
+		bytes.NewReader([]byte(`{"x":12,"y":10,"deadline":30}`)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit task: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if v := tc.router.shedsC.Value(); v != 1 {
+		t.Fatalf("sheds = %d, want 1", v)
+	}
+	if v := tc.router.queuedC.Value(); v != 2 {
+		t.Fatalf("queued = %d, want 2", v)
+	}
+
+	// East traffic is untouched by the west outage.
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 80, Y: 10, Deadline: 30}, nil); code != http.StatusCreated {
+		t.Fatalf("east task during west outage: status %d", code)
+	}
+
+	// The shard returns; the next probe re-admits it and flushes the queue.
+	tc.shards[0].restart()
+	tc.router.ProbeOnce(context.Background())
+
+	id1 := int(first["id"].(float64))
+	var got taskView
+	if code := tc.do("GET", fmt.Sprintf("/api/tasks/%d", id1), nil, &got); code != http.StatusOK {
+		t.Fatalf("queued task after flush: status %d", code)
+	}
+	if got.Status != string(server.TaskOpen) {
+		t.Fatalf("flushed task status = %s", got.Status)
+	}
+	var m routerMetrics
+	tc.do("GET", "/api/metrics", nil, &m)
+	if m.Shards[0].Queued != 0 {
+		t.Fatalf("west queue depth after flush = %d", m.Shards[0].Queued)
+	}
+}
+
+func TestRouterBorderFailover(t *testing.T) {
+	tc := newTestCluster(t, 1, 2)
+
+	tc.shards[0].kill()
+	tc.router.ProbeOnce(context.Background())
+
+	// A border task whose home (west) is down fails over to east instead of
+	// queueing: a neighbor that can serve it is better than a buffer.
+	var task taskView
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 48, Y: 25, Deadline: 30}, &task); code != http.StatusCreated {
+		t.Fatalf("border task during west outage: status %d, want 201", code)
+	}
+	if code := tc.doShard(1, "GET", fmt.Sprintf("/api/tasks/%d", task.ID), nil, nil); code != http.StatusOK {
+		t.Fatalf("east shard should hold the failed-over task: status %d", code)
+	}
+	if v := tc.router.failoversC.Value(); v != 1 {
+		t.Fatalf("failovers = %d, want 1", v)
+	}
+
+	// An interior west task still queues — no neighbor can serve it.
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 10, Y: 25, Deadline: 30}, nil); code != http.StatusAccepted {
+		t.Fatalf("interior task during outage: status %d, want 202", code)
+	}
+}
+
+// TestRouterClosedShardTripsBreaker is the shutdown-robustness check from
+// the shard's side: a server that was Close()d keeps answering probes (503)
+// instead of hanging, so the router's breaker opens and traffic degrades
+// fast rather than waiting out timeouts.
+func TestRouterClosedShardTripsBreaker(t *testing.T) {
+	tc := newTestCluster(t, 0, -1) // queueing disabled: outage traffic sheds
+
+	// Close the server object but keep its listener serving: every /api call
+	// now answers 503 "not ready", the readiness probe fails, but nothing
+	// blocks.
+	if err := tc.shards[0].srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a fresh probe the router still believes the shard is up; the
+	// first request's retries must trip the breaker, not hang.
+	start := time.Now()
+	code := tc.do("POST", "/api/tasks", taskRequest{X: 10, Y: 10, Deadline: 30}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("task against closed shard: status %d, want 503", code)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("request against closed shard took %v — the tier hung instead of degrading", elapsed)
+	}
+	if got := tc.router.shards[0].breaker.State(); got != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open after retries exhausted", got)
+	}
+	// The next request fails fast on the open breaker: no network attempts.
+	start = time.Now()
+	if code := tc.do("POST", "/api/tasks", taskRequest{X: 10, Y: 10, Deadline: 30}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("second task: status %d, want 503", code)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("breaker-open request took %v, want immediate", elapsed)
+	}
+
+	// A probe pass marks the shard unready; /readyz on the router reflects
+	// the east shard still being up.
+	tc.router.ProbeOnce(context.Background())
+	if tc.router.shards[0].ready.Load() {
+		t.Fatal("closed shard still marked ready after probe")
+	}
+	if code := tc.do("GET", "/readyz", nil, nil); code != http.StatusOK {
+		t.Fatalf("router readyz = %d, want 200 (east is up)", code)
+	}
+}
+
+func TestRouterRejectsUnknownOfferRange(t *testing.T) {
+	tc := newTestCluster(t, 0, 0)
+	if code := tc.do("POST", "/api/offers/7/accept", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("offer outside every shard range: status %d, want 404", code)
+	}
+	if code := tc.do("GET", "/api/offers/999999999999/", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("offer beyond fleet: status %d, want 404", code)
+	}
+}
+
+func TestRouterHealthAndMetricsEndpoints(t *testing.T) {
+	tc := newTestCluster(t, 0, 0)
+	if code := tc.do("GET", "/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code := tc.do("GET", "/readyz", nil, nil); code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+	var m routerMetrics
+	if code := tc.do("GET", "/api/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("api/metrics = %d", code)
+	}
+	if len(m.Shards) != 2 || !m.Shards[0].Ready || m.Shards[0].Breaker != "closed" {
+		t.Fatalf("metrics shards = %+v", m.Shards)
+	}
+
+	resp, err := http.Get(tc.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus export = %d", resp.StatusCode)
+	}
+}

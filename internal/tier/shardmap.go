@@ -1,0 +1,175 @@
+// Package tier is the region-sharded serving layer of the platform: a thin
+// router process fronting N tampserver shards, each of which owns one
+// vertical stripe of the city grid and runs the full event-sourced platform
+// (internal/server) for the tasks and workers inside it.
+//
+// The split follows the same geometry that made assignment sub-quadratic:
+// the grid decomposition is the shard key. Task submissions and worker
+// reports route by location; tasks whose reach envelope spans a stripe
+// boundary are offered to the shards on both sides and reconciled
+// first-accept-wins, with the losing copy retracted through the ordinary
+// task-cancel path (an idempotent transition of the core event vocabulary).
+//
+// Resilience is the point of the layer rather than an afterthought: every
+// shard call runs under capped exponential backoff with deterministic
+// jitter, a per-shard circuit breaker sits in front of the retries, shards
+// advertise liveness (/healthz) and readiness (/readyz, gated on WAL
+// recovery), and a shard that crashes rejoins by replaying its own log —
+// the router re-admits it the moment readiness flips back.
+package tier
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+// OfferStride partitions the offer-ID space between shards: shard i (zero
+// based) issues offers in [(i+1)·OfferStride, (i+2)·OfferStride), configured
+// on the shard via server.Config.OfferBase. The router recovers the issuing
+// shard from an offer ID alone, so offer decisions route without a lookup
+// table that could be lost with the router.
+const OfferStride = 1_000_000_000
+
+// OfferBase returns the server.Config.OfferBase for shard i.
+func OfferBase(i int) int { return (i + 1) * OfferStride }
+
+// ShardOfOffer maps an offer ID back to the shard index that issued it, or
+// -1 if the ID lies outside every configured shard's range.
+func ShardOfOffer(id, numShards int) int {
+	i := id/OfferStride - 1
+	if i < 0 || i >= numShards {
+		return -1
+	}
+	return i
+}
+
+// ShardDef is one shard's entry in the shard map: a name for metrics and
+// logs, the base URL of its tampserver, and the half-open column stripe
+// [XMin, XMax) of the grid it owns, in cell coordinates.
+type ShardDef struct {
+	Name string  `json:"name"`
+	URL  string  `json:"url"`
+	XMin float64 `json:"xmin"`
+	XMax float64 `json:"xmax"`
+}
+
+// MapConfig is the on-disk shard map (JSON), the one file that tells a
+// router everything about its fleet.
+type MapConfig struct {
+	Grid geo.Grid `json:"grid"`
+	// BorderKM widens every stripe boundary into a border band: a task
+	// within this many kilometres of a boundary can plausibly be served by
+	// workers homed on either side (its reach envelope spans the cut), so
+	// it is offered to both shards. Zero disables border duplication.
+	BorderKM float64    `json:"borderKm"`
+	Shards   []ShardDef `json:"shards"`
+}
+
+// ShardMap is the validated routing geometry.
+type ShardMap struct {
+	Grid   geo.Grid
+	Border float64 // border half-width in cells
+	Shards []ShardDef
+}
+
+// LoadMap reads and validates a shard map file.
+func LoadMap(path string) (*ShardMap, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tier: shard map: %w", err)
+	}
+	var cfg MapConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return nil, fmt.Errorf("tier: shard map %s: %w", path, err)
+	}
+	return NewMap(cfg)
+}
+
+// NewMap validates a shard map: at least one shard, unique names, non-empty
+// URLs, and stripes that tile the grid's X extent exactly — a gap would
+// orphan a region, an overlap would double-own one.
+func NewMap(cfg MapConfig) (*ShardMap, error) {
+	if cfg.Grid.Cols == 0 {
+		cfg.Grid = geo.DefaultGrid
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("tier: shard map has no shards")
+	}
+	shards := make([]ShardDef, len(cfg.Shards))
+	copy(shards, cfg.Shards)
+	sort.SliceStable(shards, func(i, j int) bool { return shards[i].XMin < shards[j].XMin })
+	seen := map[string]bool{}
+	for i, sd := range shards {
+		if strings.TrimSpace(sd.Name) == "" {
+			return nil, fmt.Errorf("tier: shard %d has no name", i)
+		}
+		if seen[sd.Name] {
+			return nil, fmt.Errorf("tier: duplicate shard name %q", sd.Name)
+		}
+		seen[sd.Name] = true
+		if strings.TrimSpace(sd.URL) == "" {
+			return nil, fmt.Errorf("tier: shard %q has no url", sd.Name)
+		}
+		if sd.XMax <= sd.XMin {
+			return nil, fmt.Errorf("tier: shard %q stripe [%g, %g) is empty", sd.Name, sd.XMin, sd.XMax)
+		}
+	}
+	if shards[0].XMin != 0 {
+		return nil, fmt.Errorf("tier: stripes start at x=%g, want 0", shards[0].XMin)
+	}
+	for i := 1; i < len(shards); i++ {
+		if shards[i].XMin != shards[i-1].XMax {
+			return nil, fmt.Errorf("tier: stripes %q and %q do not tile: [..., %g) then [%g, ...)",
+				shards[i-1].Name, shards[i].Name, shards[i-1].XMax, shards[i].XMin)
+		}
+	}
+	if last := shards[len(shards)-1].XMax; last != float64(cfg.Grid.Cols) {
+		return nil, fmt.Errorf("tier: stripes end at x=%g, want grid width %d", last, cfg.Grid.Cols)
+	}
+	if cfg.BorderKM < 0 {
+		return nil, fmt.Errorf("tier: negative borderKm %g", cfg.BorderKM)
+	}
+	return &ShardMap{Grid: cfg.Grid, Border: geo.KMToCells(cfg.BorderKM), Shards: shards}, nil
+}
+
+// Home returns the index of the shard owning p. Points are clamped to the
+// grid first, so every location has exactly one home.
+func (m *ShardMap) Home(p geo.Point) int {
+	x := m.Grid.Bounds().Clamp(p).X
+	for i, sd := range m.Shards {
+		if x < sd.XMax {
+			return i
+		}
+	}
+	return len(m.Shards) - 1
+}
+
+// Spanning returns every shard whose stripe intersects the border envelope
+// [p.X−Border, p.X+Border], home first. A single-element result means p is
+// interior to its shard; extra elements are the neighbors a border task is
+// also offered to.
+func (m *ShardMap) Spanning(p geo.Point) []int {
+	home := m.Home(p)
+	out := []int{home}
+	if m.Border <= 0 {
+		return out
+	}
+	x := m.Grid.Bounds().Clamp(p).X
+	for i, sd := range m.Shards {
+		if i == home {
+			continue
+		}
+		if x+m.Border >= sd.XMin && x-m.Border < sd.XMax {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumShards returns the fleet size.
+func (m *ShardMap) NumShards() int { return len(m.Shards) }

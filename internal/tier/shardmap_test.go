@@ -1,0 +1,141 @@
+package tier
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+func twoShardCfg(borderKM float64) MapConfig {
+	return MapConfig{
+		Grid:     geo.Grid{Cols: 100, Rows: 50},
+		BorderKM: borderKM,
+		Shards: []ShardDef{
+			{Name: "west", URL: "http://west", XMin: 0, XMax: 50},
+			{Name: "east", URL: "http://east", XMin: 50, XMax: 100},
+		},
+	}
+}
+
+func TestNewMapValidates(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*MapConfig)
+	}{
+		{"no shards", func(c *MapConfig) { c.Shards = nil }},
+		{"gap", func(c *MapConfig) { c.Shards[1].XMin = 60 }},
+		{"overlap", func(c *MapConfig) { c.Shards[1].XMin = 40 }},
+		{"not starting at 0", func(c *MapConfig) { c.Shards[0].XMin = 5 }},
+		{"not ending at width", func(c *MapConfig) { c.Shards[1].XMax = 90 }},
+		{"empty stripe", func(c *MapConfig) { c.Shards[0].XMax = 0 }},
+		{"duplicate name", func(c *MapConfig) { c.Shards[1].Name = "west" }},
+		{"empty name", func(c *MapConfig) { c.Shards[0].Name = " " }},
+		{"empty url", func(c *MapConfig) { c.Shards[1].URL = "" }},
+		{"negative border", func(c *MapConfig) { c.BorderKM = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := twoShardCfg(0)
+		tc.mutate(&cfg)
+		if _, err := NewMap(cfg); err == nil {
+			t.Errorf("%s: NewMap accepted an invalid map", tc.name)
+		}
+	}
+	if _, err := NewMap(twoShardCfg(1)); err != nil {
+		t.Fatalf("valid map rejected: %v", err)
+	}
+}
+
+func TestHomeAndSpanning(t *testing.T) {
+	m, err := NewMap(twoShardCfg(1)) // 1 km = 5 cells of border
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Home(geo.Pt(10, 25)); got != 0 {
+		t.Errorf("Home(10,25) = %d, want 0", got)
+	}
+	if got := m.Home(geo.Pt(75, 25)); got != 1 {
+		t.Errorf("Home(75,25) = %d, want 1", got)
+	}
+	// The boundary cell belongs to the east stripe ([50,100)), and clamping
+	// gives out-of-grid points a home too.
+	if got := m.Home(geo.Pt(50, 25)); got != 1 {
+		t.Errorf("Home(50,25) = %d, want 1", got)
+	}
+	if got := m.Home(geo.Pt(1e9, 25)); got != 1 {
+		t.Errorf("Home(+inf,25) = %d, want 1", got)
+	}
+	if got := m.Home(geo.Pt(-1e9, 25)); got != 0 {
+		t.Errorf("Home(-inf,25) = %d, want 0", got)
+	}
+
+	if span := m.Spanning(geo.Pt(10, 25)); len(span) != 1 || span[0] != 0 {
+		t.Errorf("Spanning(interior west) = %v, want [0]", span)
+	}
+	if span := m.Spanning(geo.Pt(48, 25)); len(span) != 2 || span[0] != 0 || span[1] != 1 {
+		t.Errorf("Spanning(west border) = %v, want [0 1]", span)
+	}
+	if span := m.Spanning(geo.Pt(52, 25)); len(span) != 2 || span[0] != 1 || span[1] != 0 {
+		t.Errorf("Spanning(east border) = %v, want [1 0]", span)
+	}
+
+	noBorder, err := NewMap(twoShardCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span := noBorder.Spanning(geo.Pt(50, 25)); len(span) != 1 {
+		t.Errorf("Spanning with zero border = %v, want single shard", span)
+	}
+}
+
+func TestOfferIDPartition(t *testing.T) {
+	if OfferBase(0) != OfferStride || OfferBase(1) != 2*OfferStride {
+		t.Fatalf("OfferBase: got %d, %d", OfferBase(0), OfferBase(1))
+	}
+	for i := 0; i < 3; i++ {
+		if got := ShardOfOffer(OfferBase(i)+12345, 3); got != i {
+			t.Errorf("ShardOfOffer(base %d + k) = %d, want %d", i, got, i)
+		}
+	}
+	if got := ShardOfOffer(7, 3); got != -1 {
+		t.Errorf("ShardOfOffer(7) = %d, want -1 (below every range)", got)
+	}
+	if got := ShardOfOffer(OfferBase(3), 3); got != -1 {
+		t.Errorf("ShardOfOffer beyond fleet = %d, want -1", got)
+	}
+}
+
+func TestLoadMapRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shards.json")
+	b, err := json.Marshal(twoShardCfg(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 2 || m.Shards[0].Name != "west" {
+		t.Fatalf("loaded map: %+v", m)
+	}
+	if math.Abs(m.Border-3) > 1e-9 { // 0.6 km / 0.2 km per cell
+		t.Errorf("Border = %g cells, want 3", m.Border)
+	}
+
+	if _, err := LoadMap(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadMap on a missing file returned nil error")
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMap(path); err == nil {
+		t.Error("LoadMap on malformed JSON returned nil error")
+	}
+}
