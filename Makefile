@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos cluster cluster-smoke replay fuzz-smoke fmt fmt-check ci
+.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos cluster cluster-smoke replay fuzz-smoke matrix matrix-check staticcheck fmt fmt-check ci
 
 all: build test
 
@@ -99,6 +99,34 @@ fuzz-smoke:
 	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzLoadTasksCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzWasserstein1D -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzRecover -fuzztime $(FUZZTIME)
+
+# Regenerate the benchmark matrix: every scenario generator (paper, windows,
+# budget) × every assigner (UB, PPI, KM, GGPSO, Greedy, LB) at the smoke and
+# quick scales, written to BENCH_matrix.json + MATRIX.md. Cells are
+# deterministic for a given scale, so the committed files only change when
+# the simulator, a generator, or an assigner changes behaviour — regenerate
+# and commit both files together with the change that moved them.
+matrix:
+	$(GO) run ./cmd/tampbench -matrix
+
+# Matrix regression gate, blocking in CI: re-run the smoke-scale cells and
+# diff against the committed BENCH_matrix.json with per-metric tolerances
+# (counts 2%, rates ±0.02, cost 5%; assign latency is never compared). The
+# fresh cells land in matrix-current.json so CI can upload them on failure.
+matrix-check:
+	$(GO) run ./cmd/tampbench -check-matrix BENCH_matrix.json -matrix-scale smoke -matrix-fresh matrix-current.json
+
+# Static analysis beyond go vet. The container has no network, so the binary
+# must already be on PATH (CI installs the pinned version; locally:
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+# on a networked machine).
+STATICCHECK_VERSION ?= 2025.1
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not found; install with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+		exit 1; }
+	staticcheck ./...
 
 fmt:
 	gofmt -l -w .

@@ -11,7 +11,15 @@
 //	tampbench -assign-json BENCH_assign.json
 //	tampbench -assign-json BENCH_assign.json -churn 0,1,10   # incremental-session churn levels
 //	tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -tolerance 0.25   # CI regression guard
+//	tampbench -matrix                                  # regenerate BENCH_matrix.json + MATRIX.md
+//	tampbench -check-matrix BENCH_matrix.json -matrix-scale smoke   # CI matrix gate
 //	tampbench -replay /var/lib/tamp/wal -assigner KM   # re-run a recorded log offline
+//
+// -matrix runs the cross-product of the scenario workload generators
+// (internal/scenario: paper, windows, budget) × the full assigner zoo
+// (UB, PPI, KM, GGPSO, Greedy, LB) at each -matrix-scale and commits the
+// per-cell metrics; -check-matrix diffs a fresh run against the committed
+// file with per-metric tolerances and exits 1 on drift.
 //
 // -replay feeds an event log recorded by a durable server (tampserver
 // -wal-dir) or a recording simulation (tampsim -record) through any
@@ -64,6 +72,12 @@ func main() {
 		tol      = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -check/-check-assign fails (allocs/op must never grow)")
 		metrics  = flag.Bool("metrics", false, "collect experiment metrics in a registry and dump it (Prometheus text) at end of run")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address while the run lasts (e.g. localhost:6060)")
+		matrixR  = flag.Bool("matrix", false, "run the scenario-generator × assigner benchmark matrix and write -matrix-json and -matrix-md")
+		matrixJ  = flag.String("matrix-json", "BENCH_matrix.json", "matrix output file for -matrix")
+		matrixMD = flag.String("matrix-md", "MATRIX.md", "human-readable matrix table for -matrix")
+		matrixSc = flag.String("matrix-scale", "", "comma-separated matrix scales: smoke, quick, full (default smoke,quick for -matrix; smoke for -check-matrix)")
+		checkMx  = flag.String("check-matrix", "", "run a fresh matrix at -matrix-scale and diff it against this committed file; exit 1 on out-of-tolerance drift")
+		matrixFr = flag.String("matrix-fresh", "", "with -check-matrix, also write the fresh cells to this file (CI uploads it on failure)")
 		replayD  = flag.String("replay", "", "replay a recorded event log directory (tampserver -wal-dir or tampsim -record) through -assigner and report per-batch plan agreement")
 		assignN  = flag.String("assigner", "PPI", "assigner for -replay: PPI, KM, UB, LB, GGPSO")
 		modelsF  = flag.String("models", "", "predictor bundle (SaveModels format) for -replay counterfactual batches; omitted = stand-still forecasts")
@@ -76,6 +90,13 @@ func main() {
 	}
 	if *replayD != "" {
 		if err := runReplay(*replayD, *assignN, *modelsF, *par, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *matrixR || *checkMx != "" {
+		if err := runMatrix(*matrixR, *checkMx, *matrixJ, *matrixMD, *matrixSc, *matrixFr, *par); err != nil {
 			fmt.Fprintln(os.Stderr, "tampbench:", err)
 			os.Exit(1)
 		}
@@ -244,6 +265,72 @@ func main() {
 	if reg != nil {
 		fmt.Printf("== metric registry (Prometheus text) ==\n%s", reg.Dump())
 	}
+}
+
+// runMatrix is the -matrix / -check-matrix mode: run the scenario-generator
+// × assigner cross-product (Ctrl-C cancels between simulations) and either
+// persist it as the committed BENCH_matrix.json + MATRIX.md or diff it
+// against the committed cells with per-metric tolerances.
+func runMatrix(generate bool, checkPath, jsonPath, mdPath, scaleCSV, freshPath string, par int) error {
+	if scaleCSV == "" {
+		if generate {
+			scaleCSV = "smoke,quick"
+		} else {
+			scaleCSV = "smoke"
+		}
+	}
+	var scales []experiments.Scale
+	for _, name := range strings.Split(scaleCSV, ",") {
+		sc, err := experiments.MatrixScale(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		sc.Parallelism = par
+		scales = append(scales, sc)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	cells, err := experiments.RunMatrix(ctx, scales, os.Stderr)
+	if err != nil {
+		return err
+	}
+	experiments.WriteMatrixTable(os.Stdout, cells)
+	fmt.Printf("matrix: %d cells in %v\n", len(cells), time.Since(start).Round(time.Millisecond))
+
+	if checkPath != "" {
+		if freshPath != "" {
+			if err := experiments.WriteMatrixJSON(freshPath, cells); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", freshPath)
+		}
+		committed, err := experiments.LoadMatrix(checkPath)
+		if err != nil {
+			return err
+		}
+		report, ok := experiments.CheckMatrix(committed, cells)
+		fmt.Print(report)
+		if !ok {
+			return fmt.Errorf("matrix drift against %s — if intentional, regenerate with `make matrix`", checkPath)
+		}
+		fmt.Printf("no drift against %s\n", checkPath)
+		return nil
+	}
+	if err := experiments.WriteMatrixJSON(jsonPath, cells); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	f, err := os.Create(mdPath)
+	if err != nil {
+		return err
+	}
+	experiments.WriteMatrixMD(f, cells)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", mdPath)
+	return nil
 }
 
 // churnLevels parses the -churn flag; invalid entries abort.

@@ -73,7 +73,7 @@ func (u UB) AssignContext(ctx context.Context, tasks []Task, workers []Worker, t
 			}
 			d := ServeDist(&workers[wi], &tasks[ti], tick)
 			if d >= 0 {
-				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(2 * d)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(&tasks[ti], 2*d)})
 			}
 		}
 		return row
@@ -108,7 +108,7 @@ func matchByPath(ctx context.Context, tasks []Task, workers []Worker, tick, para
 				continue
 			}
 			if dmin <= reachCap(w, &tasks[ti], tick) {
-				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(&tasks[ti], dmin)})
 			}
 		}
 		return row
@@ -153,7 +153,7 @@ func (l LB) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 			}
 			d := w.Loc.Dist(tasks[ti].Loc)
 			if d <= reachCap(w, &tasks[ti], tick) {
-				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(d)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(&tasks[ti], d)})
 			}
 		}
 		return row
@@ -222,7 +222,7 @@ func (g GGPSO) Assign(tasks []Task, workers []Worker, tick int) []Pair {
 				continue
 			}
 			if dmin <= reachCap(w, &tasks[ti], tick) {
-				cands[ti] = append(cands[ti], Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+				cands[ti] = append(cands[ti], Edge{Task: ti, Worker: wi, Weight: pairWeightFor(&tasks[ti], dmin)})
 			}
 		}
 	}

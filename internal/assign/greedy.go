@@ -77,7 +77,7 @@ func (g Greedy) AssignContext(ctx context.Context, tasks []Task, workers []Worke
 		}
 		if best >= 0 {
 			used[best] = true
-			out = append(out, Pair{Task: ti, Worker: best, Weight: pairWeight(bestDist)})
+			out = append(out, Pair{Task: ti, Worker: best, Weight: pairWeightFor(t, bestDist)})
 		}
 	}
 	ec.greedyCandidates.Add(int64(nVisited))

@@ -435,7 +435,7 @@ func (s *Session) Assign(ctx context.Context, tick int) []Pair {
 		if s.aT[c.task] || s.aW[c.worker] {
 			continue
 		}
-		batch = append(batch, Edge{Task: c.task, Worker: c.worker, Weight: pairWeight(c.minB)})
+		batch = append(batch, Edge{Task: c.task, Worker: c.worker, Weight: pairWeightFor(&s.tasks[c.task], c.minB)})
 		if len(batch) == eps {
 			flush()
 		}
@@ -665,7 +665,7 @@ func (s *Session) computeRow(ti, tick int, scanTick bool) {
 		if bCount > 0 {
 			conf := float64(bCount) * w.MR
 			if conf >= 1 {
-				r.confident = append(r.confident, Edge{Task: ti, Worker: wi, Weight: pairWeight(minB)})
+				r.confident = append(r.confident, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(t, minB)})
 			} else {
 				r.pending = append(r.pending, candidate{task: ti, worker: wi, minB: minB, conf: conf})
 			}
@@ -674,7 +674,7 @@ func (s *Session) computeRow(ti, tick int, scanTick bool) {
 		// (applied at emit). dmin here is exactly minDistTo(w.Predicted, loc):
 		// same accumulation order, bitwise-same result, NaN included.
 		if dmin >= 0 && dmin <= reach {
-			r.fallback = append(r.fallback, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+			r.fallback = append(r.fallback, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(t, dmin)})
 		}
 	}
 
@@ -743,13 +743,13 @@ func (s *Session) patchRow(ti, tick int) {
 		if bCount > 0 {
 			conf := float64(bCount) * w.MR
 			if conf >= 1 {
-				r.confident = insertEdgeByWorker(r.confident, Edge{Task: ti, Worker: wi, Weight: pairWeight(minB)})
+				r.confident = insertEdgeByWorker(r.confident, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(t, minB)})
 			} else {
 				r.pending = insertCandByWorker(r.pending, candidate{task: ti, worker: wi, minB: minB, conf: conf})
 			}
 		}
 		if dmin >= 0 && dmin <= reach {
-			r.fallback = insertEdgeByWorker(r.fallback, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+			r.fallback = insertEdgeByWorker(r.fallback, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(t, dmin)})
 		}
 	}
 	r.need = need

@@ -205,7 +205,7 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 			}
 			conf := float64(bCount) * w.MR
 			if conf >= 1 {
-				r.confident = append(r.confident, Edge{Task: ti, Worker: wi, Weight: pairWeight(minB)})
+				r.confident = append(r.confident, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(&tasks[ti], minB)})
 			} else {
 				r.pending = append(r.pending, candidate{task: ti, worker: wi, minB: minB, conf: conf})
 			}
@@ -268,7 +268,7 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 		if assignedT[c.task] || assignedW[c.worker] {
 			continue
 		}
-		batch = append(batch, Edge{Task: c.task, Worker: c.worker, Weight: pairWeight(c.minB)})
+		batch = append(batch, Edge{Task: c.task, Worker: c.worker, Weight: pairWeightFor(&tasks[c.task], c.minB)})
 		if len(batch) == eps {
 			flush()
 		}
@@ -302,7 +302,7 @@ func (p PPI) AssignContext(ctx context.Context, tasks []Task, workers []Worker, 
 				continue
 			}
 			if dmin <= reachCap(w, &tasks[ti], tick) {
-				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeight(dmin)})
+				row = append(row, Edge{Task: ti, Worker: wi, Weight: pairWeightFor(&tasks[ti], dmin)})
 			}
 		}
 		return row

@@ -15,10 +15,27 @@ type Task struct {
 	Deadline int // tick by which the task must be reached
 	Arrival  int // tick the task was posted (bookkeeping for carry-over)
 
+	// Reward is the payment the requester posts for completing this task,
+	// in abstract reward units. Zero means the workload is unrewarded and
+	// every task weighs equally (EffectiveReward returns 1), so the paper's
+	// reward-free workloads score exactly as before. Budget-constrained
+	// workloads (internal/scenario BudgetRewards) set it per task, and every
+	// assigner scales its edge weights by it — reward-per-cost scoring.
+	Reward float64
+
 	// Excluded lists worker IDs that already rejected this task in earlier
 	// batches; the platform never re-proposes a declined pair. All
 	// assigners must skip excluded pairs.
 	Excluded []int
+}
+
+// EffectiveReward is the task's matching reward: Reward when posted,
+// otherwise 1 so unrewarded workloads weigh every task equally.
+func (t *Task) EffectiveReward() float64 {
+	if t.Reward > 0 {
+		return t.Reward
+	}
+	return 1
 }
 
 // ExcludedWorker reports whether the worker previously rejected t.
@@ -130,6 +147,28 @@ func minDistTo(path []geo.Point, loc geo.Point) float64 {
 // larger weights. The small offset keeps weights finite when the task sits
 // exactly on the trajectory.
 func pairWeight(dist float64) float64 { return 1 / (dist + 0.1) }
+
+// pairWeightFor is the reward-aware edge weight every assigner scores with:
+// the task's effective reward per unit of (offset) distance, i.e.
+// reward-per-cost. On unrewarded tasks (Reward == 0) it reduces exactly to
+// pairWeight, so plans on the paper's workloads are bit-identical to the
+// reward-free scoring.
+func pairWeightFor(t *Task, dist float64) float64 {
+	return t.EffectiveReward() * pairWeight(dist)
+}
+
+// EstimatedDetourKM is the platform's predicted out-and-back detour cost of
+// assigning t to w, in km: twice the minimum distance from the worker's
+// predicted trajectory to the task location (falling back to the current
+// location when no forecast exists). The budget gate charges this estimate
+// against the per-tick platform budget when deciding which offers to issue.
+func EstimatedDetourKM(w *Worker, t *Task) float64 {
+	d := minDistTo(w.Predicted, t.Loc)
+	if d < 0 {
+		d = w.Loc.Dist(t.Loc)
+	}
+	return geo.CellsToKM(2 * d)
+}
 
 // ServeDist is the exact feasibility test a worker applies when deciding to
 // accept a task. Crowd workers serve tasks in conjunction with their daily

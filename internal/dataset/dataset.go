@@ -97,6 +97,17 @@ func Defaults(kind Kind) Params {
 	}
 }
 
+// Window is one half-open availability interval [Start, End) in absolute
+// test-horizon ticks: the worker is on shift and eligible for assignment
+// while Start ≤ tick < End. A zero-width window (Start == End) covers
+// nothing.
+type Window struct {
+	Start, End int
+}
+
+// Contains reports whether tick falls inside the window.
+func (w Window) Contains(tick int) bool { return tick >= w.Start && tick < w.End }
+
 // Worker is one synthetic crowd worker with per-day routines split into the
 // train and test horizons. Test-day routines are the ground truth the
 // platform never sees in advance.
@@ -112,6 +123,38 @@ type Worker struct {
 	// the platform (their TrainDays hold only the short on-boarding sample
 	// used for few-shot adaptation).
 	New bool
+	// Windows lists the worker's availability shifts over the test horizon,
+	// in absolute ticks. The paper's always-on fleets carry none: an empty
+	// list means the worker is available the whole horizon. A non-empty list
+	// restricts eligibility to the listed intervals (internal/scenario's
+	// AvailabilityWindows workloads populate it).
+	Windows []Window
+}
+
+// AvailableAt reports whether the worker is on shift at the absolute test
+// tick. Workers without windows are always available.
+func (w *Worker) AvailableAt(tick int) bool {
+	if len(w.Windows) == 0 {
+		return true
+	}
+	for _, win := range w.Windows {
+		if win.Contains(tick) {
+			return true
+		}
+	}
+	return false
+}
+
+// BudgetSpec caps what the platform may spend on worker detours per
+// assignment batch. When Enabled, the platform charges each issued offer its
+// predicted out-and-back detour (assign.EstimatedDetourKM) against a fresh
+// PerTickKM allowance every tick, issuing offers in descending
+// reward-per-predicted-cost order and holding back the assignments that
+// would blow the cap (they stay pending for later batches). The zero value
+// disables budgeting entirely.
+type BudgetSpec struct {
+	Enabled   bool
+	PerTickKM float64 // per-tick spend allowance, km of predicted detour
 }
 
 // Workload bundles everything an experiment consumes.
@@ -125,6 +168,9 @@ type Workload struct {
 	HistTasks []geo.Point
 	// TestTasks arrive during the test horizon, ordered by arrival tick.
 	TestTasks []assign.Task
+	// Budget, when enabled, bounds per-tick platform spend during
+	// simulation (internal/scenario's BudgetRewards workloads enable it).
+	Budget BudgetSpec
 }
 
 // archetype describes one mobility pattern family shared by a subset of

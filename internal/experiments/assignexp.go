@@ -146,6 +146,8 @@ func makeAssigner(algo string, sc Scale) assign.Assigner {
 		return assign.PPI{A: predict.DefaultMatchRadius, Parallelism: sc.Parallelism}
 	case "KM", "KM-loss":
 		return assign.KM{Parallelism: sc.Parallelism}
+	case "Greedy":
+		return assign.Greedy{Parallelism: sc.Parallelism}
 	case "GGPSO":
 		return assign.GGPSO{Population: sc.Population, Generations: sc.Generations, Seed: sc.Seed}
 	default:

@@ -35,6 +35,25 @@ type Scale struct {
 	Parallelism int
 }
 
+// Smoke is the CI-gate scale of the benchmark matrix: small enough that the
+// full generators × assigners cross-product (training included) finishes in
+// well under a minute, large enough that every assigner serves tasks and the
+// budget/window mechanics engage.
+var Smoke = Scale{
+	Name:        "smoke",
+	NumWorkers:  8,
+	NewWorkers:  1,
+	TrainDays:   2,
+	TestDays:    1,
+	TicksPerDay: 48,
+	TaskUnit:    40,
+	Hidden:      6,
+	MetaIters:   4,
+	Population:  12,
+	Generations: 10,
+	Seed:        1,
+}
+
 // Quick is the smoke-test scale: seconds per experiment.
 var Quick = Scale{
 	Name:        "quick",

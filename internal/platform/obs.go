@@ -25,6 +25,10 @@ type simObs struct {
 	faultPredFB   *obs.Counter
 	faultDeferred *obs.Counter
 
+	offWindow    *obs.Counter // tamp_sim_off_window_total: slots outside availability windows
+	budgetDenied *obs.Counter // tamp_sim_budget_denied_total: offers withheld by the budget gate
+	budgetSpent  *obs.Gauge   // tamp_sim_budget_spent_km: predicted spend charged to the budget
+
 	assignSec *obs.Histogram // tamp_assign_seconds: per-batch matching time
 }
 
@@ -44,6 +48,9 @@ func newSimObs(reg *obs.Registry, m *Metrics) *simObs {
 		faultNoisy:    fault("noisy_report"),
 		faultPredFB:   fault("pred_fallback"),
 		faultDeferred: fault("deferred_decision"),
+		offWindow:     reg.Counter("tamp_sim_off_window_total"),
+		budgetDenied:  reg.Counter("tamp_sim_budget_denied_total"),
+		budgetSpent:   reg.Gauge("tamp_sim_budget_spent_km"),
 		assignSec:     reg.Histogram("tamp_assign_seconds", obs.DefSecondsBuckets),
 	}
 }
@@ -89,4 +96,19 @@ func (s *simObs) predFallbacks(n int) {
 func (s *simObs) deferredDecision() {
 	s.m.Faults.DeferredDecisions++
 	s.faultDeferred.Inc()
+}
+
+func (s *simObs) offWindowSkip() {
+	s.m.OffWindow++
+	s.offWindow.Inc()
+}
+
+func (s *simObs) budgetDeny(n int) {
+	s.m.BudgetDenied += n
+	s.budgetDenied.Add(int64(n))
+}
+
+func (s *simObs) budgetSpend(km float64) {
+	s.m.BudgetSpentKM += km
+	s.budgetSpent.Add(km)
 }

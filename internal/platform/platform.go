@@ -12,6 +12,7 @@ package platform
 import (
 	"context"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/spatialcrowd/tamp/internal/assign"
@@ -35,6 +36,17 @@ type Metrics struct {
 	// Faults counts the degraded-mode events a chaos run absorbed; all
 	// zero when Run.Faults is nil.
 	Faults FaultStats
+	// Scenario-workload accounting (internal/scenario); all zero on the
+	// paper's always-on, unbudgeted workloads.
+	//
+	// OffWindow counts worker-batch slots skipped because the worker was
+	// outside every availability window. BudgetDenied counts assignments the
+	// matcher proposed but the per-tick budget gate withheld (their tasks
+	// stay pending). BudgetSpentKM is the predicted detour spend charged
+	// against the budget for the offers that were issued.
+	OffWindow     int
+	BudgetDenied  int
+	BudgetSpentKM float64
 }
 
 // FaultStats accounts what the fault injector did to a run — the platform's
@@ -300,6 +312,14 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			if day >= len(wk.TestDays) {
 				continue
 			}
+			// Availability windows (internal/scenario): a worker off shift
+			// never enters the batch, exactly like a churned-out one, so
+			// faults, recording, and budgets all compose with windowed
+			// workloads for free.
+			if !wk.AvailableAt(tick) {
+				so.offWindowSkip()
+				continue
+			}
 			if r.Faults.Offline(wk.ID, tick) {
 				so.offline(1)
 				continue
@@ -396,6 +416,14 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 			// account a truncated plan.
 			return m, err
 		}
+		// Budget gate: on budgeted workloads the platform issues offers in
+		// descending reward-per-predicted-cost order until the tick's spend
+		// allowance runs out; the rest of the plan is withheld (those tasks
+		// simply stay pending). Gating before the recorder emits keeps the
+		// event log an exact record of the offers actually issued.
+		if r.Workload.Budget.Enabled {
+			pairs = budgetGate(so, pairs, pool, workers, r.Workload.Budget.PerTickKM)
+		}
 		var offerIDs []int
 		if rec != nil {
 			ev := core.BatchAssigned{PredFallbacks: batchFallbacks}
@@ -464,6 +492,70 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	// delayed accept still counts as a completion.
 	applyDeferred(so, deferred, math.MaxInt)
 	return m, nil
+}
+
+// budgetGate enforces the per-tick platform budget on one batch plan: each
+// proposed pair is priced at its predicted out-and-back detour
+// (assign.EstimatedDetourKM) and offers are issued greedily in descending
+// reward-per-predicted-km order — the same reward-per-cost score the
+// assigners weigh edges with — until the allowance is exhausted. Ties break
+// on (task, worker) batch index, so the gate is a pure function of the plan
+// and the gated plan is bit-identical at every parallelism level. Withheld
+// pairs are dropped from the plan (their tasks stay in the pool; the
+// workers stay free) and counted as BudgetDenied; issued pairs keep their
+// original plan order.
+func budgetGate(so *simObs, pairs []assign.Pair, pool []*pendingTask, workers []assign.Worker, allowanceKM float64) []assign.Pair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	type scored struct {
+		idx  int
+		cost float64 // predicted spend, km
+		rpc  float64 // reward per predicted km
+	}
+	order := make([]scored, len(pairs))
+	for i, pr := range pairs {
+		t := &pool[pr.Task].task
+		cost := assign.EstimatedDetourKM(&workers[pr.Worker], t)
+		rpc := math.Inf(1) // a free offer outranks every priced one
+		if cost > 0 {
+			rpc = t.EffectiveReward() / cost
+		}
+		order[i] = scored{idx: i, cost: cost, rpc: rpc}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := &order[a], &order[b]
+		if sa.rpc != sb.rpc {
+			return sa.rpc > sb.rpc
+		}
+		pa, pb := pairs[sa.idx], pairs[sb.idx]
+		if pa.Task != pb.Task {
+			return pa.Task < pb.Task
+		}
+		return pa.Worker < pb.Worker
+	})
+	remaining := allowanceKM
+	issued := make([]bool, len(pairs))
+	nIssued := 0
+	for _, s := range order {
+		// A depleted (or zero) allowance issues nothing, free offers
+		// included: the platform will not open a tick it cannot pay for.
+		if remaining <= 0 || s.cost > remaining {
+			continue
+		}
+		remaining -= s.cost
+		so.budgetSpend(s.cost)
+		issued[s.idx] = true
+		nIssued++
+	}
+	so.budgetDeny(len(pairs) - nIssued)
+	kept := make([]assign.Pair, 0, nIssued)
+	for i, pr := range pairs {
+		if issued[i] {
+			kept = append(kept, pr)
+		}
+	}
+	return kept
 }
 
 // applyDeferred delivers every deferred decision due by tick, in decision

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+)
+
+// BudgetRewards is the budget-constrained workload family: the paper
+// workload with a per-task reward posted on every task and a per-tick
+// platform spend cap. Assigners see the rewards through
+// Task.EffectiveReward — every edge weight becomes reward-per-cost — and
+// the platform's budget gate issues offers in descending
+// reward-per-predicted-detour order until the tick's allowance is spent
+// (assignments past the cap stay pending for later batches).
+type BudgetRewards struct {
+	// RewardMin/RewardMax bound the per-task reward, drawn uniformly.
+	// RewardMax below RewardMin collapses to RewardMin (constant rewards).
+	RewardMin, RewardMax float64
+	// PerTickKM is the platform's per-tick spend allowance in km of
+	// predicted detour. Zero is the degenerate no-budget platform: the gate
+	// is enabled but can never pay, so no offer is ever issued.
+	PerTickKM float64
+}
+
+// DefaultBudget is the benchmark-matrix shape: rewards in [1, 5] and a
+// 12 km/tick allowance — tight enough that the gate holds offers back every
+// rush, loose enough that the platform still serves most of the demand.
+func DefaultBudget() BudgetRewards {
+	return BudgetRewards{RewardMin: 1, RewardMax: 5, PerTickKM: 12}
+}
+
+// Name implements Generator.
+func (BudgetRewards) Name() string { return "budget" }
+
+// Generate implements Generator: the paper workload with per-task rewards
+// on a salted stream and the budget spec enabled. The base city is
+// bit-identical to Paper's for the same params.
+func (g BudgetRewards) Generate(p dataset.Params) *dataset.Workload {
+	w := dataset.Generate(p)
+	lo, hi := g.RewardMin, g.RewardMax
+	if hi < lo {
+		hi = lo
+	}
+	rng := rand.New(rand.NewSource(w.Params.Seed + rewardSalt))
+	for i := range w.TestTasks {
+		w.TestTasks[i].Reward = lo + (hi-lo)*rng.Float64()
+	}
+	w.Budget = dataset.BudgetSpec{Enabled: true, PerTickKM: g.PerTickKM}
+	return w
+}

@@ -1,0 +1,73 @@
+// Package scenario opens demand-shaped workload families beyond the paper's
+// single synthetic setting, behind one seeded Generator interface:
+//
+//   - Paper: the original Table-III workload (internal/dataset) unchanged —
+//     always-on workers, Poisson-ish uniform-in-time task arrivals, no
+//     rewards, no budget.
+//   - AvailabilityWindows: workers arrive and leave on per-worker shift
+//     windows, and tasks arrive from a time-varying demand process with a
+//     forecastable diurnal component (in the spirit of DATA-WA's dynamic
+//     worker availability and demand-based task-arrival forecasting,
+//     arXiv:2503.21458).
+//   - BudgetRewards: every task posts a reward and the platform enforces a
+//     per-tick spend budget; assigners score edges reward-per-cost and the
+//     platform issues offers in descending reward-per-predicted-detour order
+//     until the tick's allowance runs out (budget-aware online assignment,
+//     arXiv:1807.09920).
+//
+// Every generator is a pure function of dataset.Params — the same params and
+// seed produce a bit-identical workload — and the produced workloads flow
+// through the unchanged platform.Run/tamp.Simulate pipeline, so faults,
+// recording, and observability compose with all of them. The cross-product
+// of Suite() × the assigner zoo is the committed benchmark matrix
+// (BENCH_matrix.json / MATRIX.md, internal/experiments.RunMatrix).
+package scenario
+
+import (
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/geo"
+)
+
+// Generator produces a seeded, deterministic experimental workload. Name is
+// the stable identifier used by the benchmark matrix; Generate must return
+// bit-identical workloads for identical params.
+type Generator interface {
+	Name() string
+	Generate(p dataset.Params) *dataset.Workload
+}
+
+// Seed salts: each generator layer draws from its own stream so adding a
+// layer never perturbs another's randomness.
+const (
+	windowsSalt = int64(0x5c3a9d01)
+	demandSalt  = int64(0x2f6b44c3)
+	rewardSalt  = int64(0x71e0b8a5)
+)
+
+// Paper is the unchanged Table-III workload of the source paper.
+type Paper struct{}
+
+// Name implements Generator.
+func (Paper) Name() string { return "paper" }
+
+// Generate implements Generator.
+func (Paper) Generate(p dataset.Params) *dataset.Workload { return dataset.Generate(p) }
+
+// Suite is the benchmark-matrix generator set: the paper workload plus the
+// two demand-aware families at their default shapes.
+func Suite() []Generator {
+	return []Generator{Paper{}, DefaultWindows(), DefaultBudget()}
+}
+
+// taskLoc draws a task location around a random hotspot (80%) or uniformly
+// (20%) — the same spatial mix dataset.Generate uses for the paper workload,
+// so the demand-aware families differ in *when* tasks arrive, not where.
+func taskLoc(hotspots []geo.Point, bounds geo.BBox, rng *rand.Rand) geo.Point {
+	if len(hotspots) > 0 && rng.Float64() < 0.8 {
+		h := hotspots[rng.Intn(len(hotspots))]
+		return bounds.Clamp(h.Add(geo.Pt(rng.NormFloat64()*3, rng.NormFloat64()*3)))
+	}
+	return geo.Pt(bounds.Min.X+rng.Float64()*bounds.Width(), bounds.Min.Y+rng.Float64()*bounds.Height())
+}

@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/dataset"
+)
+
+func testParams() dataset.Params {
+	p := dataset.Defaults(dataset.Workload1)
+	p.Seed = 7
+	p.NumWorkers = 6
+	p.NewWorkers = 0
+	p.TrainDays = 2
+	p.TestDays = 1
+	p.TicksPerDay = 48
+	p.NumTestTasks = 80
+	return p
+}
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range Suite() {
+		if g.Name() == "" {
+			t.Fatalf("%T has empty name", g)
+		}
+		if seen[g.Name()] {
+			t.Fatalf("duplicate generator name %q", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+}
+
+// Every generator must be a pure function of its params: the same seed
+// yields a bit-identical workload, which is what makes the committed
+// benchmark matrix a regression contract rather than a snapshot.
+func TestGeneratorsSeedStable(t *testing.T) {
+	for _, g := range Suite() {
+		a := g.Generate(testParams())
+		b := g.Generate(testParams())
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same params produced different workloads", g.Name())
+		}
+	}
+}
+
+func TestGeneratorsVaryWithSeed(t *testing.T) {
+	for _, g := range Suite() {
+		p := testParams()
+		a := g.Generate(p)
+		p.Seed++
+		b := g.Generate(p)
+		if reflect.DeepEqual(a.TestTasks, b.TestTasks) {
+			t.Errorf("%s: different seeds produced identical test tasks", g.Name())
+		}
+	}
+}
+
+// The demand-aware families layer onto the paper workload without touching
+// it: same seed ⇒ same city (workers, POIs, hotspots, historical tasks), so
+// prediction training sees identical inputs under every generator.
+func TestGeneratorsShareBaseCity(t *testing.T) {
+	base := Paper{}.Generate(testParams())
+	for _, g := range Suite()[1:] {
+		w := g.Generate(testParams())
+		if len(w.Workers) != len(base.Workers) {
+			t.Fatalf("%s: %d workers, paper has %d", g.Name(), len(w.Workers), len(base.Workers))
+		}
+		for i := range w.Workers {
+			got, want := w.Workers[i], base.Workers[i]
+			got.Windows = nil
+			want.Windows = nil
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: worker %d diverged from the paper workload", g.Name(), i)
+			}
+		}
+		if !reflect.DeepEqual(w.POIs, base.POIs) || !reflect.DeepEqual(w.Hotspots, base.Hotspots) ||
+			!reflect.DeepEqual(w.HistTasks, base.HistTasks) {
+			t.Errorf("%s: POIs/hotspots/historical tasks diverged from the paper workload", g.Name())
+		}
+	}
+}
+
+// AvailableAt semantics: windows are half-open [Start, End) absolute test
+// ticks; no windows means always available; a zero-width window never is.
+func TestWorkerAvailableAt(t *testing.T) {
+	always := dataset.Worker{}
+	for _, tick := range []int{0, 1, 100} {
+		if !always.AvailableAt(tick) {
+			t.Fatalf("empty window list should be always-available (tick %d)", tick)
+		}
+	}
+	shifted := dataset.Worker{Windows: []dataset.Window{{Start: 2, End: 5}}}
+	for tick, want := range map[int]bool{1: false, 2: true, 4: true, 5: false} {
+		if shifted.AvailableAt(tick) != want {
+			t.Errorf("AvailableAt(%d) = %v, want %v", tick, !want, want)
+		}
+	}
+	never := dataset.Worker{Windows: []dataset.Window{{}}}
+	if never.AvailableAt(0) {
+		t.Error("zero-width window should never be available")
+	}
+}
+
+func TestWindowsShiftPlans(t *testing.T) {
+	g := DefaultWindows()
+	w := g.Generate(testParams())
+	p := w.Params
+	horizon := p.TestDays * p.TicksPerDay
+	shift := g.shiftTicks(p.TicksPerDay)
+	for i := range w.Workers {
+		wk := &w.Workers[i]
+		if want := g.ShiftsPerDay * p.TestDays; len(wk.Windows) != want {
+			t.Fatalf("worker %d: %d windows, want %d", i, len(wk.Windows), want)
+		}
+		on := 0
+		for tick := 0; tick < horizon; tick++ {
+			if wk.AvailableAt(tick) {
+				on++
+			}
+		}
+		if on == 0 || on == horizon {
+			t.Errorf("worker %d: on %d/%d ticks, want a genuine on/off split", i, on, horizon)
+		}
+		for j, win := range wk.Windows {
+			if j > 0 && win.Start < wk.Windows[j-1].Start {
+				t.Errorf("worker %d: windows unsorted", i)
+			}
+			if win.Start < 0 || win.End > horizon || win.End-win.Start > shift {
+				t.Errorf("worker %d: window %+v out of bounds (horizon %d, shift %d)", i, win, horizon, shift)
+			}
+		}
+	}
+}
+
+// The degenerate empty shift plan (no shifts, or zero-length shifts) must
+// mean never-available — not the absent-list always-available default.
+func TestWindowsDegenerateShiftPlan(t *testing.T) {
+	for _, g := range []AvailabilityWindows{
+		{ShiftsPerDay: 0, ShiftTicks: 10, DemandPeaks: 2},
+		{ShiftsPerDay: 2, ShiftTicks: 0, DemandPeaks: 2},
+	} {
+		w := g.Generate(testParams())
+		horizon := w.Params.TestDays * w.Params.TicksPerDay
+		for i := range w.Workers {
+			for tick := 0; tick < horizon; tick++ {
+				if w.Workers[i].AvailableAt(tick) {
+					t.Fatalf("%+v: worker %d available at tick %d, want never", g, i, tick)
+				}
+			}
+		}
+	}
+}
+
+// The diurnal intensity must integrate back to the configured task count:
+// the sinusoid is zero-mean over each whole day, so summing λ(t) across the
+// horizon recovers NumTestTasks exactly (up to float error).
+func TestExpectedRateIntegratesToTaskCount(t *testing.T) {
+	g := DefaultWindows()
+	w := g.Generate(testParams())
+	p := w.Params
+	horizon := p.TestDays * p.TicksPerDay
+	sum := 0.0
+	for tick := 0; tick < horizon; tick++ {
+		sum += g.ExpectedRate(p, tick)
+	}
+	if want := float64(p.NumTestTasks); math.Abs(sum-want) > 1e-6*want {
+		t.Errorf("Σλ(t) = %v, want %v", sum, want)
+	}
+	if g.ExpectedRate(dataset.Params{}, 0) != 0 {
+		t.Error("zero-horizon params should have zero rate")
+	}
+}
+
+func TestWindowsArrivalsWellFormed(t *testing.T) {
+	w := DefaultWindows().Generate(testParams())
+	p := w.Params
+	horizon := p.TestDays * p.TicksPerDay
+	n := len(w.TestTasks)
+	if n < p.NumTestTasks/2 || n > 2*p.NumTestTasks {
+		t.Fatalf("realized %d arrivals, expected ≈%d", n, p.NumTestTasks)
+	}
+	for i, task := range w.TestTasks {
+		if task.ID != i {
+			t.Fatalf("task %d has ID %d, want sequential IDs", i, task.ID)
+		}
+		if task.Arrival < 0 || task.Arrival >= horizon {
+			t.Errorf("task %d arrives at %d, outside [0, %d)", i, task.Arrival, horizon)
+		}
+		if task.Deadline <= task.Arrival {
+			t.Errorf("task %d: deadline %d not after arrival %d", i, task.Deadline, task.Arrival)
+		}
+		if i > 0 && task.Arrival < w.TestTasks[i-1].Arrival {
+			t.Errorf("task %d arrives before its predecessor", i)
+		}
+	}
+}
+
+func TestBudgetRewardsShape(t *testing.T) {
+	g := DefaultBudget()
+	w := g.Generate(testParams())
+	if !w.Budget.Enabled || w.Budget.PerTickKM != g.PerTickKM {
+		t.Fatalf("budget spec = %+v, want enabled at %v km/tick", w.Budget, g.PerTickKM)
+	}
+	for i, task := range w.TestTasks {
+		if task.Reward < g.RewardMin || task.Reward > g.RewardMax {
+			t.Fatalf("task %d reward %v outside [%v, %v]", i, task.Reward, g.RewardMin, g.RewardMax)
+		}
+	}
+	// RewardMax below RewardMin collapses to constant rewards, not a panic.
+	flat := BudgetRewards{RewardMin: 3, RewardMax: 1, PerTickKM: 5}.Generate(testParams())
+	for i, task := range flat.TestTasks {
+		if task.Reward != 3 {
+			t.Fatalf("task %d reward %v, want constant 3", i, task.Reward)
+		}
+	}
+	// The paper workload stays unrewarded and unbudgeted.
+	paper := Paper{}.Generate(testParams())
+	if paper.Budget.Enabled {
+		t.Error("paper workload should not enable the budget")
+	}
+	for i, task := range paper.TestTasks {
+		if task.Reward != 0 {
+			t.Fatalf("paper task %d has reward %v, want 0", i, task.Reward)
+		}
+	}
+}
+
+// A fleetless city is a valid (if useless) workload for every generator —
+// degenerate inputs must not panic the demand layers.
+func TestGeneratorsZeroWorkers(t *testing.T) {
+	p := testParams()
+	p.NumWorkers = 0
+	p.NewWorkers = 0
+	for _, g := range Suite() {
+		w := g.Generate(p)
+		if len(w.Workers) != 0 {
+			t.Errorf("%s: %d workers from a zero-worker spec", g.Name(), len(w.Workers))
+		}
+		if len(w.TestTasks) == 0 {
+			t.Errorf("%s: demand should arrive even with no fleet", g.Name())
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/spatialcrowd/tamp/internal/assign"
+	"github.com/spatialcrowd/tamp/internal/dataset"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// AvailabilityWindows is the dynamic-availability workload family: every
+// worker is on shift only during per-worker windows, and tasks arrive from a
+// time-varying demand process whose diurnal component is known in closed
+// form (ExpectedRate) — the forecastable signal a demand-aware platform
+// could pre-position workers against.
+//
+// The base city (workers, routines, POIs, hotspots, historical tasks) is
+// exactly the paper workload for the same params, so prediction training is
+// unchanged; only availability and task arrival timing differ.
+type AvailabilityWindows struct {
+	// ShiftsPerDay is how many availability windows each worker gets per
+	// test day. If ShiftsPerDay·ShiftTicks == 0 the shift plan is empty:
+	// every worker receives one zero-width window and is never available —
+	// the degenerate all-off fleet.
+	ShiftsPerDay int
+	// ShiftTicks is the length of each window in ticks.
+	ShiftTicks int
+	// DemandAmp is the diurnal amplitude a in λ(t) = base·(1 + a·shape(t)),
+	// clamped to [0, 1]; 0 flattens demand to the paper's uniform rate.
+	DemandAmp float64
+	// DemandPeaks is the number of demand peaks per day (rush hours).
+	DemandPeaks int
+}
+
+// DefaultWindows is the benchmark-matrix shape: two shifts a day covering
+// roughly half of each worker's day, and a two-peak (morning/evening rush)
+// demand curve at 0.8 amplitude.
+func DefaultWindows() AvailabilityWindows {
+	return AvailabilityWindows{ShiftsPerDay: 2, ShiftTicks: -1, DemandAmp: 0.8, DemandPeaks: 2}
+}
+
+// Name implements Generator.
+func (AvailabilityWindows) Name() string { return "windows" }
+
+// shiftTicks resolves the window length: -1 means a quarter of the day
+// (two default shifts then cover ~half of it).
+func (g AvailabilityWindows) shiftTicks(ticksPerDay int) int {
+	if g.ShiftTicks < 0 {
+		return ticksPerDay / 4
+	}
+	return g.ShiftTicks
+}
+
+// shape is the zero-mean diurnal profile: DemandPeaks sinusoidal rushes per
+// day, starting from a trough at midnight.
+func (g AvailabilityWindows) shape(tickInDay, ticksPerDay int) float64 {
+	peaks := g.DemandPeaks
+	if peaks <= 0 {
+		peaks = 1
+	}
+	frac := float64(tickInDay) / float64(ticksPerDay)
+	return math.Sin(2*math.Pi*float64(peaks)*frac - math.Pi/2)
+}
+
+// ExpectedRate is the closed-form arrival intensity λ(tick) of the demand
+// process, in tasks per tick — the forecastable diurnal component. The
+// realized workload draws Poisson(λ(tick)) arrivals each tick, so summed
+// over the horizon ExpectedRate integrates to ≈ p.NumTestTasks. p should be
+// the generated workload's (normalized) Params.
+func (g AvailabilityWindows) ExpectedRate(p dataset.Params, tick int) float64 {
+	horizon := p.TestDays * p.TicksPerDay
+	if horizon <= 0 || p.NumTestTasks <= 0 {
+		return 0
+	}
+	amp := math.Min(math.Max(g.DemandAmp, 0), 1)
+	base := float64(p.NumTestTasks) / float64(horizon)
+	rate := base * (1 + amp*g.shape(tick%p.TicksPerDay, p.TicksPerDay))
+	if rate < 0 {
+		return 0
+	}
+	return rate
+}
+
+// Generate implements Generator: the paper workload with per-worker shift
+// windows attached and TestTasks regenerated from the diurnal demand
+// process. Both layers draw from their own salted streams, so the base city
+// is bit-identical to Paper's for the same params.
+func (g AvailabilityWindows) Generate(p dataset.Params) *dataset.Workload {
+	w := dataset.Generate(p)
+	p = w.Params // normalized (grid, ticks-per-day, valid-range defaults applied)
+	horizon := p.TestDays * p.TicksPerDay
+
+	// Shift windows. Workers are visited in slice order on a dedicated
+	// stream; each draws the same number of variates, so one worker's plan
+	// never shifts another's.
+	shift := g.shiftTicks(p.TicksPerDay)
+	wrng := rand.New(rand.NewSource(p.Seed + windowsSalt))
+	for i := range w.Workers {
+		wk := &w.Workers[i]
+		if g.ShiftsPerDay <= 0 || shift <= 0 {
+			// Degenerate empty shift plan: explicitly never available
+			// (an absent Windows list would mean always-on).
+			wk.Windows = []dataset.Window{{}}
+			continue
+		}
+		for d := 0; d < p.TestDays; d++ {
+			for s := 0; s < g.ShiftsPerDay; s++ {
+				span := p.TicksPerDay - shift
+				if span < 1 {
+					span = 1
+				}
+				start := d*p.TicksPerDay + wrng.Intn(span)
+				end := start + shift
+				if end > horizon {
+					end = horizon
+				}
+				wk.Windows = append(wk.Windows, dataset.Window{Start: start, End: end})
+			}
+		}
+		sortWindows(wk.Windows)
+	}
+
+	// Demand-driven arrivals: Poisson(λ(t)) fresh tasks per tick, located
+	// with the paper's hotspot mix, with the paper's validity spans.
+	trng := rand.New(rand.NewSource(p.Seed + demandSalt))
+	bounds := p.Grid.Bounds()
+	w.TestTasks = w.TestTasks[:0]
+	id := 0
+	for tick := 0; tick < horizon; tick++ {
+		n := poisson(trng, g.ExpectedRate(p, tick))
+		for k := 0; k < n; k++ {
+			validTicks := (p.ValidMin + trng.Intn(p.ValidMax-p.ValidMin+1)) * traj.TicksPerTimeUnit
+			w.TestTasks = append(w.TestTasks, assign.Task{
+				ID:       id,
+				Loc:      taskLoc(w.Hotspots, bounds, trng),
+				Arrival:  tick,
+				Deadline: tick + validTicks,
+			})
+			id++
+		}
+	}
+	return w
+}
+
+// poisson draws Poisson(lambda) by Knuth's product method — exact, and
+// cheap at the per-tick rates the demand process produces.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// sortWindows orders a shift plan by start tick (insertion sort; plans are
+// a handful of windows).
+func sortWindows(ws []dataset.Window) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].Start < ws[j-1].Start; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
