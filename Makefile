@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-assign perfcheck benchguard chaos cluster cluster-smoke replay fuzz-smoke matrix matrix-check staticcheck fmt fmt-check ci
+.PHONY: all build test race vet bench bench-assign bench-predict perfcheck benchguard chaos cluster cluster-smoke replay fuzz-smoke matrix matrix-check staticcheck fmt fmt-check ci
 
 all: build test
 
@@ -36,20 +36,33 @@ bench-assign:
 	$(GO) test ./internal/assign -run XXX -bench 'BenchmarkAssign' -benchmem
 	$(GO) run ./cmd/tampbench -assign-json BENCH_assign.json
 
+# Prediction-engine benchmarks: forecast-cache hit path, allocation-free
+# rollouts, batched-vs-streamed gradient kernels, and the end-to-end
+# stationary-workload simulate. Refreshes BENCH_predict.json; a fresh file
+# measures the replaced path (recompute-every-call forecasts, per-sample
+# streamed gradients) interleaved with the current one and records it as
+# the baseline, so the committed record shows what the engine buys.
+bench-predict:
+	$(GO) run ./cmd/tampbench -predict-json BENCH_predict.json
+
 # Allocation-regression gate: the warmed NN hot path (Predict/Grad/BatchGrad
-# on both architectures, plus Adam.Step) must stay at 0 allocs/op, and the
-# warmed sparse-KM matcher must stay at 0 allocs per Match.
+# on both architectures, plus Adam.Step) must stay at 0 allocs/op, the
+# warmed sparse-KM matcher must stay at 0 allocs per Match, and the warmed
+# prediction engine (PredictFutureInto, EvaluateOnRoutine, cache hits) must
+# stay at 0 allocs per call.
 perfcheck:
 	$(GO) test ./internal/nn -run 'AllocFree' -v
 	$(GO) test ./internal/assign -run 'TestMatcherSteadyStateAllocFree|TestMatcherAllocsDoNotGrowWithBatches|TestMatchWarmSteadyStateAllocFree|TestMatchWarmColdPathAllocFree|TestSortPendingAllocFree' -v
+	$(GO) test ./internal/predict -run 'TestPredictFutureIntoZeroAlloc|TestEvaluateOnRoutineZeroAlloc|TestCacheHitZeroAlloc' -v
 
-# Benchmark-regression gate: re-run the NN kernel and batch-assignment
-# suites and compare against the committed BENCH_nn.json / BENCH_assign.json
-# baselines. Fails on >25% ns/op growth or any allocs/op growth. Timing on
-# shared runners is noisy — CI runs this as a non-blocking job; treat a
-# local failure on an idle machine as real.
+# Benchmark-regression gate: re-run the NN kernel, batch-assignment, and
+# prediction-engine suites and compare against the committed BENCH_nn.json /
+# BENCH_assign.json / BENCH_predict.json baselines. Fails on >25% ns/op
+# growth or any allocs/op growth. Timing on shared runners is noisy — CI
+# runs this as a non-blocking job; treat a local failure on an idle machine
+# as real.
 benchguard:
-	$(GO) run ./cmd/tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -tolerance 0.25
+	$(GO) run ./cmd/tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -check-predict BENCH_predict.json -tolerance 0.25
 
 # Fault-injection regression suite under the race detector: the injector
 # itself, the platform chaos run (churn + dropped/noised reports + predictor

@@ -10,7 +10,8 @@
 //	tampbench -json BENCH_nn.json
 //	tampbench -assign-json BENCH_assign.json
 //	tampbench -assign-json BENCH_assign.json -churn 0,1,10   # incremental-session churn levels
-//	tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -tolerance 0.25   # CI regression guard
+//	tampbench -predict-json BENCH_predict.json         # prediction-engine (cache + batched kernels) benchmarks
+//	tampbench -check BENCH_nn.json -check-assign BENCH_assign.json -check-predict BENCH_predict.json -tolerance 0.25   # CI regression guard
 //	tampbench -matrix                                  # regenerate BENCH_matrix.json + MATRIX.md
 //	tampbench -check-matrix BENCH_matrix.json -matrix-scale smoke   # CI matrix gate
 //	tampbench -replay /var/lib/tamp/wal -assigner KM   # re-run a recorded log offline
@@ -68,6 +69,8 @@ func main() {
 		check    = flag.String("check", "", "run the NN kernel benchmarks and compare against the baseline in this file; exit 1 on regression")
 		assignJ  = flag.String("assign-json", "", "run the batch-assignment benchmarks and write before/after results to this file (a fresh file records the brute-force scan as baseline)")
 		checkAsg = flag.String("check-assign", "", "run the batch-assignment benchmarks and compare against the baseline in this file; exit 1 on regression")
+		predJ    = flag.String("predict-json", "", "run the prediction-engine benchmarks (forecast cache, batched kernels, stationary simulate) and write before/after results to this file (a fresh file records the uncached/streamed path as baseline)")
+		checkPrd = flag.String("check-predict", "", "run the prediction-engine benchmarks and compare against the baseline in this file; exit 1 on regression")
 		churnF   = flag.String("churn", "0,1,10", "comma-separated churn percentages for the incremental-session benchmarks run by -assign-json/-check-assign")
 		tol      = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -check/-check-assign fails (allocs/op must never grow)")
 		metrics  = flag.Bool("metrics", false, "collect experiment metrics in a registry and dump it (Prometheus text) at end of run")
@@ -108,7 +111,7 @@ func main() {
 		}()
 		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofA)
 	}
-	if *check != "" || *checkAsg != "" {
+	if *check != "" || *checkAsg != "" || *checkPrd != "" {
 		// Each guard runs its suite once, feeding both the verdict and the
 		// optional artifact; a regression in either suite fails the process.
 		failed := false
@@ -149,12 +152,23 @@ func main() {
 			cur := append(perf.RunAssign(), perf.RunAssignIncremental(churnLevels(*churnF), false)...)
 			runCheck(*checkAsg, cur, *assignJ, perf.WriteAssignJSONWith, true)
 		}
+		if *checkPrd != "" {
+			// Like BENCH_assign.json, the Baseline records the replaced path
+			// (uncached forecasts, streamed gradients) — guard against the
+			// committed Current instead.
+			cur, err := perf.RunPredict()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			runCheck(*checkPrd, cur, *predJ, perf.WritePredictJSONWith, true)
+		}
 		if failed {
 			os.Exit(1)
 		}
 		return
 	}
-	if *jsonOut != "" || *assignJ != "" {
+	if *jsonOut != "" || *assignJ != "" || *predJ != "" {
 		if *jsonOut != "" {
 			f, err := perf.WriteJSON(*jsonOut)
 			if err != nil {
@@ -175,6 +189,15 @@ func main() {
 			}
 			fmt.Print(perf.Format(f))
 			fmt.Printf("wrote %s\n", *assignJ)
+		}
+		if *predJ != "" {
+			f, err := perf.WritePredictJSON(*predJ)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			fmt.Print(perf.Format(f))
+			fmt.Printf("wrote %s\n", *predJ)
 		}
 		return
 	}

@@ -33,7 +33,11 @@ type BatchInput struct {
 // This is the single batch-input path shared by the live server and the
 // offline replay bridge: replaying a recorded log rebuilds exactly the
 // candidate sets the live run saw.
-func BuildBatch(ctx context.Context, st *State, models map[int]*predict.WorkerModel, predHorizon, parallelism int) (BatchInput, error) {
+//
+// fc memoizes the rollouts across batches (stationary workers reuse their
+// forecasts bit-identically); a nil fc recomputes every forecast, with
+// identical results either way.
+func BuildBatch(ctx context.Context, st *State, models map[int]*predict.WorkerModel, fc *predict.ForecastCache, predHorizon, parallelism int) (BatchInput, error) {
 	var in BatchInput
 	for id, t := range st.Tasks {
 		if t.Status == StatusOpen && t.Task.Deadline >= st.Tick {
@@ -68,7 +72,7 @@ func BuildBatch(ctx context.Context, st *State, models map[int]*predict.WorkerMo
 			ID: w.ID, Loc: cur, Detour: w.Detour, Speed: w.Speed, MR: w.MR,
 		}
 		if m := models[w.ID]; m != nil {
-			aw.Predicted = SafeForecast(m, w.Trace, predHorizon)
+			aw.Predicted = SafeForecast(fc, m, w.Trace, predHorizon)
 			if aw.Predicted == nil {
 				fellBack[i] = true
 			}
@@ -95,14 +99,17 @@ func BuildBatch(ctx context.Context, st *State, models map[int]*predict.WorkerMo
 
 // SafeForecast isolates one worker's predictor: a panic or a non-finite
 // forecast yields nil, and the caller degrades that worker — and only that
-// worker — to a stand-still prediction.
-func SafeForecast(m *predict.WorkerModel, trace []geo.Point, horizon int) (pred []geo.Point) {
+// worker — to a stand-still prediction. Forecasts go through fc when
+// non-nil; a panicking rollout publishes no cache entry and a cached
+// non-finite forecast is re-rejected on every hit, so caching never changes
+// the outcome.
+func SafeForecast(fc *predict.ForecastCache, m *predict.WorkerModel, trace []geo.Point, horizon int) (pred []geo.Point) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			pred = nil
 		}
 	}()
-	pred = m.PredictFuture(trace, horizon)
+	pred = fc.Forecast(m, trace, horizon)
 	for _, pt := range pred {
 		if math.IsNaN(pt.X) || math.IsNaN(pt.Y) || math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) {
 			return nil

@@ -176,7 +176,7 @@ func TestBuildBatchDeterministicAndSorted(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	in, err := BuildBatch(context.Background(), st, nil, 4, 0)
+	in, err := BuildBatch(context.Background(), st, nil, nil, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestBuildBatchDeterministicAndSorted(t *testing.T) {
 	if len(in.Workers[0].Predicted) != 4 {
 		t.Fatalf("predicted horizon = %d", len(in.Workers[0].Predicted))
 	}
-	in8, err := BuildBatch(context.Background(), st, nil, 4, 8)
+	in8, err := BuildBatch(context.Background(), st, nil, nil, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,633 @@
+package nn
+
+import "math"
+
+// Batched kernels for the GRU encoder–decoder — the same step-synchronous /
+// deferred-accumulation design as the LSTM batch engine (batch.go). The GRU
+// backward touches each weight row exactly once per (sample, step) — the
+// update and reset blocks against the packed [x; hPrev], the candidate block
+// against [x; r⊙hPrev] — so taping the three blocks' pre-activation
+// gradients and deferring the weight-gradient accumulation to a (row; sample
+// ascending; step descending) pass reproduces the streamed path's
+// per-element contribution order bit for bit.
+
+// gruBatchWS is the batched-kernel arena of one GRUSeq2Seq model.
+type gruBatchWS struct {
+	encTapes [][]gruStep
+	decTapes [][]gruStep
+	preds    [][][]float64
+	dPreds   [][][]float64
+	h0s      [][]float64
+	dec0s    [][]float64
+
+	// dPre tapes: [sample][step][3*hidden] pre-activation gradients, laid
+	// out [update; reset; candidate] to mirror the weight blocks.
+	dPreEnc [][][]float64
+	dPreDec [][][]float64
+	dyTape  [][][]float64
+
+	dh, dhPrev   [][]float64
+	dNext, dhOut [][]float64
+	dxrh         [][]float64 // packed [dx; d(r⊙hPrev)] per sample
+	dx           [][]float64 // max(in,out) per sample
+
+	hs    [][]float64
+	prevs [][]float64
+}
+
+func (bw *gruBatchWS) grow(m *GRUSeq2Seq, S, tin, tout int) {
+	h := m.Hidden
+	for len(bw.encTapes) < S {
+		bw.encTapes = append(bw.encTapes, nil)
+	}
+	for len(bw.decTapes) < S {
+		bw.decTapes = append(bw.decTapes, nil)
+	}
+	for s := 0; s < S; s++ {
+		bw.encTapes[s] = growGRUTape(bw.encTapes[s], tin, m.enc)
+		bw.decTapes[s] = growGRUTape(bw.decTapes[s], tout, m.dec)
+	}
+	bw.preds = growBatchRows(bw.preds, S, tout, m.OutDim)
+	bw.dPreds = growBatchRows(bw.dPreds, S, tout, m.OutDim)
+	bw.dPreEnc = growBatchRows(bw.dPreEnc, S, tin, 3*h)
+	bw.dPreDec = growBatchRows(bw.dPreDec, S, tout, 3*h)
+	bw.dyTape = growBatchRows(bw.dyTape, S, tout, m.OutDim)
+	bw.h0s = growBatchVecs(bw.h0s, S, h)
+	bw.dec0s = growBatchVecs(bw.dec0s, S, m.OutDim)
+	bw.dh = growBatchVecs(bw.dh, S, h)
+	bw.dhPrev = growBatchVecs(bw.dhPrev, S, h)
+	bw.dNext = growBatchVecs(bw.dNext, S, m.OutDim)
+	bw.dhOut = growBatchVecs(bw.dhOut, S, h)
+	maxIn := m.InDim
+	if m.OutDim > maxIn {
+		maxIn = m.OutDim
+	}
+	bw.dxrh = growBatchVecs(bw.dxrh, S, maxIn+h)
+	bw.dx = growBatchVecs(bw.dx, S, maxIn)
+	bw.hs = growBatchVecs(bw.hs, S, 0)
+	bw.prevs = growBatchVecs(bw.prevs, S, 0)
+}
+
+// batchWorkspace returns the model's batched arena, building it on first use.
+func (m *GRUSeq2Seq) batchWorkspace() *gruBatchWS {
+	ws := m.workspace()
+	if ws.bws == nil {
+		ws.bws = &gruBatchWS{}
+	}
+	return ws.bws
+}
+
+// gruBatchStep runs one GRU step for every sample with each weight row
+// loaded once: the update and reset rows over the packed [x; hPrev], then
+// the per-sample [x; r⊙hPrev] build, then the candidate rows. Each
+// pre-activation keeps the per-sample reduction order of gruRowDot; samples
+// are blocked so the independent per-sample FP-add chains overlap (the
+// cross-sample ILP that makes batching pay — see batchGates).
+func gruBatchStep(c gruCell, w Vector, tapes [][]gruStep, t, S int, bw *gruBatchWS) {
+	h := c.hidden
+	cols := c.cols()
+	nin := c.in + h
+	for k := 0; k < h; k++ {
+		baseZ := k * cols
+		rowZ := w[baseZ : baseZ+cols]
+		biasZ := rowZ[nin]
+		rowZv := rowZ[:nin]
+		baseR := (h + k) * cols
+		rowR := w[baseR : baseR+cols]
+		biasR := rowR[nin]
+		rowRv := rowR[:nin]
+		s := 0
+		// Sample pairs × the (z, r) row pair: four independent reductions
+		// per xh load.
+		for ; s+1 < S; s += 2 {
+			st0, st1 := &tapes[s][t], &tapes[s+1][t]
+			xh0, xh1 := st0.xh[:nin], st1.xh[:nin]
+			z0, z1 := biasZ, biasZ
+			r0, r1 := biasR, biasR
+			for j := 0; j < nin; j++ {
+				x0, x1 := xh0[j], xh1[j]
+				zv, rv := rowZv[j], rowRv[j]
+				z0 += zv * x0
+				z1 += zv * x1
+				r0 += rv * x0
+				r1 += rv * x1
+			}
+			st0.z[k] = sigmoid(z0)
+			st1.z[k] = sigmoid(z1)
+			st0.r[k] = sigmoid(r0)
+			st1.r[k] = sigmoid(r1)
+		}
+		for ; s < S; s++ {
+			st := &tapes[s][t]
+			xh := st.xh[:nin]
+			z := biasZ
+			for j, rv := range rowZv {
+				z += rv * xh[j]
+			}
+			st.z[k] = sigmoid(z)
+			r := biasR
+			for j, rv := range rowRv {
+				r += rv * xh[j]
+			}
+			st.r[k] = sigmoid(r)
+		}
+	}
+	for s := 0; s < S; s++ {
+		st := &tapes[s][t]
+		xh := st.xh[:nin]
+		xrh := st.xrh[:nin]
+		copy(xrh, xh[:c.in])
+		hPrev := xh[c.in:]
+		for k := 0; k < h; k++ {
+			xrh[c.in+k] = st.r[k] * hPrev[k]
+		}
+	}
+	for k := 0; k < h; k++ {
+		base := (2*h + k) * cols
+		row := w[base : base+cols]
+		bias := row[nin]
+		rowv := row[:nin]
+		s := 0
+		for ; s+3 < S; s += 4 {
+			xr0 := tapes[s][t].xrh[:nin]
+			xr1 := tapes[s+1][t].xrh[:nin]
+			xr2 := tapes[s+2][t].xrh[:nin]
+			xr3 := tapes[s+3][t].xrh[:nin]
+			z0, z1, z2, z3 := bias, bias, bias, bias
+			for j, rv := range rowv {
+				z0 += rv * xr0[j]
+				z1 += rv * xr1[j]
+				z2 += rv * xr2[j]
+				z3 += rv * xr3[j]
+			}
+			tapes[s][t].hCand[k] = math.Tanh(z0)
+			tapes[s+1][t].hCand[k] = math.Tanh(z1)
+			tapes[s+2][t].hCand[k] = math.Tanh(z2)
+			tapes[s+3][t].hCand[k] = math.Tanh(z3)
+		}
+		for ; s < S; s++ {
+			st := &tapes[s][t]
+			xrh := st.xrh[:nin]
+			z := bias
+			for j, rv := range rowv {
+				z += rv * xrh[j]
+			}
+			st.hCand[k] = math.Tanh(z)
+		}
+	}
+	for s := 0; s < S; s++ {
+		st := &tapes[s][t]
+		hPrev := st.xh[c.in:nin]
+		for k := 0; k < h; k++ {
+			st.h[k] = (1-st.z[k])*hPrev[k] + st.z[k]*st.hCand[k]
+		}
+		bw.hs[s] = st.h
+	}
+}
+
+// batchForward runs the GRU encoder–decoder over a uniform batch
+// step-synchronously, bit-identical to per-sample forward.
+func (m *GRUSeq2Seq) batchForward(batch []Sample, tin, tout int) {
+	bw := m.batchWorkspace()
+	S := len(batch)
+	bw.grow(m, S, tin, tout)
+	encW, decW, outW := m.encW(), m.decW(), m.outW()
+
+	for s := 0; s < S; s++ {
+		zeroFloats(bw.h0s[s])
+		bw.hs[s] = bw.h0s[s]
+	}
+	encNin := m.enc.in + m.Hidden
+	for t := 0; t < tin; t++ {
+		for s := 0; s < S; s++ {
+			st := &bw.encTapes[s][t]
+			xh := st.xh[:encNin]
+			copy(xh, batch[s].In[t])
+			copy(xh[m.enc.in:], bw.hs[s])
+		}
+		gruBatchStep(m.enc, encW, bw.encTapes, t, S, bw)
+	}
+
+	for s := 0; s < S; s++ {
+		prev := bw.dec0s[s]
+		zeroFloats(prev)
+		copy(prev, batch[s].In[tin-1])
+		bw.prevs[s] = prev
+	}
+	decNin := m.dec.in + m.Hidden
+	outCols := m.out.in + 1
+	for t := 0; t < tout; t++ {
+		for s := 0; s < S; s++ {
+			st := &bw.decTapes[s][t]
+			xh := st.xh[:decNin]
+			copy(xh, bw.prevs[s])
+			copy(xh[m.dec.in:], bw.hs[s])
+		}
+		gruBatchStep(m.dec, decW, bw.decTapes, t, S, bw)
+		for r := 0; r < m.out.out; r++ {
+			base := r * outCols
+			row := outW[base : base+outCols]
+			bias := row[m.out.in]
+			rowv := row[:m.out.in]
+			s := 0
+			for ; s+3 < S; s += 4 {
+				x0 := bw.decTapes[s][t].h[:m.out.in]
+				x1 := bw.decTapes[s+1][t].h[:m.out.in]
+				x2 := bw.decTapes[s+2][t].h[:m.out.in]
+				x3 := bw.decTapes[s+3][t].h[:m.out.in]
+				z0, z1, z2, z3 := bias, bias, bias, bias
+				for j, rv := range rowv {
+					z0 += rv * x0[j]
+					z1 += rv * x1[j]
+					z2 += rv * x2[j]
+					z3 += rv * x3[j]
+				}
+				bw.preds[s][t][r] = z0
+				bw.preds[s+1][t][r] = z1
+				bw.preds[s+2][t][r] = z2
+				bw.preds[s+3][t][r] = z3
+			}
+			for ; s < S; s++ {
+				x := bw.decTapes[s][t].h[:m.out.in]
+				z := bias
+				for j, rv := range rowv {
+					z += rv * x[j]
+				}
+				bw.preds[s][t][r] = z
+			}
+		}
+		for s := 0; s < S; s++ {
+			y := bw.preds[s][t]
+			prev := bw.prevs[s]
+			for d := range y {
+				y[d] += prev[d]
+			}
+			bw.prevs[s] = y
+		}
+	}
+}
+
+// gruBatchPropagate runs one step's backward propagation for every sample,
+// following the reference kernel's phase order exactly — combine split,
+// candidate row sweep, reset split, then the update and reset blocks' x/h
+// sweeps — while writing the three blocks' pre-activation gradients to the
+// dPre tape and never touching the weight gradients.
+func gruBatchPropagate(c gruCell, w Vector, tapes [][]gruStep, dPreTape [][][]float64, t, S int, bw *gruBatchWS) {
+	h := c.hidden
+	cols := c.cols()
+	nin := c.in + h
+	for s := 0; s < S; s++ {
+		st := &tapes[s][t]
+		hPrev := st.xh[c.in:nin]
+		dh, dhPrev := bw.dh[s], bw.dhPrev[s]
+		dPre := dPreTape[s][t]
+		for k := 0; k < h; k++ {
+			dz := dh[k] * (st.hCand[k] - hPrev[k])
+			dc := dh[k] * st.z[k]
+			dhPrev[k] = dh[k] * (1 - st.z[k])
+			dPre[k] = dz * st.z[k] * (1 - st.z[k])
+			dPre[2*h+k] = dc * (1 - st.hCand[k]*st.hCand[k])
+		}
+		zeroFloats(bw.dxrh[s][:nin])
+	}
+	// Candidate rows: propagate into the packed [dx; d(r⊙hPrev)], row pairs
+	// × sample pairs (see batchPropagate) — each dxrh element takes its two
+	// row contributions as sequential adds in ascending-row order, with the
+	// streamed kernel's per-(row, sample) d == 0 skip.
+	k := 0
+	for ; k+1 < h; k += 2 {
+		rowA := w[(2*h+k)*cols : (2*h+k)*cols+nin]
+		rowB := w[(2*h+k+1)*cols : (2*h+k+1)*cols+nin]
+		s := 0
+		for ; s+1 < S; s += 2 {
+			dA0, dB0 := dPreTape[s][t][2*h+k], dPreTape[s][t][2*h+k+1]
+			dA1, dB1 := dPreTape[s+1][t][2*h+k], dPreTape[s+1][t][2*h+k+1]
+			if dA0 != 0 && dB0 != 0 && dA1 != 0 && dB1 != 0 {
+				dxrh0 := bw.dxrh[s][:nin]
+				dxrh1 := bw.dxrh[s+1][:nin]
+				for j, ra := range rowA {
+					rb := rowB[j]
+					v0 := dxrh0[j]
+					v0 += dA0 * ra
+					v0 += dB0 * rb
+					dxrh0[j] = v0
+					v1 := dxrh1[j]
+					v1 += dA1 * ra
+					v1 += dB1 * rb
+					dxrh1[j] = v1
+				}
+			} else {
+				rowPairInto(rowA, rowB, dA0, dB0, bw.dxrh[s][:nin])
+				rowPairInto(rowA, rowB, dA1, dB1, bw.dxrh[s+1][:nin])
+			}
+		}
+		for ; s < S; s++ {
+			rowPairInto(rowA, rowB, dPreTape[s][t][2*h+k], dPreTape[s][t][2*h+k+1], bw.dxrh[s][:nin])
+		}
+	}
+	for ; k < h; k++ {
+		base := (2*h + k) * cols
+		row := w[base : base+nin]
+		for s := 0; s < S; s++ {
+			d := dPreTape[s][t][2*h+k]
+			if d == 0 {
+				continue
+			}
+			dxrh := bw.dxrh[s][:nin]
+			for j, rv := range row {
+				dxrh[j] += d * rv
+			}
+		}
+	}
+	for s := 0; s < S; s++ {
+		st := &tapes[s][t]
+		hPrev := st.xh[c.in:nin]
+		dxrh := bw.dxrh[s][:nin]
+		copy(bw.dx[s][:c.in], dxrh[:c.in])
+		drh := dxrh[c.in:]
+		dhPrev := bw.dhPrev[s]
+		dPre := dPreTape[s][t]
+		for k := 0; k < h; k++ {
+			dr := drh[k] * hPrev[k]
+			dhPrev[k] += drh[k] * st.r[k]
+			dPre[h+k] = dr * st.r[k] * (1 - st.r[k])
+		}
+	}
+	// Update then reset blocks: dx and dhPrev row sweeps (x part, then h
+	// part, as in blockBackward), weight gradients deferred. Row pairs ×
+	// sample pairs as above; per element each target takes its two row
+	// contributions in ascending-row order, d == 0 skip per (row, sample).
+	for block := 0; block < 2; block++ {
+		k := 0
+		for ; k+1 < h; k += 2 {
+			baseA := (block*h + k) * cols
+			baseB := (block*h + k + 1) * cols
+			rowAX, rowAH := w[baseA:baseA+c.in], w[baseA+c.in:baseA+nin]
+			rowBX, rowBH := w[baseB:baseB+c.in], w[baseB+c.in:baseB+nin]
+			s := 0
+			for ; s+1 < S; s += 2 {
+				dA0, dB0 := dPreTape[s][t][block*h+k], dPreTape[s][t][block*h+k+1]
+				dA1, dB1 := dPreTape[s+1][t][block*h+k], dPreTape[s+1][t][block*h+k+1]
+				if dA0 != 0 && dB0 != 0 && dA1 != 0 && dB1 != 0 {
+					dx0, dx1 := bw.dx[s][:c.in], bw.dx[s+1][:c.in]
+					for j, ra := range rowAX {
+						rb := rowBX[j]
+						v0 := dx0[j]
+						v0 += dA0 * ra
+						v0 += dB0 * rb
+						dx0[j] = v0
+						v1 := dx1[j]
+						v1 += dA1 * ra
+						v1 += dB1 * rb
+						dx1[j] = v1
+					}
+					dhPrev0, dhPrev1 := bw.dhPrev[s], bw.dhPrev[s+1]
+					for j, ra := range rowAH {
+						rb := rowBH[j]
+						v0 := dhPrev0[j]
+						v0 += dA0 * ra
+						v0 += dB0 * rb
+						dhPrev0[j] = v0
+						v1 := dhPrev1[j]
+						v1 += dA1 * ra
+						v1 += dB1 * rb
+						dhPrev1[j] = v1
+					}
+				} else {
+					gruBlockRowPair(rowAX, rowAH, rowBX, rowBH, dA0, dB0, bw.dx[s][:c.in], bw.dhPrev[s])
+					gruBlockRowPair(rowAX, rowAH, rowBX, rowBH, dA1, dB1, bw.dx[s+1][:c.in], bw.dhPrev[s+1])
+				}
+			}
+			for ; s < S; s++ {
+				dA := dPreTape[s][t][block*h+k]
+				dB := dPreTape[s][t][block*h+k+1]
+				gruBlockRowPair(rowAX, rowAH, rowBX, rowBH, dA, dB, bw.dx[s][:c.in], bw.dhPrev[s])
+			}
+		}
+		for ; k < h; k++ {
+			base := (block*h + k) * cols
+			rowX := w[base : base+c.in]
+			rowH := w[base+c.in : base+nin]
+			for s := 0; s < S; s++ {
+				d := dPreTape[s][t][block*h+k]
+				if d == 0 {
+					continue
+				}
+				gruBlockRow(rowX, rowH, d, bw.dx[s][:c.in], bw.dhPrev[s])
+			}
+		}
+	}
+}
+
+// gruBlockRow propagates one update/reset row into a single sample's dx and
+// dhPrev, in the x-then-h order of blockBackward.
+func gruBlockRow(rowX, rowH []float64, d float64, dx, dhPrev []float64) {
+	for j, rv := range rowX {
+		dx[j] += d * rv
+	}
+	for j, rv := range rowH {
+		dhPrev[j] += d * rv
+	}
+}
+
+// gruBlockRowPair propagates two consecutive update/reset rows into one
+// sample's dx and dhPrev: row A's contribution before row B's per element,
+// x part before h part per row phase, zero rows skipped as in the streamed
+// kernel.
+func gruBlockRowPair(rowAX, rowAH, rowBX, rowBH []float64, dA, dB float64, dx, dhPrev []float64) {
+	switch {
+	case dA != 0 && dB != 0:
+		rowPairInto(rowAX, rowBX, dA, dB, dx)
+		rowPairInto(rowAH, rowBH, dA, dB, dhPrev)
+	case dA != 0:
+		gruBlockRow(rowAX, rowAH, dA, dx, dhPrev)
+	case dB != 0:
+		gruBlockRow(rowBX, rowBH, dB, dx, dhPrev)
+	}
+}
+
+// gruBatchAccumulate is the deferred weight-gradient pass: every row swept
+// once over the whole tape in (sample ascending; step descending) order —
+// the update and reset rows against the taped xh, the candidate rows
+// against the taped xrh.
+func gruBatchAccumulate(c gruCell, grad Vector, tapes [][]gruStep, dPreTape [][][]float64, T, S int) {
+	h := c.hidden
+	// Update+reset rows ([0, 2h), always an even count) read the xh tape;
+	// candidate rows ([2h, 3h)) read the xrh tape. Each range is swept in row
+	// pairs so one tape pass feeds two gradient rows.
+	gruAccumRange(c, grad, tapes, dPreTape, T, S, 0, 2*h, false)
+	gruAccumRange(c, grad, tapes, dPreTape, T, S, 2*h, 3*h, true)
+}
+
+// gruAccumRange accumulates the gradient rows [lo, hi) in pairs, preserving
+// the streamed path's per-element (sample ascending; step descending)
+// contribution order and its d == 0 row skip.
+func gruAccumRange(c gruCell, grad Vector, tapes [][]gruStep, dPreTape [][][]float64, T, S, lo, hi int, cand bool) {
+	cols := c.cols()
+	nin := c.in + c.hidden
+	r := lo
+	for ; r+1 < hi; r += 2 {
+		grow0 := grad[r*cols : r*cols+cols]
+		grow1 := grad[(r+1)*cols : (r+1)*cols+cols]
+		g0 := grow0[:nin]
+		g1 := grow1[:nin]
+		for s := 0; s < S; s++ {
+			tape := tapes[s]
+			dps := dPreTape[s]
+			for t := T - 1; t >= 0; t-- {
+				d0, d1 := dps[t][r], dps[t][r+1]
+				if d0 == 0 && d1 == 0 {
+					continue
+				}
+				var in []float64
+				if cand {
+					in = tape[t].xrh[:nin]
+				} else {
+					in = tape[t].xh[:nin]
+				}
+				if d0 != 0 && d1 != 0 {
+					for j, iv := range in {
+						g0[j] += d0 * iv
+						g1[j] += d1 * iv
+					}
+					grow0[nin] += d0
+					grow1[nin] += d1
+				} else if d0 != 0 {
+					for j, iv := range in {
+						g0[j] += d0 * iv
+					}
+					grow0[nin] += d0
+				} else {
+					for j, iv := range in {
+						g1[j] += d1 * iv
+					}
+					grow1[nin] += d1
+				}
+			}
+		}
+	}
+	for ; r < hi; r++ {
+		grow := grad[r*cols : r*cols+cols]
+		growv := grow[:nin]
+		for s := 0; s < S; s++ {
+			for t := T - 1; t >= 0; t-- {
+				d := dPreTape[s][t][r]
+				if d == 0 {
+					continue
+				}
+				var in []float64
+				if cand {
+					in = tapes[s][t].xrh[:nin]
+				} else {
+					in = tapes[s][t].xh[:nin]
+				}
+				for j, iv := range in {
+					growv[j] += d * iv
+				}
+				grow[nin] += d
+			}
+		}
+	}
+}
+
+// batchGrad is the batched BatchGrad engine for the GRU model; see the LSTM
+// batchGrad for the structure. Returns the summed (not yet averaged) loss.
+func (m *GRUSeq2Seq) batchGrad(batch []Sample, loss Loss, grad Vector) float64 {
+	tin, tout := len(batch[0].In), len(batch[0].Out)
+	m.batchForward(batch, tin, tout)
+	bw := m.ws.bws
+	S := len(batch)
+
+	var lossSum float64
+	for s := 0; s < S; s++ {
+		lossSum += loss.LossGrad(bw.preds[s][:tout], batch[s].Out, bw.dPreds[s][:tout])
+	}
+
+	encG := grad[m.encOff:m.decOff]
+	decG := grad[m.decOff:m.outOff]
+	outG := grad[m.outOff:]
+	encW, decW, outW := m.encW(), m.decW(), m.outW()
+	outCols := m.out.in + 1
+
+	for s := 0; s < S; s++ {
+		zeroFloats(bw.dh[s])
+	}
+	for t := tout - 1; t >= 0; t-- {
+		for s := 0; s < S; s++ {
+			dy := bw.dyTape[s][t]
+			copy(dy, bw.dPreds[s][t])
+			if t < tout-1 {
+				dNext := bw.dNext[s]
+				for i := range dy {
+					dy[i] += dNext[i]
+				}
+			}
+			dhOut := bw.dhOut[s]
+			zeroFloats(dhOut)
+			for r := 0; r < m.out.out; r++ {
+				d := dy[r]
+				if d == 0 {
+					continue
+				}
+				row := outW[r*outCols : r*outCols+m.out.in]
+				for j, rv := range row {
+					dhOut[j] += d * rv
+				}
+			}
+			dh := bw.dh[s]
+			for i := range dh {
+				dh[i] += dhOut[i]
+			}
+		}
+		gruBatchPropagate(m.dec, decW, bw.decTapes, bw.dPreDec, t, S, bw)
+		for s := 0; s < S; s++ {
+			dx := bw.dx[s]
+			dy := bw.dyTape[s][t]
+			dNext := bw.dNext[s]
+			for i := range dNext {
+				dNext[i] = dx[i] + dy[i] // residual path
+			}
+			bw.dh[s], bw.dhPrev[s] = bw.dhPrev[s], bw.dh[s]
+		}
+	}
+	for t := tin - 1; t >= 0; t-- {
+		gruBatchPropagate(m.enc, encW, bw.encTapes, bw.dPreEnc, t, S, bw)
+		for s := 0; s < S; s++ {
+			bw.dh[s], bw.dhPrev[s] = bw.dhPrev[s], bw.dh[s]
+		}
+	}
+
+	gruBatchAccumulate(m.dec, decG, bw.decTapes, bw.dPreDec, tout, S)
+	gruBatchAccumulate(m.enc, encG, bw.encTapes, bw.dPreEnc, tin, S)
+	for r := 0; r < m.out.out; r++ {
+		base := r * outCols
+		grow := outG[base : base+outCols]
+		growv := grow[:m.out.in]
+		for s := 0; s < S; s++ {
+			for t := tout - 1; t >= 0; t-- {
+				d := bw.dyTape[s][t][r]
+				if d == 0 {
+					continue
+				}
+				x := bw.decTapes[s][t].h[:m.out.in]
+				for j, rv := range x {
+					growv[j] += d * rv
+				}
+				grow[m.out.in] += d
+			}
+		}
+	}
+	return lossSum
+}
+
+// batchLoss is the batched BatchLoss engine for the GRU model.
+func (m *GRUSeq2Seq) batchLoss(batch []Sample, loss Loss) float64 {
+	tin, tout := len(batch[0].In), len(batch[0].Out)
+	m.batchForward(batch, tin, tout)
+	bw := m.ws.bws
+	var sum float64
+	for s := range batch {
+		sum += loss.LossGrad(bw.preds[s][:tout], batch[s].Out, bw.dPreds[s][:tout])
+	}
+	return sum
+}

@@ -314,10 +314,14 @@ func (m *GRUSeq2Seq) Grad(in, target [][]float64, loss Loss, grad Vector) float6
 	return lossVal
 }
 
-// BatchLoss implements Model.
+// BatchLoss implements Model. Uniform-shape batches of ≥2 samples take the
+// batched step-synchronous kernels (batch_gru.go); bit-identical either way.
 func (m *GRUSeq2Seq) BatchLoss(batch []Sample, loss Loss) float64 {
 	if len(batch) == 0 {
 		return 0
+	}
+	if len(batch) >= 2 && batchUniform(batch) {
+		return m.batchLoss(batch, loss) / float64(len(batch))
 	}
 	var sum float64
 	for i := range batch {
@@ -330,11 +334,22 @@ func (m *GRUSeq2Seq) BatchLoss(batch []Sample, loss Loss) float64 {
 	return sum / float64(len(batch))
 }
 
-// BatchGrad implements Model.
+// BatchGrad implements Model. Uniform-shape batches of ≥2 samples take the
+// batched kernels (batch_gru.go), which sweep each weight and gradient row
+// once across the whole batch while preserving the per-sample
+// floating-point reduction order — bit-identical to streaming through Grad.
 func (m *GRUSeq2Seq) BatchGrad(batch []Sample, loss Loss, grad Vector) float64 {
 	grad.Zero()
 	if len(batch) == 0 {
 		return 0
+	}
+	if len(grad) != len(m.w) {
+		panic(fmt.Sprintf("nn: BatchGrad vector length %d != %d", len(grad), len(m.w)))
+	}
+	if len(batch) >= 2 && batchUniform(batch) {
+		sum := m.batchGrad(batch, loss, grad)
+		grad.Scale(1 / float64(len(batch)))
+		return sum / float64(len(batch))
 	}
 	var sum float64
 	for i := range batch {

@@ -61,18 +61,25 @@ func (o *Adam) Step(w, grad Vector) {
 	o.t++
 	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
 	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
-	// First moment via the fused AddScaled kernel; the per-element values are
-	// identical to the classic interleaved loop.
-	o.m.AddScaled(o.Beta1, 1-o.Beta1, grad)
+	// Fully fused single-pass update: the first-moment recurrence, the
+	// second-moment recurrence, and the weight step in one sweep, so m, v,
+	// grad, and w each stream through the cache once per Step instead of m
+	// and grad being read twice (AddScaled pass + update pass). The
+	// per-element arithmetic matches the previous two-pass version exactly,
+	// so updates are bit-identical.
 	mv := o.m[:len(w)]
 	vv := o.v[:len(w)]
 	g := grad[:len(w)]
+	b1, omb1 := o.Beta1, 1-o.Beta1
+	b2, omb2 := o.Beta2, 1-o.Beta2
+	lr, eps := o.LR, o.Eps
 	for i := range w {
 		gi := g[i]
-		vv[i] = o.Beta2*vv[i] + (1-o.Beta2)*gi*gi
-		mHat := mv[i] / b1c
-		vHat := vv[i] / b2c
-		w[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		mi := b1*mv[i] + omb1*gi
+		mv[i] = mi
+		vi := b2*vv[i] + omb2*gi*gi
+		vv[i] = vi
+		w[i] -= lr * (mi / b1c) / (math.Sqrt(vi/b2c) + eps)
 	}
 }
 

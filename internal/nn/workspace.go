@@ -91,6 +91,8 @@ type lstmWS struct {
 	dhOut  []float64 // dL/dh from the output head
 	dxhEnc []float64 // packed [dx; dhPrev] for the encoder cell
 	dxhDec []float64 // packed [dx; dhPrev] for the decoder cell
+
+	bws *lstmBatchWS // batched-kernel arena (batch.go), lazily built
 }
 
 func newLSTMWS(m *Seq2Seq) *lstmWS {
@@ -145,6 +147,8 @@ type gruWS struct {
 	dxEnc      []float64
 	dxDec      []float64
 	sc         gruScratch
+
+	bws *gruBatchWS // batched-kernel arena (batch_gru.go), lazily built
 }
 
 func newGRUWS(m *GRUSeq2Seq) *gruWS {

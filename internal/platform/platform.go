@@ -137,6 +137,17 @@ type Run struct {
 	// when the worker decides, even if the fault injector delivers them to
 	// the platform late. A sink error aborts the simulation.
 	EventSink func(core.Event) error
+	// Forecasts, when non-nil, is the forecast cache the run memoizes
+	// PredictFuture rollouts in — exact window-keyed, so cached runs are
+	// bit-identical to uncached ones. Long-lived callers (the server, a
+	// benchmark harness) hand in their own instrumented cache; when nil,
+	// Simulate builds a private per-run cache unless DisableForecastCache
+	// is set.
+	Forecasts *predict.ForecastCache
+	// DisableForecastCache turns forecast memoization off entirely
+	// (every rollout recomputes). The cache-equivalence suite relies on it;
+	// production runs have no reason to set it.
+	DisableForecastCache bool
 }
 
 // recorder allocates offer IDs and forwards events to the sink. A nil
@@ -206,6 +217,16 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 	// reallocated. Ticks run sequentially, so the single workspace is never
 	// shared between concurrent assignments.
 	ctx = assign.WithWorkspace(ctx, assign.NewWorkspace())
+	// One forecast cache for the whole horizon: stationary workers reuse
+	// their rollouts tick after tick, and daily adaptation invalidates a
+	// worker's entries by version. Reuse is exact-match, so metrics are
+	// unchanged with the cache on, off, or shared across runs of the same
+	// model set.
+	fc := r.Forecasts
+	if fc == nil && !r.DisableForecastCache {
+		fc = predict.NewForecastCache(0)
+		fc.Instrument(obs.RegistryFrom(ctx))
+	}
 
 	var rec *recorder
 	if r.EventSink != nil {
@@ -359,7 +380,7 @@ func (r *Run) Simulate(ctx context.Context) (Metrics, error) {
 				if r.Faults.PredictorFails(wk.ID, tick) || len(recent) == 0 {
 					wfaults[j].PredFallbacks++
 				} else {
-					pred, failed := safeForecast(model, recent, predHorizon, r.Faults != nil)
+					pred, failed := safeForecast(fc, model, recent, predHorizon, r.Faults != nil)
 					if failed {
 						wfaults[j].PredFallbacks++
 					} else {
@@ -617,22 +638,25 @@ func faultyReports(f *fault.Injector, workerID int, day traj.Routine, dayIdx, ti
 	return out
 }
 
-// safeForecast runs one worker's autoregressive rollout. With guard off it
-// is a plain call — a panic propagates to the par pool, which converts it
-// to a *par.PanicError that cancels the batch (never the process). With
-// guard on (chaos mode) the panic is recovered here, and non-finite
-// forecasts are rejected, so one bad model degrades only its own worker to
-// a stand-still prediction.
-func safeForecast(model *predict.WorkerModel, recent []geo.Point, horizon int, guard bool) (pred []geo.Point, failed bool) {
+// safeForecast runs one worker's autoregressive rollout through the
+// forecast cache (a nil fc recomputes every time). With guard off it is a
+// plain call — a panic propagates to the par pool, which converts it to a
+// *par.PanicError that cancels the batch (never the process). With guard on
+// (chaos mode) the panic is recovered here, and non-finite forecasts are
+// rejected, so one bad model degrades only its own worker to a stand-still
+// prediction. A panicking rollout publishes no cache entry, and a cached
+// non-finite forecast is re-rejected on every hit, so caching never changes
+// a chaos run's outcome.
+func safeForecast(fc *predict.ForecastCache, model *predict.WorkerModel, recent []geo.Point, horizon int, guard bool) (pred []geo.Point, failed bool) {
 	if !guard {
-		return model.PredictFuture(recent, horizon), false
+		return fc.Forecast(model, recent, horizon), false
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			pred, failed = nil, true
 		}
 	}()
-	pred = model.PredictFuture(recent, horizon)
+	pred = fc.Forecast(model, recent, horizon)
 	for _, pt := range pred {
 		if math.IsNaN(pt.X) || math.IsNaN(pt.Y) || math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) {
 			return nil, true

@@ -1,0 +1,150 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatialcrowd/tamp/internal/geo"
+	"github.com/spatialcrowd/tamp/internal/traj"
+)
+
+// TestPredictFutureIntoZeroAlloc gates the rollout hot path: with a
+// capacity-sufficient dst and warm scratch, PredictFutureInto performs zero
+// allocations per forecast.
+func TestPredictFutureIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	wm := testWorkerModel(t, 9)
+	trace := randTrace(rng, 8)
+	short := trace[:2] // left-padded window path
+	dst := make([]geo.Point, 0, 16)
+
+	dst = wm.PredictFutureInto(dst[:0], trace, 8) // warm scratch
+	_ = dst
+	if n := testing.AllocsPerRun(20, func() {
+		dst = wm.PredictFutureInto(dst[:0], trace, 8)
+	}); n != 0 {
+		t.Errorf("PredictFutureInto: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		dst = wm.PredictFutureInto(dst[:0], short, 8)
+	}); n != 0 {
+		t.Errorf("PredictFutureInto (padded window): %v allocs/op, want 0", n)
+	}
+}
+
+// TestPredictFutureIntoMatchesPredictFuture checks the Into variant and the
+// allocating wrapper produce identical bits, fresh and with reused scratch.
+func TestPredictFutureIntoMatchesPredictFuture(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	wm := testWorkerModel(t, 10)
+	plain := testWorkerModel(t, 10)
+	dst := make([]geo.Point, 0, 16)
+	for trial := 0; trial < 40; trial++ {
+		trace := randTrace(rng, 1+rng.Intn(9))
+		horizon := 1 + rng.Intn(12)
+		want := plain.PredictFuture(trace, horizon)
+		dst = wm.PredictFutureInto(dst[:0], trace, horizon)
+		if !pointsBitEqual(dst, want) {
+			t.Fatalf("trial %d: Into differs from PredictFuture", trial)
+		}
+	}
+}
+
+// TestEvaluateOnRoutineZeroAlloc gates the evaluation path (satellite of
+// the prediction-engine issue): accumulateRoutine reuses the per-worker
+// window, feature rows, and sample slice, so steady-state evaluation is
+// allocation-free.
+func TestEvaluateOnRoutineZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	wm := testWorkerModel(t, 11)
+	day := traj.Routine{Points: randTrace(rng, 60)}
+
+	wm.EvaluateOnRoutine(day, 2.0) // warm scratch
+	if n := testing.AllocsPerRun(20, func() {
+		wm.EvaluateOnRoutine(day, 2.0)
+	}); n != 0 {
+		t.Errorf("EvaluateOnRoutine: %v allocs/op in steady state, want 0", n)
+	}
+}
+
+// TestEvaluateOnRoutineUnchanged pins the scratch-reusing evaluation to the
+// naive per-sample recomputation.
+func TestEvaluateOnRoutineUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	wm := testWorkerModel(t, 12)
+	naive := testWorkerModel(t, 12)
+	for trial := 0; trial < 10; trial++ {
+		day := traj.Routine{Points: randTrace(rng, 20+rng.Intn(60))}
+		got := wm.EvaluateOnRoutine(day, 2.0)
+
+		// Naive reference: fresh window + Featurize per sample.
+		var acc evalAccum
+		for _, s := range traj.ExtractSamples(day, naive.SeqIn, naive.SeqOut, sampleStride) {
+			win := make([]geo.Point, len(s.In))
+			for i, p := range s.In {
+				win[i] = naive.Norm.Norm(p)
+			}
+			preds := naive.Model.Predict(Featurize(win), naive.SeqOut)
+			for i, p := range preds {
+				acc.add(s.Out[i], naive.Norm.Denorm(geo.Pt(p[0], p[1])), 2.0)
+			}
+		}
+		want := acc.result()
+		if math.Float64bits(got.RMSE) != math.Float64bits(want.RMSE) ||
+			math.Float64bits(got.MAE) != math.Float64bits(want.MAE) ||
+			math.Float64bits(got.MR) != math.Float64bits(want.MR) || got.N != want.N {
+			t.Fatalf("trial %d: EvaluateOnRoutine %+v != reference %+v", trial, got, want)
+		}
+	}
+}
+
+// TestFeaturizeIntoMatchesFeaturize checks row reuse (including shrinking
+// then re-growing through cap) keeps values identical to Featurize.
+func TestFeaturizeIntoMatchesFeaturize(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var dst [][]float64
+	for trial := 0; trial < 30; trial++ {
+		win := randTrace(rng, 1+rng.Intn(10))
+		want := Featurize(win)
+		dst = FeaturizeInto(dst, win)
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(dst), len(want))
+		}
+		for i := range want {
+			for d := range want[i] {
+				if math.Float64bits(dst[i][d]) != math.Float64bits(want[i][d]) {
+					t.Fatalf("trial %d: row %d dim %d differs", trial, i, d)
+				}
+			}
+		}
+	}
+	// Steady state is allocation-free.
+	win := randTrace(rng, 10)
+	dst = FeaturizeInto(dst, win)
+	if n := testing.AllocsPerRun(20, func() {
+		dst = FeaturizeInto(dst, win)
+	}); n != 0 {
+		t.Errorf("FeaturizeInto: %v allocs/op, want 0", n)
+	}
+}
+
+// TestExtractSamplesIntoMatches pins the reusing extractor to
+// ExtractSamples.
+func TestExtractSamplesIntoMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var buf []traj.Sample
+	for trial := 0; trial < 20; trial++ {
+		r := traj.Routine{Points: randTrace(rng, rng.Intn(40))}
+		want := traj.ExtractSamples(r, 5, 1, sampleStride)
+		buf = traj.ExtractSamplesInto(buf[:0], r, 5, 1, sampleStride)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: %d samples != %d", trial, len(buf), len(want))
+		}
+		for i := range want {
+			if !pointsBitEqual(buf[i].In, want[i].In) || !pointsBitEqual(buf[i].Out, want[i].Out) {
+				t.Fatalf("trial %d: sample %d differs", trial, i)
+			}
+		}
+	}
+}

@@ -24,44 +24,110 @@ type WorkerModel struct {
 	// model rather than being reallocated per call.
 	adaptGrad nn.Vector
 	adaptBuf  []nn.Sample
+	adaptRaw  []traj.Sample
+
+	// Rollout scratch (PredictFutureInto): the normalized context window and
+	// its feature rows persist on the model, so a rollout allocates nothing
+	// beyond what the caller's dst needs. Eval scratch is separate so
+	// EvaluateOnRoutine and forecasting never clobber each other's windows.
+	rollWin  []geo.Point
+	rollFeat [][]float64
+	evalWin  []geo.Point
+	evalFeat [][]float64
+	evalRaw  []traj.Sample
+
+	// version counts weight updates (AdaptOn steps). The forecast cache
+	// keys entries by it, so adapting a model invalidates that worker's
+	// cached forecasts without any explicit eviction call.
+	version uint64
 }
+
+// Version identifies the current weights: it increments every time AdaptOn
+// updates the model. Exact-reuse layers (ForecastCache) compare it to decide
+// whether a memoized forecast is still from these weights.
+func (wm *WorkerModel) Version() uint64 { return wm.version }
+
+// BumpVersion marks the model's weights as changed after an external
+// mutation (e.g. direct SetWeights), so cached forecasts are invalidated.
+func (wm *WorkerModel) BumpVersion() { wm.version++ }
 
 // PredictFuture forecasts the worker's next horizon locations given the
 // recent trajectory (grid coordinates, most recent last). The model is
 // rolled forward seqOut points at a time, feeding predictions back as
-// context, until horizon points are produced.
+// context, until horizon points are produced. The returned slice is freshly
+// allocated; hot paths that can reuse an output buffer should call
+// PredictFutureInto.
 func (wm *WorkerModel) PredictFuture(recent []geo.Point, horizon int) []geo.Point {
 	if horizon <= 0 || len(recent) == 0 {
 		return nil
 	}
-	// Context window of normalized positions.
-	win := make([]geo.Point, 0, wm.SeqIn)
+	return wm.PredictFutureInto(make([]geo.Point, 0, horizon), recent, horizon)
+}
+
+// PredictFutureInto is the allocation-free PredictFuture: it appends the
+// horizon forecast points to dst and returns it. With a dst of sufficient
+// capacity the rollout performs zero allocations — the context window and
+// feature rows live in persistent model scratch. Outputs are bit-identical
+// to PredictFuture.
+func (wm *WorkerModel) PredictFutureInto(dst []geo.Point, recent []geo.Point, horizon int) []geo.Point {
+	if horizon <= 0 || len(recent) == 0 {
+		return dst
+	}
+	wm.fillWindow(recent)
+	return wm.rollout(dst, horizon)
+}
+
+// fillWindow builds the normalized SeqIn context window in wm.rollWin from
+// the recent trace: the last SeqIn points normalized, left-padded in a
+// single pass by repeating the oldest included point — the same window the
+// old prepend-in-a-loop construction produced, without its O(SeqIn²) cost.
+func (wm *WorkerModel) fillWindow(recent []geo.Point) []geo.Point {
+	if cap(wm.rollWin) < wm.SeqIn {
+		wm.rollWin = make([]geo.Point, wm.SeqIn)
+	}
+	win := wm.rollWin[:wm.SeqIn]
 	start := len(recent) - wm.SeqIn
 	if start < 0 {
 		start = 0
 	}
-	for _, p := range recent[start:] {
-		win = append(win, wm.Norm.Norm(p))
+	pad := wm.SeqIn - (len(recent) - start)
+	for i, p := range recent[start:] {
+		win[pad+i] = wm.Norm.Norm(p)
 	}
-	// Left-pad a short context by repeating the oldest point, keeping the
-	// window length the model was trained with.
-	for len(win) < wm.SeqIn {
-		win = append([]geo.Point{win[0]}, win...)
+	if pad > 0 && pad < len(win) {
+		first := win[pad]
+		for i := 0; i < pad; i++ {
+			win[i] = first
+		}
 	}
+	wm.rollWin = win
+	return win
+}
 
-	var out []geo.Point
-	for len(out) < horizon {
-		preds := wm.Model.Predict(Featurize(win), wm.SeqOut)
+// rollout runs the autoregressive forecast from the prepared wm.rollWin,
+// appending horizon denormalized points to dst. The window shifts in place
+// (bit-identical to the old append-reallocate shift).
+func (wm *WorkerModel) rollout(dst []geo.Point, horizon int) []geo.Point {
+	win := wm.rollWin
+	produced := 0
+	for produced < horizon {
+		wm.rollFeat = FeaturizeInto(wm.rollFeat, win)
+		preds := wm.Model.Predict(wm.rollFeat, wm.SeqOut)
+		if len(preds) == 0 {
+			break // degenerate SeqOut; never loop forever
+		}
 		for _, p := range preds {
 			q := geo.Pt(p[0], p[1])
-			out = append(out, wm.Norm.Denorm(q))
-			win = append(win[1:], q)
-			if len(out) == horizon {
+			dst = append(dst, wm.Norm.Denorm(q))
+			produced++
+			copy(win, win[1:])
+			win[len(win)-1] = q
+			if produced == horizon {
 				break
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // AdaptOn fine-tunes the worker's model on an observed routine (e.g. the
@@ -74,7 +140,8 @@ func (wm *WorkerModel) AdaptOn(r traj.Routine, steps int, lr float64) {
 	if steps <= 0 || lr <= 0 {
 		return
 	}
-	raw := traj.ExtractSamples(r, wm.SeqIn, wm.SeqOut, sampleStride)
+	wm.adaptRaw = traj.ExtractSamplesInto(wm.adaptRaw[:0], r, wm.SeqIn, wm.SeqOut, sampleStride)
+	raw := wm.adaptRaw
 	if len(raw) == 0 {
 		return
 	}
@@ -87,11 +154,16 @@ func (wm *WorkerModel) AdaptOn(r traj.Routine, steps int, lr float64) {
 	if len(wm.adaptGrad) != wm.Model.NumParams() {
 		wm.adaptGrad = nn.NewVector(wm.Model.NumParams())
 	}
+	// Every sample shares the model's (SeqIn, SeqOut) shape, so BatchGrad
+	// takes the batched GEMM kernels: weights stream once per step across
+	// the whole day's samples.
 	opt := nn.SGD{LR: lr, ClipNorm: 5}
 	for s := 0; s < steps; s++ {
 		wm.Model.BatchGrad(batch, loss, wm.adaptGrad)
 		opt.Step(wm.Model.Weights(), wm.adaptGrad)
 	}
+	// The weights changed: cached forecasts for this worker are stale.
+	wm.version++
 }
 
 // MatchingRate is MR(r, r̂) of Def. 7: the fraction of positions where the
@@ -173,13 +245,17 @@ func (wm *WorkerModel) EvaluateOnRoutine(r traj.Routine, radius float64) EvalRes
 }
 
 func (wm *WorkerModel) accumulateRoutine(r traj.Routine, radius float64, acc *evalAccum) {
-	samples := traj.ExtractSamples(r, wm.SeqIn, wm.SeqOut, sampleStride)
-	for _, s := range samples {
-		win := make([]geo.Point, len(s.In))
+	wm.evalRaw = traj.ExtractSamplesInto(wm.evalRaw[:0], r, wm.SeqIn, wm.SeqOut, sampleStride)
+	for _, s := range wm.evalRaw {
+		if cap(wm.evalWin) < len(s.In) {
+			wm.evalWin = make([]geo.Point, len(s.In))
+		}
+		win := wm.evalWin[:len(s.In)]
 		for i, p := range s.In {
 			win[i] = wm.Norm.Norm(p)
 		}
-		preds := wm.Model.Predict(Featurize(win), wm.SeqOut)
+		wm.evalFeat = FeaturizeInto(wm.evalFeat, win)
+		preds := wm.Model.Predict(wm.evalFeat, wm.SeqOut)
 		for i, p := range preds {
 			acc.add(s.Out[i], wm.Norm.Denorm(geo.Pt(p[0], p[1])), radius)
 		}

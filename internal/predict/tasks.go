@@ -35,16 +35,34 @@ const (
 // Featurize converts a window of model-space positions into per-step input
 // vectors [x, y, Δx·gain, Δy·gain]; the first step's delta is zero.
 func Featurize(win []geo.Point) [][]float64 {
-	out := make([][]float64, len(win))
+	return FeaturizeInto(nil, win)
+}
+
+// FeaturizeInto is the allocation-free Featurize: it reuses dst's rows
+// (growing as needed — rows sliced off by a previous shorter call are
+// recovered from dst's capacity) and returns dst resized to len(win).
+// Values are identical to Featurize.
+func FeaturizeInto(dst [][]float64, win []geo.Point) [][]float64 {
+	n := len(win)
+	dst = dst[:cap(dst)]
+	for len(dst) < n {
+		dst = append(dst, nil)
+	}
+	dst = dst[:n]
 	for i, p := range win {
-		f := []float64{p.X, p.Y, 0, 0}
+		if len(dst[i]) < InputDims {
+			dst[i] = make([]float64, InputDims)
+		}
+		f := dst[i][:InputDims]
+		f[0], f[1] = p.X, p.Y
+		f[2], f[3] = 0, 0
 		if i > 0 {
 			f[2] = (p.X - win[i-1].X) * DeltaGain
 			f[3] = (p.Y - win[i-1].Y) * DeltaGain
 		}
-		out[i] = f
+		dst[i] = f
 	}
-	return out
+	return dst
 }
 
 // BuildLearningTasks converts every established (non-cold-start) worker of

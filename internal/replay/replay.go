@@ -145,13 +145,18 @@ func Events(ctx context.Context, st *core.State, events []core.Event, opts Optio
 	// One workspace for the whole pass: batches run sequentially, so the
 	// spatial index and matcher scratch are rebuilt in place each batch.
 	ctx = assign.WithWorkspace(ctx, assign.NewWorkspace())
+	// One forecast memo for the whole pass, mirroring the live server's
+	// long-lived cache: counterfactual batches replay the same windows the
+	// live run saw, so stationary stretches reuse their rollouts.
+	fc := predict.NewForecastCache(0)
+	fc.Instrument(opts.Registry)
 	start := opts.Registry.Now()
 	for i, ev := range events {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if live, degraded, isBatch := batchOffers(ev); isBatch {
-			plan, err := counterfactual(ctx, st, opts)
+			plan, err := counterfactual(ctx, st, fc, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -191,8 +196,8 @@ func batchOffers(ev core.Event) (live []core.OfferIssued, degraded, isBatch bool
 // counterfactual rebuilds the batch input from the pre-batch state and runs
 // the replay assigner on it, allocating offer IDs from the same counter the
 // live run would have used.
-func counterfactual(ctx context.Context, st *core.State, opts Options) ([]core.OfferIssued, error) {
-	in, err := core.BuildBatch(ctx, st, opts.Models, opts.PredHorizon, opts.Parallelism)
+func counterfactual(ctx context.Context, st *core.State, fc *predict.ForecastCache, opts Options) ([]core.OfferIssued, error) {
+	in, err := core.BuildBatch(ctx, st, opts.Models, fc, opts.PredHorizon, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}

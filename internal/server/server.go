@@ -150,6 +150,11 @@ type Server struct {
 	// checkpoints persist across batches, so steady-state batches warm-start
 	// instead of rebuilding from scratch.
 	ws *assign.Workspace
+	// Long-lived forecast memo shared by every batch, same lifecycle as ws:
+	// a worker whose context window hasn't changed since the last batch (the
+	// common stationary case) reuses its rollout bit-identically instead of
+	// re-running the model. Instrumented as predict_cache_* in reg.
+	fc *predict.ForecastCache
 
 	// Every counter lives in reg; commitLocked mirrors the state machine's
 	// monotonic tallies into them (single code path), and both /api/metrics
@@ -206,7 +211,9 @@ func New(cfg Config) (*Server, error) {
 		reg: reg,
 		st:  core.NewState(),
 		ws:  assign.NewWorkspace(),
+		fc:  predict.NewForecastCache(0),
 	}
+	s.fc.Instrument(reg)
 	fault := func(kind string) *obs.Counter {
 		return reg.Counter("tamp_server_faults_total", obs.L("kind", kind))
 	}
@@ -876,7 +883,7 @@ func (s *Server) runBatchLocked(ctx context.Context) int {
 	defer func() {
 		s.batchSec.Observe(time.Since(batchStart).Seconds())
 	}()
-	in, err := core.BuildBatch(ctx, s.st, s.cfg.Models, s.cfg.PredHorizon, s.cfg.Parallelism)
+	in, err := core.BuildBatch(ctx, s.st, s.cfg.Models, s.fc, s.cfg.PredHorizon, s.cfg.Parallelism)
 	if err != nil {
 		return 0
 	}

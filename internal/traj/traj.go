@@ -107,20 +107,27 @@ type Sample struct {
 // (seq_in, seq_out) pair, advancing by stride points between samples.
 // A stride of 0 is treated as 1.
 func ExtractSamples(r Routine, seqIn, seqOut, stride int) []Sample {
+	return ExtractSamplesInto(nil, r, seqIn, seqOut, stride)
+}
+
+// ExtractSamplesInto appends the routine's samples to dst and returns it,
+// letting per-worker hot loops (adaptation, evaluation) reuse one sample
+// slice instead of reallocating it every call. Samples reference r.Points
+// directly, exactly like ExtractSamples.
+func ExtractSamplesInto(dst []Sample, r Routine, seqIn, seqOut, stride int) []Sample {
 	if seqIn <= 0 || seqOut <= 0 || len(r.Points) < seqIn+seqOut {
-		return nil
+		return dst
 	}
 	if stride <= 0 {
 		stride = 1
 	}
-	var out []Sample
 	for i := 0; i+seqIn+seqOut <= len(r.Points); i += stride {
-		out = append(out, Sample{
+		dst = append(dst, Sample{
 			In:  r.Points[i : i+seqIn],
 			Out: r.Points[i+seqIn : i+seqIn+seqOut],
 		})
 	}
-	return out
+	return dst
 }
 
 // ExtractSamplesMulti extracts samples from several routines (e.g. one per
